@@ -1,0 +1,38 @@
+# Convenience targets for the Kalis reproduction.
+
+GO ?= go
+
+.PHONY: all build test race bench vet fmt experiments examples clean
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	gofmt -l -w .
+
+# Regenerate every table and figure of the paper's evaluation.
+experiments:
+	$(GO) run ./cmd/kalis-bench -exp all
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/smarthome
+	$(GO) run ./examples/wsn
+	$(GO) run ./examples/collaborative
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,394 @@
+package kalis
+
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation, plus ablation benches for the design choices called out
+// in DESIGN.md. Benches use a reduced episode count to keep -bench=.
+// affordable; cmd/kalis-bench runs the full 50-episode configuration.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+//	go run ./cmd/kalis-bench -exp all   # full-scale tables
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"strings"
+	"testing"
+	"time"
+
+	"kalis/internal/core/datastore"
+	"kalis/internal/core/event"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/eval"
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/stack"
+	"kalis/internal/snortlike"
+	"kalis/internal/taxonomy"
+	"kalis/internal/trace"
+)
+
+// benchOpts keeps the per-iteration cost of the experiment benches
+// manageable while preserving the result shapes.
+var benchOpts = eval.Options{Seed: 1, Episodes: 6, SnortCommunityRules: 1000}
+
+// --- one bench per table / figure ---
+
+// BenchmarkTableI regenerates Table I (taxonomy by target).
+func BenchmarkTableI(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		taxonomy.WriteTableI(&buf)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkFigure3 regenerates Figure 3 (taxonomy by features).
+func BenchmarkFigure3(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		taxonomy.WriteFigure3(&buf)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkTableII regenerates Table II (effectiveness and performance
+// of the traditional IDS, the Snort-like baseline, and Kalis across
+// the §VI-B scenarios).
+func BenchmarkTableII(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Table2(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteTable2(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkFigure8 regenerates Figure 8 (Kalis vs traditional IDS
+// across all eight attack scenarios).
+func BenchmarkFigure8(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig8(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteFig8(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkReactivity regenerates the §VI-C reactivity experiment.
+func BenchmarkReactivity(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Reactivity(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteReactivity(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkKnowledgeSharing regenerates the §VI-D wormhole experiment.
+func BenchmarkKnowledgeSharing(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.KnowledgeSharing(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteKnowledgeSharing(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkCountermeasure regenerates the §VI-B1 response-action
+// comparison.
+func BenchmarkCountermeasure(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Countermeasure(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteCountermeasure(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// BenchmarkDeliveryImpact regenerates the countermeasure-as-network-
+// functionality experiment (metric (iii) of §VI-B) on the
+// adaptive-routing sinkhole.
+func BenchmarkDeliveryImpact(b *testing.B) {
+	var buf bytes.Buffer
+	for i := 0; i < b.N; i++ {
+		res, err := eval.DeliveryImpact(benchOpts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		buf.Reset()
+		eval.WriteDelivery(&buf, res)
+	}
+	b.Log("\n" + buf.String())
+}
+
+// --- per-scenario benches (one full IDS run per iteration) ---
+
+func benchScenario(b *testing.B, name string) {
+	sc, ok := eval.ScenarioByName(name)
+	if !ok {
+		b.Fatalf("unknown scenario %s", name)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Execute(sc, eval.NewKalis("K1"), 1, 6)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Score.Detected == 0 {
+			b.Fatalf("%s: nothing detected", name)
+		}
+	}
+}
+
+// BenchmarkScenarioICMPFlood runs the §VI-B1 scenario end to end.
+func BenchmarkScenarioICMPFlood(b *testing.B) { benchScenario(b, "icmp-flood") }
+
+// BenchmarkScenarioReplication runs the §VI-B2 scenario end to end.
+func BenchmarkScenarioReplication(b *testing.B) { benchScenario(b, "replication") }
+
+// BenchmarkScenarioSelectiveForwarding runs the §VI-C attack scenario.
+func BenchmarkScenarioSelectiveForwarding(b *testing.B) {
+	benchScenario(b, "selective-forwarding")
+}
+
+// --- ablation benches (design choices from DESIGN.md §5) ---
+
+// BenchmarkAblationKnowledgeDriven measures the per-run cost of
+// knowledge-driven module selection vs all-modules-on, on the same
+// traffic — the resource argument of §III.
+func BenchmarkAblationKnowledgeDriven(b *testing.B) {
+	sc, _ := eval.ScenarioByName("icmp-flood")
+	for _, mode := range []struct {
+		name    string
+		factory eval.Factory
+	}{
+		{"knowledge-driven", eval.NewKalis("K1")},
+		{"all-modules-on", eval.NewTraditional()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			var work, packets uint64
+			for i := 0; i < b.N; i++ {
+				res, err := eval.Execute(sc, mode.factory, 1, 6)
+				if err != nil {
+					b.Fatal(err)
+				}
+				work += res.Resources.WorkUnits
+				packets += res.Resources.Packets
+			}
+			b.ReportMetric(float64(work)/float64(packets), "module-invocations/packet")
+		})
+	}
+}
+
+// BenchmarkAblationSnortRulesetSize sweeps the signature-IDS ruleset
+// size: the linear per-packet cost Kalis' adaptive activation avoids.
+func BenchmarkAblationSnortRulesetSize(b *testing.B) {
+	src, dst := netip.MustParseAddr("192.168.1.5"), netip.MustParseAddr("34.2.2.2")
+	raw := stack.BuildICMPEchoPayload(src, dst, icmp.TypeEchoReply, 1, 1, 64, stack.PingPayload())
+	c, err := stack.Decode(packet.MediumWiFi, raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Time = netsim.Epoch
+	for _, n := range []int{100, 1000, 3000} {
+		b.Run(fmt.Sprintf("rules-%d", n), func(b *testing.B) {
+			rules, err := snortlike.DefaultRuleset(n)
+			if err != nil {
+				b.Fatal(err)
+			}
+			engine := snortlike.NewEngine(rules)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				engine.HandleCapture(c)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationKBLookup measures the Knowledge Base's key-encoding
+// query paths (exact / creator prefix / entity suffix), §V.
+func BenchmarkAblationKBLookup(b *testing.B) {
+	kb := knowledge.NewBase("K1")
+	for i := 0; i < 64; i++ {
+		kb.PutEntity("SignalStrength", fmt.Sprintf("node-%02d", i), "-67")
+		kb.Put(fmt.Sprintf("TrafficFrequency.Kind%02d", i), "0.5")
+	}
+	b.Run("exact", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, ok := kb.Get("K1$SignalStrength@node-07"); !ok {
+				b.Fatal("missing")
+			}
+		}
+	})
+	b.Run("prefix-local", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := kb.QueryLocal(); len(got) == 0 {
+				b.Fatal("empty")
+			}
+		}
+	})
+	b.Run("suffix-entity", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := kb.QueryEntity("node-07"); len(got) != 1 {
+				b.Fatal("wrong count")
+			}
+		}
+	})
+}
+
+// BenchmarkAblationWindowSize measures Data Store append cost across
+// sliding-window sizes.
+func BenchmarkAblationWindowSize(b *testing.B) {
+	raw := stack.BuildCTPBeacon(5, 1, 10, 1)
+	c, err := stack.Decode(packet.MediumIEEE802154, raw)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c.Time = netsim.Epoch
+	for _, size := range []int{256, 2048, 16384} {
+		b.Run(fmt.Sprintf("window-%d", size), func(b *testing.B) {
+			store := datastore.New(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := store.Append(c); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationBusMode compares synchronous vs asynchronous event
+// delivery (§V event-driven architecture).
+func BenchmarkAblationBusMode(b *testing.B) {
+	for _, async := range []bool{false, true} {
+		name := "sync"
+		if async {
+			name = "async"
+		}
+		b.Run(name, func(b *testing.B) {
+			bus := event.NewBus(async)
+			sink := 0
+			bus.Subscribe(event.TopicPacket, func(interface{}) { sink++ })
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				bus.Publish(event.TopicPacket, i)
+			}
+			bus.Close()
+		})
+	}
+}
+
+// BenchmarkProtocolDecode measures the Communication System's parsing
+// path per medium.
+func BenchmarkProtocolDecode(b *testing.B) {
+	src, dst := netip.MustParseAddr("192.168.1.5"), netip.MustParseAddr("34.2.2.2")
+	frames := map[string]struct {
+		medium packet.Medium
+		raw    []byte
+	}{
+		"ctp-data":  {packet.MediumIEEE802154, stack.BuildCTPData(5, 3, 5, 1, 0, 10, []byte{0x01, 0x01})},
+		"zigbee":    {packet.MediumIEEE802154, stack.BuildZigbeeData(2, 1, 9, 1, 5, []byte("cmd"))},
+		"rpl-dio":   {packet.MediumIEEE802154, stack.BuildRPLDIO(3, 1, 512, 1)},
+		"tcp-wifi":  {packet.MediumWiFi, stack.BuildTCP(src, dst, 4000, 443, 0x12, 1, 1, 1, nil)},
+		"icmp-wifi": {packet.MediumWiFi, stack.BuildICMPEcho(src, dst, 0, 1, 1, 64)},
+	}
+	for name, f := range frames {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := stack.Decode(f.medium, f.raw); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTraceRoundTrip measures trace write+read throughput, the
+// record/replay substrate of the evaluation methodology.
+func BenchmarkTraceRoundTrip(b *testing.B) {
+	rec := &trace.Record{
+		Time:   netsim.Epoch,
+		Medium: packet.MediumIEEE802154,
+		RSSI:   -61.5,
+		Raw:    stack.BuildCTPData(5, 3, 5, 1, 0, 10, []byte{0x01, 0x01}),
+	}
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		w := trace.NewWriter(&buf)
+		for j := 0; j < 16; j++ {
+			if err := w.Write(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := w.Flush(); err != nil {
+			b.Fatal(err)
+		}
+		recs, err := trace.ReadAll(&buf)
+		if err != nil || len(recs) != 16 {
+			b.Fatalf("read %d, err %v", len(recs), err)
+		}
+	}
+}
+
+// BenchmarkKalisPerPacket measures the steady-state per-packet cost of
+// a fully warmed knowledge-driven node on mixed WSN traffic.
+func BenchmarkKalisPerPacket(b *testing.B) {
+	node, err := New(WithNodeID("K1"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer node.Close()
+	var caps []*Captured
+	for i := 0; i < 64; i++ {
+		raw := stack.BuildCTPData(uint16(2+i%4), 1, uint16(2+i%4), uint8(i), 0, 10, []byte{0x01, uint8(i)})
+		c, err := stack.Decode(packet.MediumIEEE802154, raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Time = netsim.Epoch.Add(time.Duration(i) * 100 * time.Millisecond)
+		c.RSSI = -60 - float64(i%4)
+		caps = append(caps, c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		node.HandleCapture(caps[i%len(caps)])
+	}
+}
+
+// sanity keeps the bench file honest if scenario names drift.
+func TestBenchScenarioNamesExist(t *testing.T) {
+	for _, name := range []string{"icmp-flood", "replication", "selective-forwarding"} {
+		if _, ok := eval.ScenarioByName(name); !ok {
+			t.Errorf("scenario %q not found", name)
+		}
+	}
+	if !strings.Contains(snortlike.CustomRules, "sid:1000001") {
+		t.Error("custom rules drifted")
+	}
+}

@@ -1,0 +1,114 @@
+// Command kalis-bench regenerates every table and figure of the
+// paper's evaluation (§VI): Table I, Figure 3, Table II, Figure 8, and
+// the reactivity (§VI-C), knowledge-sharing (§VI-D) and countermeasure
+// (§VI-B1) experiments.
+//
+// Usage:
+//
+//	kalis-bench -exp all
+//	kalis-bench -exp table2 -episodes 50 -seed 1
+//	kalis-bench -exp fig8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kalis/internal/eval"
+	"kalis/internal/taxonomy"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "kalis-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|delivery|all")
+		episodes = flag.Int("episodes", 0, "symptom instances per scenario (0 = paper default of 50)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		rules    = flag.Int("snort-rules", 0, "snort-like community ruleset size (0 = default 3000)")
+	)
+	flag.Parse()
+
+	opts := eval.Options{Seed: *seed, Episodes: *episodes, SnortCommunityRules: *rules}
+	out := os.Stdout
+
+	want := func(name string) bool { return *exp == name || *exp == "all" }
+	ran := false
+
+	if want("table1") {
+		ran = true
+		fmt.Fprintln(out, "Table I — taxonomy of IoT attacks by target")
+		taxonomy.WriteTableI(out)
+		fmt.Fprintln(out)
+	}
+	if want("fig3") {
+		ran = true
+		fmt.Fprintln(out, "Figure 3 — relationships between network/device features and attacks")
+		taxonomy.WriteFigure3(out)
+		fmt.Fprintln(out)
+	}
+	if want("table2") {
+		ran = true
+		res, err := eval.Table2(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteTable2(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("fig8") {
+		ran = true
+		res, err := eval.Fig8(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteFig8(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("reactivity") {
+		ran = true
+		res, err := eval.Reactivity(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteReactivity(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("wormhole") {
+		ran = true
+		res, err := eval.KnowledgeSharing(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteKnowledgeSharing(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("countermeasure") {
+		ran = true
+		res, err := eval.Countermeasure(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteCountermeasure(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("delivery") {
+		ran = true
+		res, err := eval.DeliveryImpact(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteDelivery(out, res)
+		fmt.Fprintln(out)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

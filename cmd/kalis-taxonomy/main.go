@@ -1,0 +1,29 @@
+// Command kalis-taxonomy prints the paper's IoT threat taxonomies:
+// Table I (attack patterns by source and target) and Figure 3 (the
+// feature/attack relationships that ground knowledge-driven
+// detection).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"kalis/internal/taxonomy"
+)
+
+func main() {
+	features := flag.Bool("features", false, "print the Figure 3 feature/attack matrix instead of Table I")
+	both := flag.Bool("all", false, "print both taxonomies")
+	flag.Parse()
+
+	if *both || !*features {
+		fmt.Println("Table I — taxonomy of IoT attacks by target")
+		taxonomy.WriteTableI(os.Stdout)
+		fmt.Println()
+	}
+	if *both || *features {
+		fmt.Println("Figure 3 — relationships between network/device features and attacks")
+		taxonomy.WriteFigure3(os.Stdout)
+	}
+}

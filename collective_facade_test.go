@@ -1,0 +1,120 @@
+package kalis
+
+import (
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+// TestFacadeCollectiveUDP runs two Kalis nodes with encrypted UDP
+// knowledge sharing on loopback: node A learns a blackhole locally and
+// its collective knowgget must reach node B.
+func TestFacadeCollectiveUDP(t *testing.T) {
+	nodeA, err := New(WithNodeID("KA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := New(WithNodeID("KB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+
+	if err := nodeA.EnableCollectiveUDP("127.0.0.1:46201", []string{"127.0.0.1:46202"}, "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	if err := nodeB.EnableCollectiveUDP("127.0.0.1:46202", []string{"127.0.0.1:46201"}, "s3cret"); err != nil {
+		t.Fatal(err)
+	}
+	nodeA.BeaconNow()
+	nodeB.BeaconNow()
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(nodeA.CollectivePeers()) == 1 && len(nodeB.CollectivePeers()) == 1 {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+		nodeA.BeaconNow()
+		nodeB.BeaconNow()
+	}
+	if got := nodeA.CollectivePeers(); len(got) != 1 || got[0] != "KB" {
+		t.Fatalf("node A peers = %v", got)
+	}
+
+	// Drive a blackhole at node A; the SuspectBlackhole knowgget is
+	// collective and must appear at node B.
+	driveBlackhole(t, nodeA)
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if hasRemoteSuspect(nodeB) {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("collective knowgget never reached node B")
+}
+
+func hasRemoteSuspect(n *Node) bool {
+	for _, kg := range n.Knowledge() {
+		if kg.Creator == "KA" && kg.Label == "SuspectBlackhole" {
+			return true
+		}
+	}
+	return false
+}
+
+func TestFacadeCollectiveUDPBadAddr(t *testing.T) {
+	node, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	if err := node.EnableCollectiveUDP("999.999.999.999:1", nil, "x"); err == nil {
+		t.Error("bad listen address accepted")
+	}
+	// Without a collective layer these are safe no-ops.
+	if node.CollectivePeers() != nil {
+		t.Error("peers without collective layer")
+	}
+	node.BeaconNow()
+}
+
+func TestFacadeResponder(t *testing.T) {
+	node, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	r := node.NewResponder(DefaultResponsePolicy(2))
+	var isolated []NodeID
+	r.Isolate = func(id NodeID) error { isolated = append(isolated, id); return nil }
+
+	driveBlackhole(t, node)
+	if len(isolated) != 1 || isolated[0] != "0x0002" {
+		t.Errorf("isolated = %v", isolated)
+	}
+	if audit := r.Audit(); len(audit) == 0 {
+		t.Error("no audit entries")
+	}
+}
+
+func TestFacadeAsyncEvents(t *testing.T) {
+	node, err := New(WithAsyncEvents())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		node.HandleCapture(capOf(t, packet.MediumIEEE802154,
+			stack.BuildCTPData(3, 2, 3, uint8(i), 1, 20, []byte{0x01, uint8(i)}),
+			tEpoch.Add(time.Duration(i)*3*time.Second), -65))
+	}
+	if err := node.Close(); err != nil { // drains
+		t.Fatal(err)
+	}
+	if len(node.Alerts()) == 0 {
+		t.Error("async pipeline produced no alerts")
+	}
+}

@@ -1,0 +1,98 @@
+package kalis
+
+// Tests for the facade extensions: SIEM export and compile-time
+// configuration generation.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+	"kalis/internal/siem"
+)
+
+func driveBlackhole(t *testing.T, node *Node) {
+	t.Helper()
+	node.HandleCapture(capOf(t, packet.MediumIEEE802154, stack.BuildCTPBeacon(1, 1, 0, 1), tEpoch, -50))
+	for i := 0; i < 30; i++ {
+		at := tEpoch.Add(time.Duration(i) * 3 * time.Second)
+		node.HandleCapture(capOf(t, packet.MediumIEEE802154,
+			stack.BuildCTPData(3, 2, 3, uint8(i), 1, 20, []byte{0x01, uint8(i)}), at, -65))
+	}
+}
+
+func TestFacadeSIEMExport(t *testing.T) {
+	node, err := New(WithNodeID("edge-7"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	var buf bytes.Buffer
+	exp := node.ExportAlerts(&buf)
+
+	driveBlackhole(t, node)
+
+	if exp.Count() == 0 || exp.Err() != nil {
+		t.Fatalf("exported=%d err=%v", exp.Count(), exp.Err())
+	}
+	events, err := siem.Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != exp.Count() {
+		t.Errorf("events=%d count=%d", len(events), exp.Count())
+	}
+	if events[0].Sensor != "edge-7" || events[0].Attack != "blackhole" {
+		t.Errorf("event = %+v", events[0])
+	}
+}
+
+func TestFacadeSuggestConfig(t *testing.T) {
+	node, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	driveBlackhole(t, node)
+
+	text := node.SuggestConfig()
+	if !strings.Contains(text, "BlackholeModule") || !strings.Contains(text, "Multihop = true") {
+		t.Fatalf("suggested config:\n%s", text)
+	}
+	// The suggested config boots a working constrained node.
+	tiny, err := New(WithoutDefaultModules(), WithConfig(text), WithNodeID("tiny"))
+	if err != nil {
+		t.Fatalf("deploying suggested config: %v\n%s", err, text)
+	}
+	defer tiny.Close()
+	driveBlackhole(t, tiny)
+	if len(tiny.Alerts()) == 0 {
+		t.Error("constrained deployment detected nothing")
+	}
+}
+
+func TestFacadeAnomalyOptIn(t *testing.T) {
+	node, err := New()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	for _, name := range node.ActiveModules() {
+		if name == "TrafficAnomalyModule" {
+			t.Fatal("anomaly module active without opt-in")
+		}
+	}
+	node.PutKnowledge("AnomalyDetection", "", "true")
+	found := false
+	for _, name := range node.ActiveModules() {
+		if name == "TrafficAnomalyModule" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("anomaly module not activated by knowgget")
+	}
+}

@@ -1,0 +1,3 @@
+module kalis
+
+go 1.22

@@ -1,0 +1,27 @@
+// Package attack defines the canonical attack names shared by the
+// attack injectors (ground truth), the detection modules (alert
+// classification), and the evaluation harness (scoring). Using one
+// namespace keeps "classification accuracy" well-defined: an alert is
+// correctly classified iff its name equals the ground-truth name.
+package attack
+
+// Canonical attack names, covering the paper's taxonomy by features
+// (Fig. 3) and all evaluation scenarios (§VI).
+const (
+	ICMPFlood           = "icmp-flood"
+	Smurf               = "smurf"
+	SYNFlood            = "syn-flood"
+	SelectiveForwarding = "selective-forwarding"
+	Blackhole           = "blackhole"
+	Replication         = "replication"
+	Sybil               = "sybil"
+	Sinkhole            = "sinkhole"
+	Wormhole            = "wormhole"
+	DataAlteration      = "data-alteration"
+)
+
+// All lists every canonical attack name.
+var All = []string{
+	ICMPFlood, Smurf, SYNFlood, SelectiveForwarding, Blackhole,
+	Replication, Sybil, Sinkhole, Wormhole, DataAlteration,
+}

@@ -1,0 +1,66 @@
+// Package attacks implements the attack injectors of the evaluation
+// methodology (§VI-A): scripted adversaries that enhance otherwise
+// benign simulated traffic with labelled symptom instances. Every
+// injector pre-schedules its episodes and returns the ground-truth
+// Instance list the harness scores detections against.
+package attacks
+
+import (
+	"time"
+
+	"kalis/internal/packet"
+)
+
+// Instance is one ground-truth adverse event (a "symptom instance" in
+// the paper's terminology; each scenario runs 50 of them).
+type Instance struct {
+	// Attack is the canonical attack name (internal/attack).
+	Attack string
+	// ID numbers the instance within its scenario, from 1.
+	ID int
+	// Start and End delimit the episode in virtual time.
+	Start, End time.Time
+	// Attacker is the true attacking entity (as Kalis would name it).
+	Attacker packet.NodeID
+	// Victim is the attacked entity, when meaningful.
+	Victim packet.NodeID
+}
+
+// Schedule describes a periodic episode plan shared by all injectors.
+type Schedule struct {
+	// Start is when the first episode begins.
+	Start time.Time
+	// Count is the number of episodes (symptom instances).
+	Count int
+	// Every is the episode period (start-to-start).
+	Every time.Duration
+	// Duration is how long each episode lasts.
+	Duration time.Duration
+}
+
+// Instances materializes the schedule into ground-truth instances.
+func (s Schedule) Instances(attackName string, attacker, victim packet.NodeID) []Instance {
+	out := make([]Instance, 0, s.Count)
+	for i := 0; i < s.Count; i++ {
+		st := s.Start.Add(time.Duration(i) * s.Every)
+		out = append(out, Instance{
+			Attack:   attackName,
+			ID:       i + 1,
+			Start:    st,
+			End:      st.Add(s.Duration),
+			Attacker: attacker,
+			Victim:   victim,
+		})
+	}
+	return out
+}
+
+// truth builds the per-frame ground-truth label for an instance.
+func truth(inst Instance) *packet.GroundTruth {
+	return &packet.GroundTruth{
+		Attack:   inst.Attack,
+		Instance: inst.ID,
+		Attacker: inst.Attacker,
+		Victim:   inst.Victim,
+	}
+}

@@ -1,0 +1,302 @@
+package attacks
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/devices"
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+)
+
+func collect(sim *netsim.Sim, pos netsim.Position, mediums ...packet.Medium) *[]*packet.Captured {
+	sn := sim.AddSniffer("probe", pos, mediums...)
+	caps := &[]*packet.Captured{}
+	sn.Subscribe(func(c *packet.Captured) { *caps = append(*caps, c.Clone()) })
+	return caps
+}
+
+func countTruth(caps []*packet.Captured, name string) int {
+	n := 0
+	for _, c := range caps {
+		if c.Truth != nil && c.Truth.Attack == name {
+			n++
+		}
+	}
+	return n
+}
+
+func TestScheduleInstances(t *testing.T) {
+	t0 := netsim.Epoch
+	s := Schedule{Start: t0, Count: 3, Every: time.Minute, Duration: 10 * time.Second}
+	insts := s.Instances("sybil", "atk", "v")
+	if len(insts) != 3 {
+		t.Fatalf("len = %d", len(insts))
+	}
+	if insts[0].ID != 1 || insts[2].ID != 3 {
+		t.Error("IDs not 1-based sequential")
+	}
+	if !insts[1].Start.Equal(t0.Add(time.Minute)) || !insts[1].End.Equal(t0.Add(70*time.Second)) {
+		t.Errorf("instance 2 window: %v..%v", insts[1].Start, insts[1].End)
+	}
+	if insts[0].Attacker != "atk" || insts[0].Victim != "v" || insts[0].Attack != "sybil" {
+		t.Errorf("metadata: %+v", insts[0])
+	}
+}
+
+func TestEpisodeActive(t *testing.T) {
+	t0 := netsim.Epoch
+	insts := Schedule{Start: t0, Count: 2, Every: time.Minute, Duration: 10 * time.Second}.Instances("x", "a", "")
+	if _, on := episodeActive(insts, t0.Add(5*time.Second)); !on {
+		t.Error("inside episode 1")
+	}
+	if inst, on := episodeActive(insts, t0.Add(65*time.Second)); !on || inst.ID != 2 {
+		t.Error("inside episode 2")
+	}
+	if _, on := episodeActive(insts, t0.Add(30*time.Second)); on {
+		t.Error("between episodes")
+	}
+}
+
+func TestICMPFloodInjector(t *testing.T) {
+	sim := netsim.New(1)
+	atk := sim.AddNode(&netsim.Node{Name: "atk", IP: netip.MustParseAddr("10.0.0.9"), Pos: netsim.Position{X: 5}})
+	caps := collect(sim, netsim.Position{})
+	inj := &ICMPFlood{
+		Attacker: atk,
+		Victim:   netip.MustParseAddr("10.0.0.1"),
+		Spoofed:  []netip.Addr{netip.MustParseAddr("10.0.0.2"), netip.MustParseAddr("10.0.0.3")},
+		Burst:    10,
+	}
+	insts := inj.Inject(sim, Schedule{Start: sim.Now().Add(time.Second), Count: 2, Every: 30 * time.Second, Duration: 2 * time.Second})
+	sim.RunFor(time.Minute)
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	if got := countTruth(*caps, attack.ICMPFlood); got != 20 {
+		t.Errorf("labelled flood frames = %d, want 20", got)
+	}
+	// Spoofing: both claimed identities appear, never the attacker's.
+	srcs := map[packet.NodeID]bool{}
+	for _, c := range *caps {
+		if c.Kind == packet.KindICMPEchoReply {
+			srcs[c.Src] = true
+		}
+	}
+	if !srcs["10.0.0.2"] || !srcs["10.0.0.3"] || srcs["10.0.0.9"] {
+		t.Errorf("flood sources: %v", srcs)
+	}
+}
+
+func TestSmurfInjectorTriggersAmplifiers(t *testing.T) {
+	sim := netsim.New(1)
+	router := sim.AddNode(&netsim.Node{Name: "r", IP: netip.MustParseAddr("192.168.1.1"), Pos: netsim.Position{X: 2}})
+	ampIP := netip.MustParseAddr("192.168.1.21")
+	amp := sim.AddNode(&netsim.Node{Name: "amp", IP: ampIP, Pos: netsim.Position{X: 8}})
+	host := devices.NewIPHost(amp)
+	caps := collect(sim, netsim.Position{})
+	inj := &Smurf{Router: router, Victim: netip.MustParseAddr("192.168.1.10"),
+		Amplifiers: []netip.Addr{ampIP}, RequestsPerAmp: 5}
+	inj.Inject(sim, Schedule{Start: sim.Now().Add(time.Second), Count: 1, Every: time.Minute, Duration: 2 * time.Second})
+	sim.RunFor(30 * time.Second)
+	if host.Replies != 5 {
+		t.Errorf("amplifier replies = %d, want 5", host.Replies)
+	}
+	// Replies converge on the victim.
+	replies := 0
+	for _, c := range *caps {
+		if c.Kind == packet.KindICMPEchoReply && c.Dst == "192.168.1.10" {
+			replies++
+		}
+	}
+	if replies != 5 {
+		t.Errorf("replies to victim = %d", replies)
+	}
+}
+
+func TestSYNFloodInjector(t *testing.T) {
+	sim := netsim.New(8)
+	atk := sim.AddNode(&netsim.Node{Name: "atk", IP: netip.MustParseAddr("10.0.0.9"), Pos: netsim.Position{X: 5}})
+	caps := collect(sim, netsim.Position{})
+	inj := &SYNFlood{
+		Attacker: atk,
+		Victim:   netip.MustParseAddr("10.0.0.1"),
+		Spoofed:  []netip.Addr{netip.MustParseAddr("1.2.3.4")},
+		Burst:    12,
+	}
+	insts := inj.Inject(sim, Schedule{Start: sim.Now().Add(time.Second), Count: 2, Every: 20 * time.Second, Duration: 2 * time.Second})
+	sim.RunFor(time.Minute)
+	if len(insts) != 2 {
+		t.Fatalf("instances = %d", len(insts))
+	}
+	syns := 0
+	for _, c := range *caps {
+		if c.Kind == packet.KindTCPSYN && c.Dst == "10.0.0.1" {
+			syns++
+			if c.Src != "1.2.3.4" {
+				t.Errorf("SYN source = %s, want spoofed", c.Src)
+			}
+		}
+	}
+	if syns != 24 {
+		t.Errorf("SYNs = %d, want 24", syns)
+	}
+	if got := countTruth(*caps, attack.SYNFlood); got != 24 {
+		t.Errorf("labelled = %d", got)
+	}
+}
+
+func TestSelectiveForwardingInjectorEpisodic(t *testing.T) {
+	sim := netsim.New(2)
+	motes := devices.BuildWSNLine(sim, 3, 20)
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	inj := &SelectiveForwarding{Relay: motes[1], DropProb: 1.0, Rand: rand.New(rand.NewSource(1))}
+	insts := inj.Inject(sim, Schedule{Start: sim.Now().Add(30 * time.Second), Count: 1, Every: time.Minute, Duration: 15 * time.Second})
+	caps := collect(sim, netsim.Position{X: 20, Y: 10}, packet.MediumIEEE802154)
+	sim.RunFor(90 * time.Second)
+
+	forwardedDuring, forwardedOutside := 0, 0
+	for _, c := range *caps {
+		d, ok := c.Layer("ctp-data").(*ctp.Data)
+		if !ok || d.THL == 0 {
+			continue
+		}
+		if _, on := episodeActive(insts, c.Time); on {
+			forwardedDuring++
+		} else {
+			forwardedOutside++
+		}
+	}
+	if forwardedDuring != 0 {
+		t.Errorf("frames forwarded during total-drop episode: %d", forwardedDuring)
+	}
+	if forwardedOutside == 0 {
+		t.Error("no forwarding outside episodes (relay broken)")
+	}
+}
+
+func TestReplicationInjectorSeqConflict(t *testing.T) {
+	sim := netsim.New(3)
+	motes := devices.BuildWSNLine(sim, 3, 20)
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	caps := collect(sim, netsim.Position{X: 20, Y: 10}, packet.MediumIEEE802154)
+	inj := &Replication{Clone: motes[2], Position: netsim.Position{X: 60, Y: 20}}
+	inj.Inject(sim, Schedule{Start: sim.Now().Add(10 * time.Second), Count: 1, Every: time.Minute, Duration: 20 * time.Second})
+	sim.RunFor(40 * time.Second)
+
+	// The cloned identity originates with two distinct counters.
+	var seqs []uint8
+	for _, c := range *caps {
+		d, ok := c.Layer("ctp-data").(*ctp.Data)
+		if ok && d.Origin == motes[2].Addr() && d.THL == 0 {
+			seqs = append(seqs, d.SeqNo)
+		}
+	}
+	regressions := 0
+	for i := 1; i < len(seqs); i++ {
+		if int8(seqs[i]-seqs[i-1]) <= 0 {
+			regressions++
+		}
+	}
+	if regressions < 3 {
+		t.Errorf("sequence regressions = %d, want >= 3", regressions)
+	}
+}
+
+func TestSybilInjectorFreshIdentities(t *testing.T) {
+	sim := netsim.New(4)
+	atk := sim.AddNode(&netsim.Node{Name: "platform", Pos: netsim.Position{X: 10}})
+	caps := collect(sim, netsim.Position{}, packet.MediumIEEE802154)
+	inj := &Sybil{Attacker: atk, Identities: 4, FramesPerIdentity: 2}
+	inj.Inject(sim, Schedule{Start: sim.Now().Add(time.Second), Count: 1, Every: time.Minute, Duration: 5 * time.Second})
+	sim.RunFor(30 * time.Second)
+	ids := map[packet.NodeID]bool{}
+	for _, c := range *caps {
+		ids[c.Transmitter] = true
+	}
+	if len(ids) != 4 {
+		t.Errorf("fabricated identities = %d, want 4", len(ids))
+	}
+}
+
+func TestSinkholeInjectorBeacons(t *testing.T) {
+	sim := netsim.New(5)
+	adv := sim.AddNode(&netsim.Node{Name: "sink", Addr16: 5, Pos: netsim.Position{X: 10}})
+	caps := collect(sim, netsim.Position{}, packet.MediumIEEE802154)
+	inj := &Sinkhole{Advertiser: adv, Beacons: 3}
+	inj.Inject(sim, Schedule{Start: sim.Now().Add(time.Second), Count: 2, Every: 30 * time.Second, Duration: 3 * time.Second})
+	sim.RunFor(90 * time.Second)
+	lying := 0
+	for _, c := range *caps {
+		if b, ok := c.Layer("ctp-beacon").(*ctp.Beacon); ok && b.ETX == 1 {
+			lying++
+		}
+	}
+	if lying != 6 {
+		t.Errorf("lying beacons = %d, want 6", lying)
+	}
+}
+
+func TestDataAlterationInjectorCorrupts(t *testing.T) {
+	sim := netsim.New(6)
+	motes := devices.BuildWSNLine(sim, 3, 20)
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	caps := collect(sim, netsim.Position{X: 20, Y: 10}, packet.MediumIEEE802154)
+	inj := &DataAlteration{Relay: motes[1]}
+	insts := inj.Inject(sim, Schedule{Start: sim.Now().Add(10 * time.Second), Count: 1, Every: time.Minute, Duration: 15 * time.Second})
+	sim.RunFor(40 * time.Second)
+	corrupt, clean := 0, 0
+	for _, c := range *caps {
+		d, ok := c.Layer("ctp-data").(*ctp.Data)
+		if !ok || d.THL == 0 || len(d.Payload) < 2 {
+			continue
+		}
+		if d.Payload[1] != d.SeqNo {
+			corrupt++
+			// The forwarding delay may push a frame mutated at the very
+			// end of an episode slightly past its boundary.
+			_, onNow := episodeActive(insts, c.Time)
+			_, onJustBefore := episodeActive(insts, c.Time.Add(-time.Second))
+			if !onNow && !onJustBefore {
+				t.Error("corruption outside episode")
+			}
+		} else {
+			clean++
+		}
+	}
+	if corrupt == 0 || clean == 0 {
+		t.Errorf("corrupt=%d clean=%d, want both > 0", corrupt, clean)
+	}
+}
+
+func TestWormholeInjectorTunnels(t *testing.T) {
+	sim := netsim.New(7)
+	motes := devices.BuildWSNLine(sim, 4, 20) // 1..4, relay 3 forwards 4's traffic
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	b2 := sim.AddNode(&netsim.Node{Name: "b2", Addr16: 9, Pos: netsim.Position{X: 40, Y: 30}})
+	caps := collect(sim, netsim.Position{X: 30, Y: 10}, packet.MediumIEEE802154)
+	inj := &Wormhole{B1: motes[2], B2: b2, B2Parent: 1}
+	inj.Inject(sim, Schedule{Start: sim.Now().Add(10 * time.Second), Count: 1, Every: time.Minute, Duration: 20 * time.Second})
+	sim.RunFor(40 * time.Second)
+	tunneled := 0
+	for _, c := range *caps {
+		if c.Truth != nil && c.Truth.Attack == attack.Wormhole && c.Transmitter == "0x0009" {
+			tunneled++
+		}
+	}
+	if tunneled == 0 {
+		t.Error("no tunneled frames re-emitted by B2")
+	}
+}

@@ -1,0 +1,53 @@
+package attacks
+
+import (
+	"time"
+
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/stack"
+)
+
+// BLEFloodAttack is the canonical name used for BLE advertising floods.
+// No signature module exists for this attack — it is the repository's
+// stand-in for an *unknown* attack, detectable only by the
+// anomaly-based module ("able to react to unknown attacks", §IV-B4).
+const BLEFloodAttack = "ble-adv-flood"
+
+// BLEFlood floods the Bluetooth advertising channel with bogus
+// advertisements, starving legitimate devices (a Denial of Thing
+// against BLE peripherals like the smart lock).
+type BLEFlood struct {
+	// Attacker is the flooding radio.
+	Attacker *netsim.Node
+	// Burst is the number of advertisements per episode (default 150).
+	Burst int
+	// Spacing between advertisements (default 30 ms).
+	Spacing time.Duration
+}
+
+// Inject schedules the episodes and returns their ground truth.
+func (a *BLEFlood) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.Burst == 0 {
+		a.Burst = 150
+	}
+	if a.Spacing == 0 {
+		a.Spacing = 30 * time.Millisecond
+	}
+	insts := sched.Instances(BLEFloodAttack, packet.NodeID(a.Attacker.Name), "")
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			for i := 0; i < a.Burst; i++ {
+				adv := ble.Address{0xbb, byte(inst.ID), byte(i >> 8), byte(i), 0, 0}
+				raw := stack.BuildBLEAdv(adv, []byte{0x02, 0x01, 0x06})
+				off := time.Duration(i) * a.Spacing
+				sim.After(off, func() {
+					a.Attacker.SendTruth(packet.MediumBluetooth, raw, truth(inst))
+				})
+			}
+		})
+	}
+	return insts
+}

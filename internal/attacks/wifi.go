@@ -1,0 +1,150 @@
+package attacks
+
+import (
+	"net/netip"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/stack"
+	"kalis/internal/proto/tcp"
+)
+
+// ICMPFlood injects ICMP Flood episodes: during each episode the
+// attacker node transmits a burst of ICMP Echo Replies to the victim,
+// "using several different identities as sender" (§III-A1). The
+// attacker spoofs both the IP source and the matching link-layer
+// address, so the only tell is physical (RSSI).
+type ICMPFlood struct {
+	// Attacker is the attacking node (its radio position determines
+	// the flood frames' RSSI fingerprint).
+	Attacker *netsim.Node
+	// Victim is the flooded IP address.
+	Victim netip.Addr
+	// Spoofed are the sender identities cycled through.
+	Spoofed []netip.Addr
+	// Burst is the number of replies per episode (default 40).
+	Burst int
+	// Spacing is the gap between replies in a burst (default 75 ms).
+	Spacing time.Duration
+}
+
+// Inject schedules the episodes and returns their ground truth.
+func (a *ICMPFlood) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.Burst == 0 {
+		a.Burst = 40
+	}
+	if a.Spacing == 0 {
+		a.Spacing = 75 * time.Millisecond
+	}
+	insts := sched.Instances(attack.ICMPFlood, packet.NodeID(a.Attacker.IP.String()), stack.IPID(a.Victim))
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			for i := 0; i < a.Burst; i++ {
+				src := a.Spoofed[i%len(a.Spoofed)]
+				raw := stack.BuildICMPEchoPayload(src, a.Victim, icmp.TypeEchoReply,
+					uint16(inst.ID), uint16(i), 64, stack.PingPayload())
+				off := time.Duration(i) * a.Spacing
+				sim.After(off, func() {
+					a.Attacker.SendTruth(packet.MediumWiFi, raw, truth(inst))
+				})
+			}
+		})
+	}
+	return insts
+}
+
+// Smurf injects Smurf episodes: spoofed ICMP Echo Requests — with the
+// victim as source — arrive from the Internet through the local router
+// and hit several amplifier hosts, whose replies converge on the
+// victim (§III-A1). The echo replies themselves are produced by the
+// amplifiers' own IPHost behaviour; the injector only transmits the
+// spoofed requests via the router.
+type Smurf struct {
+	// Router is the local gateway that forwards the Internet-side
+	// spoofed requests (its transmissions differ from the claimed
+	// source, which is also the multi-hop evidence for topology
+	// discovery).
+	Router *netsim.Node
+	// Victim is the spoofed source (and actual target).
+	Victim netip.Addr
+	// Amplifiers are the addresses of the local echo responders.
+	Amplifiers []netip.Addr
+	// RequestsPerAmp is the number of requests per amplifier per
+	// episode (default 12).
+	RequestsPerAmp int
+	// Spacing is the gap between consecutive requests (default 60 ms).
+	Spacing time.Duration
+}
+
+// Inject schedules the episodes and returns their ground truth.
+func (a *Smurf) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.RequestsPerAmp == 0 {
+		a.RequestsPerAmp = 12
+	}
+	if a.Spacing == 0 {
+		a.Spacing = 60 * time.Millisecond
+	}
+	insts := sched.Instances(attack.Smurf, packet.NodeID(a.Router.IP.String()), stack.IPID(a.Victim))
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			n := 0
+			for i := 0; i < a.RequestsPerAmp; i++ {
+				for _, amp := range a.Amplifiers {
+					ipPkt := stack.EncodeICMPEchoIP(a.Victim, amp, icmp.TypeEchoRequest,
+						uint16(inst.ID), uint16(n), 63, stack.PingPayload())
+					raw := stack.BuildIPFrame(a.Router.IP, amp, uint16(n), ipPkt)
+					off := time.Duration(n) * a.Spacing
+					sim.After(off, func() {
+						a.Router.SendTruth(packet.MediumWiFi, raw, truth(inst))
+					})
+					n++
+				}
+			}
+		})
+	}
+	return insts
+}
+
+// SYNFlood injects TCP SYN flood episodes against a victim service:
+// bursts of connection-opening SYNs from spoofed sources that never
+// complete a handshake.
+type SYNFlood struct {
+	Attacker *netsim.Node
+	Victim   netip.Addr
+	Spoofed  []netip.Addr
+	// Burst is the number of SYNs per episode (default 40).
+	Burst int
+	// Spacing is the gap between SYNs (default 75 ms).
+	Spacing time.Duration
+}
+
+// Inject schedules the episodes and returns their ground truth.
+func (a *SYNFlood) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.Burst == 0 {
+		a.Burst = 40
+	}
+	if a.Spacing == 0 {
+		a.Spacing = 75 * time.Millisecond
+	}
+	insts := sched.Instances(attack.SYNFlood, packet.NodeID(a.Attacker.IP.String()), stack.IPID(a.Victim))
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			for i := 0; i < a.Burst; i++ {
+				src := a.Spoofed[i%len(a.Spoofed)]
+				raw := stack.BuildTCP(src, a.Victim, uint16(10000+i), 443, tcp.FlagSYN,
+					uint32(inst.ID)<<16|uint32(i), 0, uint16(i), nil)
+				off := time.Duration(i) * a.Spacing
+				sim.After(off, func() {
+					a.Attacker.SendTruth(packet.MediumWiFi, raw, truth(inst))
+				})
+			}
+		})
+	}
+	return insts
+}

@@ -1,0 +1,303 @@
+package attacks
+
+import (
+	"math/rand"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/devices"
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/stack"
+)
+
+// episodeActive reports whether t falls inside any scheduled episode.
+func episodeActive(insts []Instance, t time.Time) (Instance, bool) {
+	for _, inst := range insts {
+		if !t.Before(inst.Start) && !t.After(inst.End) {
+			return inst, true
+		}
+	}
+	return Instance{}, false
+}
+
+// SelectiveForwarding turns a relay mote malicious during episodes: it
+// silently drops a fraction of the CTP data frames it should forward.
+type SelectiveForwarding struct {
+	// Relay is the compromised forwarding mote.
+	Relay *devices.Mote
+	// DropProb is the per-frame drop probability during episodes
+	// (default 0.6).
+	DropProb float64
+	// Rand drives the drop decisions (seeded for determinism).
+	Rand *rand.Rand
+}
+
+// Inject installs the drop behaviour and returns the ground truth.
+func (a *SelectiveForwarding) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.DropProb == 0 {
+		a.DropProb = 0.6
+	}
+	attacker := stack.ShortID(a.Relay.Addr())
+	insts := sched.Instances(attack.SelectiveForwarding, attacker, "")
+	a.Relay.DropForward = func(*ctp.Data) bool {
+		if _, on := episodeActive(insts, sim.Now()); !on {
+			return false
+		}
+		return a.Rand.Float64() < a.DropProb
+	}
+	return insts
+}
+
+// Blackhole turns a relay mote into a blackhole during episodes: every
+// frame it should forward is dropped.
+type Blackhole struct {
+	Relay *devices.Mote
+}
+
+// Inject installs the drop behaviour and returns the ground truth.
+func (a *Blackhole) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	attacker := stack.ShortID(a.Relay.Addr())
+	insts := sched.Instances(attack.Blackhole, attacker, "")
+	a.Relay.DropForward = func(*ctp.Data) bool {
+		_, on := episodeActive(insts, sim.Now())
+		return on
+	}
+	return insts
+}
+
+// Replication adds a replica of a legitimate mote: a malicious device
+// at a different position that originates CTP data under the cloned
+// identity with its own sequence counter (§VI-B2).
+type Replication struct {
+	// Clone is the legitimate mote whose identity is replicated.
+	Clone *devices.Mote
+	// Position places the replica's radio.
+	Position netsim.Position
+	// Interval is the replica's data period (default: the clone's).
+	Interval time.Duration
+
+	seq uint8
+}
+
+// Inject creates the replica node, schedules its transmissions during
+// episodes, and returns the ground truth.
+func (a *Replication) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.Interval == 0 {
+		a.Interval = a.Clone.Interval
+	}
+	id := stack.ShortID(a.Clone.Addr())
+	insts := sched.Instances(attack.Replication, id, id)
+	replica := sim.AddNode(&netsim.Node{
+		Name:   "replica-of-" + string(id),
+		Addr16: a.Clone.Addr(),
+		Pos:    a.Position,
+	})
+	a.seq = 100 // counter deliberately out of phase with the original
+	sim.Every(sched.Start, a.Interval, func() bool {
+		inst, on := episodeActive(insts, sim.Now())
+		if !on {
+			return true
+		}
+		a.seq++
+		raw := stack.BuildCTPData(a.Clone.Addr(), a.Clone.Parent, a.Clone.Addr(), a.seq, 0, 10, []byte{0x01, a.seq})
+		replica.SendTruth(packet.MediumIEEE802154, raw, truth(inst))
+		return true
+	})
+	return insts
+}
+
+// Sybil makes an attacker platform fabricate several fresh identities
+// per episode, all transmitted from the same physical radio.
+type Sybil struct {
+	// Attacker is the physical attacking node.
+	Attacker *netsim.Node
+	// Identities is the number of fabricated identities per episode
+	// (default 5).
+	Identities int
+	// FramesPerIdentity per episode (default 4).
+	FramesPerIdentity int
+	// BaseAddr is the starting fabricated short address (default
+	// 0x0500); episode i uses BaseAddr+i*Identities...
+	BaseAddr uint16
+}
+
+// Inject schedules the fabricated traffic and returns the ground
+// truth.
+func (a *Sybil) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.Identities == 0 {
+		a.Identities = 5
+	}
+	if a.FramesPerIdentity == 0 {
+		a.FramesPerIdentity = 4
+	}
+	if a.BaseAddr == 0 {
+		a.BaseAddr = 0x0500
+	}
+	insts := sched.Instances(attack.Sybil, packet.NodeID(a.Attacker.Name), "")
+	for ei, inst := range insts {
+		inst := inst
+		base := a.BaseAddr + uint16(ei*a.Identities)
+		sim.At(inst.Start, func() {
+			n := 0
+			for f := 0; f < a.FramesPerIdentity; f++ {
+				for i := 0; i < a.Identities; i++ {
+					fake := base + uint16(i)
+					raw := stack.BuildCTPData(fake, 1, fake, uint8(f+1), 0, 20, []byte{0x01, uint8(f + 1)})
+					off := time.Duration(n) * 200 * time.Millisecond
+					sim.After(off, func() {
+						a.Attacker.SendTruth(packet.MediumIEEE802154, raw, truth(inst))
+					})
+					n++
+				}
+			}
+		})
+	}
+	return insts
+}
+
+// Sinkhole makes a compromised mote advertise an implausibly good
+// route cost during episodes, pulling collection traffic towards
+// itself.
+type Sinkhole struct {
+	// Advertiser is the compromised mote's node.
+	Advertiser *netsim.Node
+	// FakeETX is the advertised cost (default 1).
+	FakeETX uint16
+	// Beacons per episode (default 4).
+	Beacons int
+}
+
+// Inject schedules the lying beacons and returns the ground truth.
+func (a *Sinkhole) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.FakeETX == 0 {
+		a.FakeETX = 1
+	}
+	if a.Beacons == 0 {
+		a.Beacons = 4
+	}
+	attacker := stack.ShortID(a.Advertiser.Addr16)
+	insts := sched.Instances(attack.Sinkhole, attacker, "")
+	seq := uint8(0)
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			for i := 0; i < a.Beacons; i++ {
+				seq++
+				raw := stack.BuildCTPBeacon(a.Advertiser.Addr16, 1, a.FakeETX, seq)
+				off := time.Duration(i) * 400 * time.Millisecond
+				sim.After(off, func() {
+					a.Advertiser.SendTruth(packet.MediumIEEE802154, raw, truth(inst))
+				})
+			}
+		})
+	}
+	return insts
+}
+
+// RPLSinkhole makes a compromised 6LoWPAN node advertise an
+// implausibly good RPL rank in DIO messages during episodes — the
+// classic RPL sinkhole of Mayzaud et al.'s taxonomy [26].
+type RPLSinkhole struct {
+	// Advertiser is the compromised node.
+	Advertiser *netsim.Node
+	// FakeRank is the advertised rank (default 1; legitimate roots
+	// advertise 256).
+	FakeRank uint16
+	// DIOs per episode (default 4).
+	DIOs int
+
+	seq uint8
+}
+
+// Inject schedules the lying DIOs and returns the ground truth.
+func (a *RPLSinkhole) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.FakeRank == 0 {
+		a.FakeRank = 1
+	}
+	if a.DIOs == 0 {
+		a.DIOs = 4
+	}
+	attacker := stack.ShortID(a.Advertiser.Addr16)
+	insts := sched.Instances(attack.Sinkhole, attacker, "")
+	for _, inst := range insts {
+		inst := inst
+		sim.At(inst.Start, func() {
+			for i := 0; i < a.DIOs; i++ {
+				a.seq++
+				raw := stack.BuildRPLDIO(a.Advertiser.Addr16, a.seq, a.FakeRank, 1)
+				off := time.Duration(i) * 400 * time.Millisecond
+				sim.After(off, func() {
+					a.Advertiser.SendTruth(packet.MediumIEEE802154, raw, truth(inst))
+				})
+			}
+		})
+	}
+	return insts
+}
+
+// DataAlteration makes a relay mote tamper with the payloads it
+// forwards during episodes.
+type DataAlteration struct {
+	Relay *devices.Mote
+}
+
+// Inject installs the mutation behaviour and returns the ground truth.
+func (a *DataAlteration) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	attacker := stack.ShortID(a.Relay.Addr())
+	insts := sched.Instances(attack.DataAlteration, attacker, "")
+	a.Relay.MutateForward = func(d *ctp.Data) []byte {
+		if _, on := episodeActive(insts, sim.Now()); !on {
+			return d.Payload
+		}
+		// Corrupt the application payload (flip the embedded counter).
+		return []byte{0x01, d.SeqNo + 7}
+	}
+	a.Relay.ForwardTruth = func(d *ctp.Data) *packet.GroundTruth {
+		if inst, on := episodeActive(insts, sim.Now()); on {
+			return truth(inst)
+		}
+		return nil
+	}
+	return insts
+}
+
+// Wormhole sets up two colluding endpoints in different network
+// portions: B1 swallows the traffic it should forward and tunnels it
+// out-of-band to B2, which re-emits it in its own portion (§VI-D).
+type Wormhole struct {
+	// B1 is the swallowing endpoint (a relay mote).
+	B1 *devices.Mote
+	// B2 is the re-emitting endpoint's node, placed in the other
+	// network portion.
+	B2 *netsim.Node
+	// B2Parent is the address B2 forwards the tunnelled frames to.
+	B2Parent uint16
+	// TunnelDelay is the out-of-band transfer latency (default 5 ms).
+	TunnelDelay time.Duration
+}
+
+// Inject installs the collusion behaviour and returns the ground
+// truth.
+func (a *Wormhole) Inject(sim *netsim.Sim, sched Schedule) []Instance {
+	if a.TunnelDelay == 0 {
+		a.TunnelDelay = 5 * time.Millisecond
+	}
+	b1 := stack.ShortID(a.B1.Addr())
+	insts := sched.Instances(attack.Wormhole, b1, "")
+	a.B1.DropForward = func(d *ctp.Data) bool {
+		inst, on := episodeActive(insts, sim.Now())
+		if !on {
+			return false
+		}
+		// Tunnel the frame out-of-band to B2, which re-emits it with
+		// the hop count it would legitimately carry.
+		fwd := stack.BuildCTPData(a.B2.Addr16, a.B2Parent, d.Origin, d.SeqNo, d.THL+1, 10, d.Payload)
+		sim.After(a.TunnelDelay, func() {
+			a.B2.SendTruth(packet.MediumIEEE802154, fwd, truth(inst))
+		})
+		return true
+	}
+	return insts
+}

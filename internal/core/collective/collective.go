@@ -1,0 +1,255 @@
+package collective
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kalis/internal/core/knowledge"
+)
+
+// message is the wire format exchanged between Kalis nodes (inside the
+// encrypted envelope).
+type message struct {
+	Type      string         `json:"type"` // "beacon" or "update"
+	NodeID    string         `json:"nodeId"`
+	Knowggets []wireKnowgget `json:"knowggets,omitempty"`
+}
+
+type wireKnowgget struct {
+	Label   string `json:"l"`
+	Value   string `json:"v"`
+	Creator string `json:"c"`
+	Entity  string `json:"e,omitempty"`
+}
+
+const (
+	msgBeacon = "beacon"
+	msgUpdate = "update"
+)
+
+// Node is the collective-knowledge manager of one Kalis node: it
+// beacons its presence, tracks discovered peers, pushes local
+// collective knowggets to every peer, and accepts (creator-verified)
+// updates from peers into the Knowledge Base.
+type Node struct {
+	kb        *knowledge.Base
+	transport Transport
+	aead      cipher.AEAD
+
+	mu    sync.Mutex
+	peers map[string]string // Kalis node ID → transport address
+
+	// Stats.
+	sent, received, rejected int
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// NewNode creates a collective-knowledge manager. The pre-shared
+// passphrase keys the AES-GCM channel ("all communications among the
+// nodes are encrypted", §V).
+func NewNode(kb *knowledge.Base, t Transport, passphrase string) (*Node, error) {
+	key := sha256.Sum256([]byte(passphrase))
+	block, err := aes.NewCipher(key[:])
+	if err != nil {
+		return nil, fmt.Errorf("collective: cipher: %w", err)
+	}
+	aead, err := cipher.NewGCM(block)
+	if err != nil {
+		return nil, fmt.Errorf("collective: gcm: %w", err)
+	}
+	n := &Node{kb: kb, transport: t, aead: aead, peers: make(map[string]string)}
+	t.SetHandler(n.receive)
+	kb.SetSync(n.push)
+	return n, nil
+}
+
+// Beacon broadcasts one discovery advertisement. Call it periodically
+// (a real deployment uses RunBeacon; simulations drive it from the
+// virtual clock).
+func (n *Node) Beacon() {
+	data, err := n.seal(&message{Type: msgBeacon, NodeID: n.kb.LocalID()})
+	if err != nil {
+		return
+	}
+	_ = n.transport.Broadcast(data)
+}
+
+// RunBeacon starts periodic beaconing in a background goroutine; call
+// StopBeacon to stop and join it.
+func (n *Node) RunBeacon(interval time.Duration) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.stop != nil {
+		return
+	}
+	n.stop = make(chan struct{})
+	n.done = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-ticker.C:
+				n.Beacon()
+			case <-stop:
+				return
+			}
+		}
+	}(n.stop, n.done)
+}
+
+// StopBeacon stops the beaconing goroutine and waits for it to exit.
+func (n *Node) StopBeacon() {
+	n.mu.Lock()
+	stop, done := n.stop, n.done
+	n.stop, n.done = nil, nil
+	n.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+}
+
+// Peers returns the discovered peer node IDs, sorted.
+func (n *Node) Peers() []string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]string, 0, len(n.peers))
+	for id := range n.peers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Stats returns message counters: updates sent, accepted and rejected.
+func (n *Node) Stats() (sent, received, rejected int) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.sent, n.received, n.rejected
+}
+
+// push propagates one local collective knowgget to every known peer;
+// it is installed as the Knowledge Base's sync hook.
+func (n *Node) push(k knowledge.Knowgget) {
+	n.mu.Lock()
+	addrs := make([]string, 0, len(n.peers))
+	for _, addr := range n.peers {
+		addrs = append(addrs, addr)
+	}
+	n.sent += len(addrs)
+	n.mu.Unlock()
+	if len(addrs) == 0 {
+		return
+	}
+	data, err := n.seal(&message{
+		Type:      msgUpdate,
+		NodeID:    n.kb.LocalID(),
+		Knowggets: []wireKnowgget{{Label: k.Label, Value: k.Value, Creator: k.Creator, Entity: k.Entity}},
+	})
+	if err != nil {
+		return
+	}
+	for _, addr := range addrs {
+		_ = n.transport.Send(addr, data)
+	}
+}
+
+// receive handles one datagram from the transport.
+func (n *Node) receive(fromAddr string, data []byte) {
+	msg, err := n.open(data)
+	if err != nil || msg.NodeID == n.kb.LocalID() {
+		return
+	}
+	switch msg.Type {
+	case msgBeacon:
+		n.mu.Lock()
+		_, known := n.peers[msg.NodeID]
+		n.peers[msg.NodeID] = fromAddr
+		n.mu.Unlock()
+		if !known {
+			n.kb.PutInt("Peers", len(n.Peers()))
+			n.syncTo(fromAddr)
+		}
+	case msgUpdate:
+		for _, wk := range msg.Knowggets {
+			k := knowledge.Knowgget{Label: wk.Label, Value: wk.Value, Creator: wk.Creator, Entity: wk.Entity}
+			// AcceptRemote runs outside n.mu: it fires Knowledge Base
+			// subscriptions, which may re-enter this node (e.g. a
+			// module publishing a new collective knowgget in reaction).
+			accepted := n.kb.AcceptRemote(msg.NodeID, k)
+			n.mu.Lock()
+			if accepted {
+				n.received++
+			} else {
+				n.rejected++
+			}
+			n.mu.Unlock()
+		}
+	}
+}
+
+// syncTo sends the full set of local collective knowggets to a
+// newly-discovered peer.
+func (n *Node) syncTo(addr string) {
+	var wks []wireKnowgget
+	for _, k := range n.kb.QueryLocal() {
+		if k.Collective {
+			wks = append(wks, wireKnowgget{Label: k.Label, Value: k.Value, Creator: k.Creator, Entity: k.Entity})
+		}
+	}
+	if len(wks) == 0 {
+		return
+	}
+	data, err := n.seal(&message{Type: msgUpdate, NodeID: n.kb.LocalID(), Knowggets: wks})
+	if err != nil {
+		return
+	}
+	_ = n.transport.Send(addr, data)
+}
+
+// seal encrypts a message with AES-GCM (random nonce prepended).
+func (n *Node) seal(msg *message) ([]byte, error) {
+	plain, err := json.Marshal(msg)
+	if err != nil {
+		return nil, err
+	}
+	nonce := make([]byte, n.aead.NonceSize())
+	if _, err := rand.Read(nonce); err != nil {
+		return nil, err
+	}
+	return n.aead.Seal(nonce, nonce, plain, nil), nil
+}
+
+// open decrypts and parses a datagram.
+func (n *Node) open(data []byte) (*message, error) {
+	ns := n.aead.NonceSize()
+	if len(data) < ns {
+		return nil, fmt.Errorf("collective: short datagram")
+	}
+	plain, err := n.aead.Open(nil, data[:ns], data[ns:], nil)
+	if err != nil {
+		return nil, fmt.Errorf("collective: decrypt: %w", err)
+	}
+	var msg message
+	if err := json.Unmarshal(plain, &msg); err != nil {
+		return nil, fmt.Errorf("collective: parse: %w", err)
+	}
+	return &msg, nil
+}
+
+// Close stops beaconing and closes the transport.
+func (n *Node) Close() error {
+	n.StopBeacon()
+	return n.transport.Close()
+}

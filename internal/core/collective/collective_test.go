@@ -1,0 +1,180 @@
+package collective
+
+import (
+	"testing"
+	"time"
+
+	"kalis/internal/core/knowledge"
+)
+
+func pair(t *testing.T) (*knowledge.Base, *Node, *knowledge.Base, *Node) {
+	t.Helper()
+	hub := NewHub()
+	kb1 := knowledge.NewBase("K1")
+	kb2 := knowledge.NewBase("K2")
+	n1, err := NewNode(kb1, hub.Endpoint("addr1"), "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NewNode(kb2, hub.Endpoint("addr2"), "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return kb1, n1, kb2, n2
+}
+
+func TestDiscoveryAndSync(t *testing.T) {
+	kb1, n1, kb2, n2 := pair(t)
+	n1.Beacon()
+	n2.Beacon()
+	if got := n1.Peers(); len(got) != 1 || got[0] != "K2" {
+		t.Fatalf("n1 peers = %v", got)
+	}
+	if got := n2.Peers(); len(got) != 1 || got[0] != "K1" {
+		t.Fatalf("n2 peers = %v", got)
+	}
+	if v, ok := kb1.Int("Peers"); !ok || v != 1 {
+		t.Errorf("Peers knowgget = %d ok=%v", v, ok)
+	}
+
+	kb1.PutCollective("SuspectBlackhole", "0x0005", "7,8")
+	kg, ok := kb2.Get("K1$SuspectBlackhole@0x0005")
+	if !ok {
+		t.Fatal("collective knowgget not propagated")
+	}
+	if kg.Value != "7,8" || kg.Creator != "K1" {
+		t.Errorf("knowgget = %+v", kg)
+	}
+	// Local-only knowggets must not propagate.
+	kb1.Put("Multihop", "true")
+	if _, ok := kb2.Get("K1$Multihop"); ok {
+		t.Error("non-collective knowgget propagated")
+	}
+}
+
+func TestInitialSyncOnDiscovery(t *testing.T) {
+	kb1, n1, kb2, n2 := pair(t)
+	_ = n1
+	// K1 holds collective knowledge before any peer exists.
+	kb1.PutCollective("EmergentSource", "0x0009", "7")
+	if _, ok := kb2.Get("K1$EmergentSource@0x0009"); ok {
+		t.Fatal("knowledge propagated without discovery")
+	}
+	// K2's beacon makes K1 discover it; K1 pushes its snapshot.
+	n2.Beacon()
+	kg, ok := kb2.Get("K1$EmergentSource@0x0009")
+	if !ok {
+		t.Fatal("snapshot not synced to newly discovered peer")
+	}
+	if kg.Value != "7" {
+		t.Errorf("knowgget = %+v", kg)
+	}
+}
+
+func TestUpdatePropagatesChanges(t *testing.T) {
+	kb1, n1, kb2, n2 := pair(t)
+	n1.Beacon()
+	n2.Beacon()
+	kb1.PutCollective("SignalStrength", "SensorA", "-67")
+	kb1.PutCollective("SignalStrength", "SensorA", "-80")
+	kg, _ := kb2.Get("K1$SignalStrength@SensorA")
+	if kg.Value != "-80" {
+		t.Errorf("value = %q, want -80", kg.Value)
+	}
+	sent, _, _ := n1.Stats()
+	if sent < 2 {
+		t.Errorf("sent = %d", sent)
+	}
+	_, received, rejected := n2.Stats()
+	if received < 2 || rejected != 0 {
+		t.Errorf("received=%d rejected=%d", received, rejected)
+	}
+}
+
+func TestWrongPassphraseIsolated(t *testing.T) {
+	hub := NewHub()
+	kb1 := knowledge.NewBase("K1")
+	kb2 := knowledge.NewBase("K2")
+	n1, _ := NewNode(kb1, hub.Endpoint("a1"), "secret")
+	n2, _ := NewNode(kb2, hub.Endpoint("a2"), "other")
+	n1.Beacon()
+	n2.Beacon()
+	if len(n1.Peers()) != 0 || len(n2.Peers()) != 0 {
+		t.Error("nodes with different keys discovered each other")
+	}
+	kb1.PutCollective("X", "", "1")
+	if _, ok := kb2.Get("K1$X"); ok {
+		t.Error("knowledge crossed key domains")
+	}
+}
+
+func TestNoSelfPeering(t *testing.T) {
+	hub := NewHub()
+	kb := knowledge.NewBase("K1")
+	n, _ := NewNode(kb, hub.Endpoint("a1"), "secret")
+	// A second endpoint replays K1's own beacon back.
+	echo := hub.Endpoint("a2")
+	var captured []byte
+	echo.SetHandler(func(_ string, data []byte) { captured = append([]byte(nil), data...) })
+	n.Beacon()
+	if captured == nil {
+		t.Fatal("beacon not observed")
+	}
+	_ = echo.Send("a1", captured)
+	if len(n.Peers()) != 0 {
+		t.Error("node peered with itself")
+	}
+}
+
+func TestUDPTransport(t *testing.T) {
+	kb1 := knowledge.NewBase("K1")
+	kb2 := knowledge.NewBase("K2")
+	t1, err := NewUDPTransport("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := NewUDPTransport("127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Point the "broadcast" domains at each other (loopback has no
+	// real broadcast).
+	t1.SetBroadcasts([]string{t2.Addr()})
+	t2.SetBroadcasts([]string{t1.Addr()})
+
+	n1, err := NewNode(kb1, t1, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n2, err := NewNode(kb2, t2, "secret")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer n1.Close()
+	defer n2.Close()
+
+	n1.RunBeacon(20 * time.Millisecond)
+	n2.RunBeacon(20 * time.Millisecond)
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if len(n1.Peers()) == 1 && len(n2.Peers()) == 1 {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if len(n1.Peers()) != 1 || len(n2.Peers()) != 1 {
+		t.Fatalf("discovery failed: %v / %v", n1.Peers(), n2.Peers())
+	}
+
+	kb1.PutCollective("Multihop", "", "true")
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := kb2.Get("K1$Multihop"); ok {
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if _, ok := kb2.Get("K1$Multihop"); !ok {
+		t.Fatal("knowgget did not propagate over UDP")
+	}
+}

@@ -1,0 +1,264 @@
+// Package collective implements Kalis' collective knowledge management
+// (§IV-B3, §V): discovery of peer Kalis nodes by periodic beaconing on
+// the local network, and encrypted one-way synchronization of knowggets
+// marked "collective". A receiving node only accepts knowggets whose
+// creator field matches the sending peer, so no node can overwrite or
+// alter another node's knowledge.
+package collective
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+)
+
+// Handler consumes a datagram received from a peer address.
+type Handler func(fromAddr string, data []byte)
+
+// Transport abstracts peer communication: an in-memory hub for
+// deterministic tests and simulations, and a UDP transport for real
+// deployments.
+type Transport interface {
+	// Addr returns this endpoint's address.
+	Addr() string
+	// Send transmits a datagram to a specific peer address.
+	Send(addr string, data []byte) error
+	// Broadcast transmits a datagram to the discovery domain.
+	Broadcast(data []byte) error
+	// SetHandler installs the receive callback.
+	SetHandler(h Handler)
+	// Close releases resources and stops delivery.
+	Close() error
+}
+
+// ErrClosed is returned when sending on a closed transport.
+var ErrClosed = errors.New("collective: transport closed")
+
+// --- in-memory transport ---
+
+// Hub connects in-memory transports; delivery is synchronous and in
+// call order, keeping simulations deterministic.
+type Hub struct {
+	mu        sync.Mutex
+	endpoints map[string]*MemTransport
+}
+
+// NewHub creates an empty hub.
+func NewHub() *Hub {
+	return &Hub{endpoints: make(map[string]*MemTransport)}
+}
+
+// Endpoint creates and attaches a transport with the given address.
+func (h *Hub) Endpoint(addr string) *MemTransport {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	t := &MemTransport{hub: h, addr: addr}
+	h.endpoints[addr] = t
+	return t
+}
+
+// MemTransport is an in-memory Transport attached to a Hub.
+type MemTransport struct {
+	hub  *Hub
+	addr string
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+}
+
+var _ Transport = (*MemTransport)(nil)
+
+// Addr implements Transport.
+func (t *MemTransport) Addr() string { return t.addr }
+
+// SetHandler implements Transport.
+func (t *MemTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// Send implements Transport.
+func (t *MemTransport) Send(addr string, data []byte) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	t.hub.mu.Lock()
+	dst := t.hub.endpoints[addr]
+	t.hub.mu.Unlock()
+	if dst == nil {
+		return fmt.Errorf("collective: no endpoint %q", addr)
+	}
+	dst.deliver(t.addr, data)
+	return nil
+}
+
+// Broadcast implements Transport.
+func (t *MemTransport) Broadcast(data []byte) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	t.hub.mu.Lock()
+	dsts := make([]*MemTransport, 0, len(t.hub.endpoints))
+	for addr, ep := range t.hub.endpoints {
+		if addr != t.addr {
+			dsts = append(dsts, ep)
+		}
+	}
+	t.hub.mu.Unlock()
+	for _, dst := range dsts {
+		dst.deliver(t.addr, data)
+	}
+	return nil
+}
+
+func (t *MemTransport) deliver(from string, data []byte) {
+	t.mu.Lock()
+	h := t.handler
+	closed := t.closed
+	t.mu.Unlock()
+	if h != nil && !closed {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		h(from, cp)
+	}
+}
+
+// Close implements Transport.
+func (t *MemTransport) Close() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.closed = true
+	return nil
+}
+
+// --- UDP transport ---
+
+// UDPTransport is a Transport over UDP sockets. Discovery broadcasts
+// are sent to a configured list of broadcast addresses (e.g. the LAN
+// broadcast address, or explicit peer addresses on networks that block
+// broadcast).
+type UDPTransport struct {
+	conn       *net.UDPConn
+	broadcasts []string
+
+	mu      sync.Mutex
+	handler Handler
+	closed  bool
+	done    chan struct{}
+}
+
+var _ Transport = (*UDPTransport)(nil)
+
+// NewUDPTransport listens on listenAddr (e.g. "127.0.0.1:0") and
+// broadcasts to the given addresses.
+func NewUDPTransport(listenAddr string, broadcasts []string) (*UDPTransport, error) {
+	addr, err := net.ResolveUDPAddr("udp", listenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("collective: resolve %q: %w", listenAddr, err)
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("collective: listen: %w", err)
+	}
+	t := &UDPTransport{
+		conn:       conn,
+		broadcasts: append([]string(nil), broadcasts...),
+		done:       make(chan struct{}),
+	}
+	go t.readLoop()
+	return t, nil
+}
+
+// Addr implements Transport.
+func (t *UDPTransport) Addr() string { return t.conn.LocalAddr().String() }
+
+// SetHandler implements Transport.
+func (t *UDPTransport) SetHandler(h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handler = h
+}
+
+// SetBroadcasts replaces the discovery address list.
+func (t *UDPTransport) SetBroadcasts(addrs []string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.broadcasts = append([]string(nil), addrs...)
+}
+
+// Send implements Transport.
+func (t *UDPTransport) Send(addr string, data []byte) error {
+	t.mu.Lock()
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	dst, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return fmt.Errorf("collective: resolve %q: %w", addr, err)
+	}
+	_, err = t.conn.WriteToUDP(data, dst)
+	return err
+}
+
+// Broadcast implements Transport.
+func (t *UDPTransport) Broadcast(data []byte) error {
+	t.mu.Lock()
+	addrs := append([]string(nil), t.broadcasts...)
+	closed := t.closed
+	t.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for _, addr := range addrs {
+		if err := t.Send(addr, data); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+func (t *UDPTransport) readLoop() {
+	defer close(t.done)
+	buf := make([]byte, 64*1024)
+	for {
+		n, from, err := t.conn.ReadFromUDP(buf)
+		if err != nil {
+			return // closed
+		}
+		t.mu.Lock()
+		h := t.handler
+		t.mu.Unlock()
+		if h != nil {
+			data := make([]byte, n)
+			copy(data, buf[:n])
+			h(from.String(), data)
+		}
+	}
+}
+
+// Close implements Transport: it stops the read loop and waits for it
+// to exit.
+func (t *UDPTransport) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	t.mu.Unlock()
+	err := t.conn.Close()
+	<-t.done
+	return err
+}

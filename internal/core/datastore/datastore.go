@@ -1,0 +1,150 @@
+// Package datastore implements Kalis' Data Store (§IV-B2): it listens
+// for newly captured packets, keeps a sliding window of the most recent
+// traffic in memory for modules to access, optionally logs all traffic
+// to disk via the trace format, and can replay logged traffic
+// transparently to the detection modules.
+package datastore
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"kalis/internal/packet"
+	"kalis/internal/trace"
+)
+
+// DefaultWindow is the default sliding-window capacity in packets.
+const DefaultWindow = 4096
+
+// Store is the Data Store of one Kalis node.
+type Store struct {
+	mu     sync.RWMutex
+	window []*packet.Captured // ring buffer
+	head   int                // next write position
+	size   int                // number of valid entries
+	total  uint64             // packets ever appended
+	logger *trace.Writer
+}
+
+// New creates a Store with the given sliding-window capacity (packets).
+// capacity <= 0 selects DefaultWindow.
+func New(capacity int) *Store {
+	if capacity <= 0 {
+		capacity = DefaultWindow
+	}
+	return &Store{window: make([]*packet.Captured, capacity)}
+}
+
+// SetLog enables logging of all appended traffic to w in the Kalis
+// trace format. Pass a file to log on disk; logging failures are
+// reported by Append.
+func (s *Store) SetLog(w io.Writer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.logger = trace.NewWriter(w)
+}
+
+// Append records a captured packet into the sliding window (and the
+// disk log if enabled).
+func (s *Store) Append(c *packet.Captured) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.window[s.head] = c
+	s.head = (s.head + 1) % len(s.window)
+	if s.size < len(s.window) {
+		s.size++
+	}
+	s.total++
+	if s.logger != nil {
+		raw := rawOf(c)
+		if raw == nil {
+			return nil // nothing loggable (synthetic capture)
+		}
+		rec := &trace.Record{Time: c.Time, Medium: c.Medium, RSSI: c.RSSI, Raw: raw, Truth: c.Truth}
+		if err := s.logger.Write(rec); err != nil {
+			return fmt.Errorf("datastore: log: %w", err)
+		}
+	}
+	return nil
+}
+
+// rawOf re-encodes the outermost layer when it supports encoding; the
+// capture path does not retain original raw bytes, so logging uses the
+// layer encoders.
+func rawOf(c *packet.Captured) []byte {
+	if len(c.Layers) == 0 {
+		return nil
+	}
+	type encoder interface{ Encode() []byte }
+	if e, ok := c.Layers[0].(encoder); ok {
+		return e.Encode()
+	}
+	return nil
+}
+
+// FlushLog flushes the disk log, if enabled.
+func (s *Store) FlushLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logger == nil {
+		return nil
+	}
+	return s.logger.Flush()
+}
+
+// Recent returns up to n of the most recent packets, oldest first.
+// n <= 0 returns the whole window.
+func (s *Store) Recent(n int) []*packet.Captured {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if n <= 0 || n > s.size {
+		n = s.size
+	}
+	out := make([]*packet.Captured, 0, n)
+	start := s.head - n
+	if start < 0 {
+		start += len(s.window)
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, s.window[(start+i)%len(s.window)])
+	}
+	return out
+}
+
+// Len returns the number of packets currently in the window.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// Total returns the number of packets ever appended.
+func (s *Store) Total() uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.total
+}
+
+// Capacity returns the sliding-window capacity.
+func (s *Store) Capacity() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.window)
+}
+
+// Replay reads a trace stream and feeds every decodable record to fn in
+// order — "logs from disk can also be replayed for traffic analysis by
+// the network administrator in case security incidents are detected"
+// (§IV-B2). It returns the number of records replayed and skipped.
+func Replay(r io.Reader, fn func(*packet.Captured)) (replayed, skipped int, err error) {
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("datastore: replay: %w", err)
+	}
+	skipped = trace.Replay(recs, func(c *packet.Captured) {
+		replayed++
+		fn(c)
+	})
+	return replayed, skipped, nil
+}

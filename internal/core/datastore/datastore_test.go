@@ -1,0 +1,110 @@
+package datastore
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+func capAt(sec int) *packet.Captured {
+	raw := stack.BuildCTPBeacon(uint16(sec%250+1), 0, 10, uint8(sec))
+	c, err := stack.Decode(packet.MediumIEEE802154, raw)
+	if err != nil {
+		panic(err)
+	}
+	c.Time = time.Unix(int64(1500000000+sec), 0).UTC()
+	c.RSSI = -60
+	return c
+}
+
+func TestSlidingWindow(t *testing.T) {
+	s := New(4)
+	for i := 0; i < 10; i++ {
+		if err := s.Append(capAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 4 || s.Total() != 10 || s.Capacity() != 4 {
+		t.Errorf("len=%d total=%d cap=%d", s.Len(), s.Total(), s.Capacity())
+	}
+	recent := s.Recent(0)
+	if len(recent) != 4 {
+		t.Fatalf("recent = %d", len(recent))
+	}
+	// Oldest-first: packets 6,7,8,9.
+	for i, c := range recent {
+		want := time.Unix(int64(1500000000+6+i), 0).UTC()
+		if !c.Time.Equal(want) {
+			t.Errorf("recent[%d].Time = %v, want %v", i, c.Time, want)
+		}
+	}
+	if got := s.Recent(2); len(got) != 2 || !got[1].Time.Equal(recent[3].Time) {
+		t.Errorf("Recent(2) wrong: %v", got)
+	}
+}
+
+func TestWindowSmallerThanCapacity(t *testing.T) {
+	s := New(100)
+	for i := 0; i < 3; i++ {
+		_ = s.Append(capAt(i))
+	}
+	if got := len(s.Recent(0)); got != 3 {
+		t.Errorf("recent = %d, want 3", got)
+	}
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if New(0).Capacity() != DefaultWindow {
+		t.Error("default capacity")
+	}
+	if New(-5).Capacity() != DefaultWindow {
+		t.Error("negative capacity")
+	}
+}
+
+func TestDiskLogAndReplay(t *testing.T) {
+	var buf bytes.Buffer
+	s := New(8)
+	s.SetLog(&buf)
+	for i := 0; i < 5; i++ {
+		if err := s.Append(capAt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.FlushLog(); err != nil {
+		t.Fatal(err)
+	}
+
+	var replayed []*packet.Captured
+	n, skipped, err := Replay(&buf, func(c *packet.Captured) { replayed = append(replayed, c) })
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if n != 5 || skipped != 0 {
+		t.Errorf("replayed=%d skipped=%d", n, skipped)
+	}
+	// Replay must be transparent: same kinds, times and RSSI as live.
+	for i, c := range replayed {
+		if c.Kind != packet.KindCTPBeacon || c.RSSI != -60 {
+			t.Errorf("replayed[%d] = %+v", i, c)
+		}
+		if !c.Time.Equal(time.Unix(int64(1500000000+i), 0).UTC()) {
+			t.Errorf("replayed[%d].Time = %v", i, c.Time)
+		}
+	}
+}
+
+func TestReplayCorruptStream(t *testing.T) {
+	if _, _, err := Replay(bytes.NewReader([]byte("garbage....")), func(*packet.Captured) {}); err == nil {
+		t.Error("expected error for corrupt stream")
+	}
+}
+
+func TestFlushWithoutLog(t *testing.T) {
+	if err := New(4).FlushLog(); err != nil {
+		t.Errorf("FlushLog without log: %v", err)
+	}
+}

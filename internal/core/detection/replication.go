@@ -1,0 +1,344 @@
+package detection
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/zigbee"
+)
+
+// Registry names of the replication-detection modules.
+const (
+	ReplicationStaticName = "ReplicationStaticModule"
+	ReplicationMobileName = "ReplicationMobileModule"
+)
+
+// The replication attack adds malicious replicas of legitimate node
+// identities to the network (§VI-B2). "Many detection techniques exist
+// for this attack; however each one is specific to a network with
+// certain characteristics, e.g. mobility [25]" — Kalis therefore ships
+// two modules and activates the one matching the network's current
+// mobility profile.
+
+// identityTrack is per-identity observation state shared by both
+// variants.
+type identityTrack struct {
+	ewma    float64
+	samples int
+	lastSeq uint8
+	seqInit bool
+	jumps   []time.Time // RSSI jump timestamps (window-pruned)
+	flips   []time.Time // seq regression timestamps (window-pruned)
+	wobbles []time.Time // sub-jump RSSI deviations (baseline health)
+}
+
+type replicationCore struct {
+	threshold  float64 // RSSI jump threshold (dB)
+	window     time.Duration
+	minEvents  int
+	cooldown   time.Duration
+	alpha      float64
+	minSamples int
+
+	tracks   map[packet.NodeID]*identityTrack
+	suppress map[packet.NodeID]time.Time
+}
+
+func newReplicationCore(params map[string]string) (*replicationCore, error) {
+	c := &replicationCore{
+		threshold:  6,
+		window:     30 * time.Second,
+		minEvents:  3,
+		cooldown:   20 * time.Second,
+		alpha:      0.3,
+		minSamples: 3,
+	}
+	var err error
+	if v, ok := params["threshold"]; ok {
+		if c.threshold, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("threshold: %w", err)
+		}
+	}
+	if v, ok := params["window"]; ok {
+		if c.window, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("window: %w", err)
+		}
+	}
+	if v, ok := params["minEvents"]; ok {
+		if c.minEvents, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("minEvents: %w", err)
+		}
+	}
+	if v, ok := params["cooldown"]; ok {
+		if c.cooldown, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	c.reset()
+	return c, nil
+}
+
+func (c *replicationCore) reset() {
+	c.tracks = make(map[packet.NodeID]*identityTrack)
+	c.suppress = make(map[packet.NodeID]time.Time)
+}
+
+// seqOf extracts the most end-to-end sequence counter the capture
+// carries: CTP data sequence numbers, then ZigBee NWK sequence numbers,
+// then the per-hop 802.15.4 MAC sequence (all keyed by transmitter
+// identity, so per-hop counters are still per-identity monotonic).
+func seqOf(cap *packet.Captured) (uint8, bool) {
+	if d, ok := cap.Layer("ctp-data").(*ctp.Data); ok {
+		return d.SeqNo, true
+	}
+	if n, ok := cap.Layer("zigbee").(*zigbee.Frame); ok {
+		return n.Seq, true
+	}
+	if m, ok := cap.Layer("ieee802154").(*ieee802154.Frame); ok {
+		return m.Seq, true
+	}
+	return 0, false
+}
+
+// seqTrustworthy reports whether the capture's sequence counter belongs
+// to the transmitter identity itself. Forwarded frames carry the
+// *origin's* counter, which legitimately interleaves several counters
+// under one relaying transmitter — those must not count as flips.
+func seqTrustworthy(cap *packet.Captured) bool {
+	if _, ok := cap.Layer("ctp-data").(*ctp.Data); ok {
+		return cap.Src == cap.Transmitter
+	}
+	if n, ok := cap.Layer("zigbee").(*zigbee.Frame); ok {
+		return packet.NodeID(fmt.Sprintf("%#04x", n.Src)) == cap.Transmitter
+	}
+	return true
+}
+
+// track updates per-identity state and returns the track.
+func (c *replicationCore) track(cap *packet.Captured) *identityTrack {
+	id := cap.Transmitter
+	t := c.tracks[id]
+	if t == nil {
+		t = &identityTrack{ewma: cap.RSSI, samples: 1}
+		c.tracks[id] = t
+		if seq, ok := seqOf(cap); ok {
+			t.lastSeq = seq
+			t.seqInit = true
+		}
+		return t
+	}
+	t.samples++
+	dev := math.Abs(cap.RSSI - t.ewma)
+	if t.samples > c.minSamples && dev > c.threshold {
+		t.jumps = append(t.jumps, cap.Time)
+		// Re-anchor on the new position so alternation keeps counting.
+		t.ewma = cap.RSSI
+	} else {
+		if t.samples > c.minSamples && dev > c.threshold/2 {
+			// Sub-jump deviation: not replica-grade, but evidence the
+			// RSSI baseline is in motion.
+			t.wobbles = append(t.wobbles, cap.Time)
+		}
+		t.ewma += c.alpha * (cap.RSSI - t.ewma)
+	}
+	if seq, ok := seqOf(cap); ok && seqTrustworthy(cap) {
+		if t.seqInit {
+			// A regression (non-monotonic, not a wraparound) means two
+			// counters are interleaved under one identity.
+			diff := int8(seq - t.lastSeq)
+			if diff <= 0 && seq != t.lastSeq {
+				t.flips = append(t.flips, cap.Time)
+			}
+		}
+		t.lastSeq = seq
+		t.seqInit = true
+	}
+	t.jumps = pruneTimes(t.jumps, cap.Time, c.window)
+	t.flips = pruneTimes(t.flips, cap.Time, c.window)
+	t.wobbles = pruneTimes(t.wobbles, cap.Time, c.window)
+	return t
+}
+
+func pruneTimes(ts []time.Time, now time.Time, window time.Duration) []time.Time {
+	cut := 0
+	for cut < len(ts) && now.Sub(ts[cut]) > window {
+		cut++
+	}
+	return ts[cut:]
+}
+
+// jumpyFraction reports the fraction of identities whose RSSI baseline
+// is currently unstable (jumps or sub-jump wobbles) — the baseline-
+// health check of the static technique: when the whole network is in
+// motion, RSSI stability means nothing.
+func (c *replicationCore) jumpyFraction() float64 {
+	if len(c.tracks) == 0 {
+		return 0
+	}
+	jumpy := 0
+	for _, t := range c.tracks {
+		if len(t.jumps) > 0 || len(t.wobbles) > 0 {
+			jumpy++
+		}
+	}
+	return float64(jumpy) / float64(len(c.tracks))
+}
+
+func (c *replicationCore) suppressed(id packet.NodeID, now time.Time) bool {
+	if until, ok := c.suppress[id]; ok && now.Before(until) {
+		return true
+	}
+	c.suppress[id] = now.Add(c.cooldown)
+	return false
+}
+
+// ReplicationStatic detects node replication in static networks: a
+// stationary node's signal strength is stable, so an identity whose
+// RSSI repeatedly jumps between distinct levels is being used by a
+// replica at a different location. The technique is only sound while
+// the RSSI baseline is trustworthy: when most identities are jumping
+// (i.e. the network is actually mobile), the module conservatively
+// stays silent — which is exactly why it is the wrong module for a
+// mobile network.
+type ReplicationStatic struct {
+	base
+	core *replicationCore
+}
+
+var _ module.Module = (*ReplicationStatic)(nil)
+
+// NewReplicationStatic creates the module. Parameters: "threshold"
+// (dB), "window", "cooldown" (durations), "minEvents" (int).
+func NewReplicationStatic(params map[string]string) (module.Module, error) {
+	core, err := newReplicationCore(params)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationStatic{core: core}, nil
+}
+
+// Name implements module.Module.
+func (d *ReplicationStatic) Name() string { return ReplicationStaticName }
+
+// WatchLabels implements module.Module.
+func (d *ReplicationStatic) WatchLabels() []string {
+	return []string{knowledge.LabelMediums, knowledge.LabelMobility}
+}
+
+// Required implements module.Module: suitable for static wireless
+// networks of constrained devices.
+func (d *ReplicationStatic) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154) && boolIs(kb, knowledge.LabelMobility, false)
+}
+
+// Activate implements module.Module.
+func (d *ReplicationStatic) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.core.reset()
+}
+
+// HandlePacket implements module.Module.
+func (d *ReplicationStatic) HandlePacket(c *packet.Captured) {
+	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
+		return
+	}
+	t := d.core.track(c)
+	// Alert only on fresh evidence: the current packet must itself be
+	// a jump, so stale window contents cannot re-trigger after the
+	// attack stops.
+	if len(t.jumps) < d.core.minEvents || !t.jumps[len(t.jumps)-1].Equal(c.Time) {
+		return
+	}
+	// Baseline health: under network-wide motion the RSSI baseline is
+	// meaningless; stay silent rather than flood false positives.
+	if d.core.jumpyFraction() > 0.5 {
+		return
+	}
+	if d.core.suppressed(c.Transmitter, c.Time) {
+		return
+	}
+	d.ctx.Emit(module.Alert{
+		Time:       c.Time,
+		Attack:     attack.Replication,
+		Module:     d.Name(),
+		Suspects:   []packet.NodeID{c.Transmitter},
+		Confidence: 0.85,
+		Details: fmt.Sprintf("identity %s transmits from alternating locations (%d RSSI jumps)",
+			c.Transmitter, len(t.jumps)),
+	})
+}
+
+// ReplicationMobile detects node replication in mobile networks using a
+// velocity-style test in the spirit of [25]: an identity observed with
+// interleaved, conflicting end-to-end sequence counters is being
+// originated by two devices at once — a signature that remains valid
+// while nodes (and their RSSI) legitimately move.
+type ReplicationMobile struct {
+	base
+	core *replicationCore
+}
+
+var _ module.Module = (*ReplicationMobile)(nil)
+
+// NewReplicationMobile creates the module. Parameters as
+// NewReplicationStatic.
+func NewReplicationMobile(params map[string]string) (module.Module, error) {
+	core, err := newReplicationCore(params)
+	if err != nil {
+		return nil, err
+	}
+	return &ReplicationMobile{core: core}, nil
+}
+
+// Name implements module.Module.
+func (d *ReplicationMobile) Name() string { return ReplicationMobileName }
+
+// WatchLabels implements module.Module.
+func (d *ReplicationMobile) WatchLabels() []string {
+	return []string{knowledge.LabelMediums, knowledge.LabelMobility}
+}
+
+// Required implements module.Module: suitable for mobile wireless
+// networks.
+func (d *ReplicationMobile) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154) && boolIs(kb, knowledge.LabelMobility, true)
+}
+
+// Activate implements module.Module.
+func (d *ReplicationMobile) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.core.reset()
+}
+
+// HandlePacket implements module.Module.
+func (d *ReplicationMobile) HandlePacket(c *packet.Captured) {
+	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
+		return
+	}
+	t := d.core.track(c)
+	// Fresh evidence only: the triggering packet must itself be a
+	// sequence conflict.
+	if len(t.flips) < d.core.minEvents || !t.flips[len(t.flips)-1].Equal(c.Time) {
+		return
+	}
+	if d.core.suppressed(c.Transmitter, c.Time) {
+		return
+	}
+	d.ctx.Emit(module.Alert{
+		Time:       c.Time,
+		Attack:     attack.Replication,
+		Module:     d.Name(),
+		Suspects:   []packet.NodeID{c.Transmitter},
+		Confidence: 0.85,
+		Details: fmt.Sprintf("identity %s shows %d interleaved sequence counters",
+			c.Transmitter, len(t.flips)),
+	})
+}

@@ -1,0 +1,177 @@
+package detection
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/sixlowpan"
+)
+
+// SinkholeName is the registry name of the sinkhole-detection module.
+const SinkholeName = "SinkholeModule"
+
+// Sinkhole detects sinkhole attacks on collection/RPL routing: a
+// malicious node advertises an implausibly attractive route cost (CTP
+// beacon ETX, RPL DIO rank) to pull traffic towards itself. The module
+// learns each advertiser's cost baseline and the legitimate root's
+// cost, and alerts when a non-root advertiser suddenly claims a cost in
+// the root's band or far below its own baseline.
+type Sinkhole struct {
+	base
+	// dropFactor is the fraction of its own baseline below which an
+	// advertisement is suspicious (default 0.4).
+	dropFactor float64
+	// rootBand is the cost at or below which only roots may advertise.
+	rootBand uint16
+	// minObservations per advertiser before its baseline is trusted.
+	minObservations int
+	// learn is the initial period during which root-band advertisers
+	// are accepted as legitimate collection roots.
+	learn    time.Duration
+	cooldown time.Duration
+
+	firstAt  time.Time
+	baseline map[packet.NodeID]float64
+	count    map[packet.NodeID]int
+	roots    map[packet.NodeID]bool
+	suppress map[packet.NodeID]time.Time
+}
+
+var _ module.Module = (*Sinkhole)(nil)
+
+// NewSinkhole creates the module. Parameters: "dropFactor" (float,
+// default 0.4), "rootBand" (int, default 2), "cooldown" (duration).
+func NewSinkhole(params map[string]string) (module.Module, error) {
+	d := &Sinkhole{
+		dropFactor:      0.4,
+		rootBand:        2,
+		minObservations: 2,
+		learn:           45 * time.Second,
+		cooldown:        20 * time.Second,
+	}
+	var err error
+	if v, ok := params["learn"]; ok {
+		if d.learn, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("learn: %w", err)
+		}
+	}
+	if v, ok := params["dropFactor"]; ok {
+		if d.dropFactor, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("dropFactor: %w", err)
+		}
+	}
+	if v, ok := params["rootBand"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, fmt.Errorf("rootBand: %w", err)
+		}
+		d.rootBand = uint16(n)
+	}
+	if v, ok := params["cooldown"]; ok {
+		if d.cooldown, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Name implements module.Module.
+func (d *Sinkhole) Name() string { return SinkholeName }
+
+// WatchLabels implements module.Module.
+func (d *Sinkhole) WatchLabels() []string {
+	return []string{knowledge.LabelMediums, knowledge.LabelMultihop}
+}
+
+// Required implements module.Module: sinkholes are a routing attack —
+// they need a multi-hop collection topology.
+func (d *Sinkhole) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154) && boolIs(kb, knowledge.LabelMultihop, true)
+}
+
+// Activate implements module.Module.
+func (d *Sinkhole) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.firstAt = time.Time{}
+	d.baseline = make(map[packet.NodeID]float64)
+	d.count = make(map[packet.NodeID]int)
+	d.roots = make(map[packet.NodeID]bool)
+	d.suppress = make(map[packet.NodeID]time.Time)
+}
+
+// HandlePacket implements module.Module.
+func (d *Sinkhole) HandlePacket(c *packet.Captured) {
+	if !d.active() {
+		return
+	}
+	if d.firstAt.IsZero() {
+		d.firstAt = c.Time
+	}
+	cost, ok := advertisedCost(c)
+	if !ok {
+		return
+	}
+	id := c.Transmitter
+	n := d.count[id]
+
+	// During the learning period, root-band advertisers are accepted
+	// as the legitimate collection roots.
+	learning := c.Time.Sub(d.firstAt) <= d.learn
+	if cost <= float64(d.rootBand) && learning {
+		d.roots[id] = true
+	}
+	if d.roots[id] {
+		return
+	}
+
+	suspicious := false
+	var reason string
+	switch {
+	case cost <= float64(d.rootBand):
+		suspicious = true
+		reason = fmt.Sprintf("non-root advertises root-band cost %.0f", cost)
+	case n >= d.minObservations && d.baseline[id] > 0 && cost < d.baseline[id]*d.dropFactor:
+		suspicious = true
+		reason = fmt.Sprintf("advertised cost fell from %.0f to %.0f", d.baseline[id], cost)
+	}
+
+	d.count[id] = n + 1
+	if !suspicious {
+		// Update the baseline only with sane advertisements.
+		if d.baseline[id] == 0 {
+			d.baseline[id] = cost
+		} else {
+			d.baseline[id] += 0.3 * (cost - d.baseline[id])
+		}
+		return
+	}
+	if until, ok := d.suppress[id]; ok && c.Time.Before(until) {
+		return
+	}
+	d.suppress[id] = c.Time.Add(d.cooldown)
+	d.ctx.Emit(module.Alert{
+		Time:       c.Time,
+		Attack:     attack.Sinkhole,
+		Module:     d.Name(),
+		Suspects:   []packet.NodeID{id},
+		Confidence: 0.85,
+		Details:    reason,
+	})
+}
+
+// advertisedCost extracts a route-cost advertisement from the capture.
+func advertisedCost(c *packet.Captured) (float64, bool) {
+	if b, ok := c.Layer("ctp-beacon").(*ctp.Beacon); ok {
+		return float64(b.ETX), true
+	}
+	if m, ok := c.Layer("rpl").(*sixlowpan.RPLMessage); ok && m.Type == sixlowpan.RPLDIO {
+		return float64(m.Rank), true
+	}
+	return 0, false
+}

@@ -1,0 +1,168 @@
+package detection
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// SybilName is the registry name of the sybil-detection module.
+const SybilName = "SybilModule"
+
+// Sybil detects sybil attacks with the RSSI technique of [42]: one
+// physical device fabricating several identities cannot fabricate
+// several positions, so a group of (recently appeared) identities whose
+// signal strengths are indistinguishable betrays a single transmitter.
+type Sybil struct {
+	base
+	// tolerance is the RSSI spread (dB) within which identities are
+	// considered co-located.
+	tolerance float64
+	// minIdentities is the cluster size that triggers an alert.
+	minIdentities int
+	// minFrames is the per-identity frame count before its fingerprint
+	// is trusted.
+	minFrames int
+	// warmup is how long after activation identities still count as
+	// pre-existing (not "new").
+	warmup time.Duration
+	// cooldown suppresses repeated alerts for the same cluster.
+	cooldown time.Duration
+
+	start     time.Time
+	ewma      map[packet.NodeID]float64
+	frames    map[packet.NodeID]int
+	firstSeen map[packet.NodeID]time.Time
+	suppress  time.Time
+}
+
+var _ module.Module = (*Sybil)(nil)
+
+// NewSybil creates the module. Parameters: "tolerance" (dB, default
+// 1.5), "minIdentities" (default 4), "warmup", "cooldown" (durations).
+func NewSybil(params map[string]string) (module.Module, error) {
+	d := &Sybil{
+		tolerance:     1.5,
+		minIdentities: 4,
+		minFrames:     2,
+		warmup:        20 * time.Second,
+		cooldown:      20 * time.Second,
+	}
+	var err error
+	if v, ok := params["tolerance"]; ok {
+		if d.tolerance, err = strconv.ParseFloat(v, 64); err != nil {
+			return nil, fmt.Errorf("tolerance: %w", err)
+		}
+	}
+	if v, ok := params["minIdentities"]; ok {
+		if d.minIdentities, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("minIdentities: %w", err)
+		}
+	}
+	if v, ok := params["warmup"]; ok {
+		if d.warmup, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("warmup: %w", err)
+		}
+	}
+	if v, ok := params["cooldown"]; ok {
+		if d.cooldown, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Name implements module.Module.
+func (d *Sybil) Name() string { return SybilName }
+
+// WatchLabels implements module.Module.
+func (d *Sybil) WatchLabels() []string { return []string{knowledge.LabelMediums} }
+
+// Required implements module.Module: the RSSI technique applies to
+// wireless constrained-device networks.
+func (d *Sybil) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154)
+}
+
+// Activate implements module.Module.
+func (d *Sybil) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.start = time.Time{}
+	d.ewma = make(map[packet.NodeID]float64)
+	d.frames = make(map[packet.NodeID]int)
+	d.firstSeen = make(map[packet.NodeID]time.Time)
+	d.suppress = time.Time{}
+}
+
+// HandlePacket implements module.Module.
+func (d *Sybil) HandlePacket(c *packet.Captured) {
+	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
+		return
+	}
+	if d.start.IsZero() {
+		d.start = c.Time
+	}
+	id := c.Transmitter
+	if _, seen := d.ewma[id]; !seen {
+		d.ewma[id] = c.RSSI
+		d.firstSeen[id] = c.Time
+	} else {
+		d.ewma[id] += 0.3 * (c.RSSI - d.ewma[id])
+	}
+	d.frames[id]++
+
+	if !d.suppress.IsZero() && c.Time.Before(d.suppress) {
+		return
+	}
+	cluster := d.clusterAround(id)
+	if len(cluster) < d.minIdentities {
+		return
+	}
+	d.suppress = c.Time.Add(d.cooldown)
+	d.ctx.Emit(module.Alert{
+		Time:       c.Time,
+		Attack:     attack.Sybil,
+		Module:     d.Name(),
+		Suspects:   cluster,
+		Confidence: 0.85,
+		Details: fmt.Sprintf("%d recently-appeared identities share one RSSI fingerprint (±%.1f dB)",
+			len(cluster), d.tolerance),
+	})
+}
+
+// clusterAround collects the new identities whose fingerprints lie
+// within tolerance of the given identity's fingerprint.
+func (d *Sybil) clusterAround(id packet.NodeID) []packet.NodeID {
+	center, ok := d.ewma[id]
+	if !ok || !d.isNew(id) || d.frames[id] < d.minFrames {
+		return nil
+	}
+	var cluster []packet.NodeID
+	for other, v := range d.ewma {
+		if !d.isNew(other) || d.frames[other] < d.minFrames {
+			continue
+		}
+		if math.Abs(v-center) <= d.tolerance {
+			cluster = append(cluster, other)
+		}
+	}
+	sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+	return cluster
+}
+
+// isNew reports whether the identity appeared after the warmup period
+// (pre-existing identities are legitimate even if co-located).
+func (d *Sybil) isNew(id packet.NodeID) bool {
+	fs, ok := d.firstSeen[id]
+	if !ok {
+		return false
+	}
+	return fs.Sub(d.start) > d.warmup
+}

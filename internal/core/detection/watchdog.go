@@ -1,0 +1,361 @@
+package detection
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+)
+
+// Registry names of the forwarding-watchdog modules.
+const (
+	SelectiveForwardingName = "SelectiveForwardingModule"
+	BlackholeName           = "BlackholeModule"
+)
+
+// watchdog implements promiscuous forwarding surveillance over CTP
+// data traffic [13], [29]: every data frame handed to a relay is
+// expected to be overheard again, retransmitted by that relay with an
+// incremented THL, within a timeout. Per-relay drop ratios over a
+// sliding window separate healthy relays from selective forwarders
+// (partial drops) and blackholes (near-total drops) — the paper's
+// example of techniques "generalized to detect attacks with similar
+// symptoms but different severity or root causes" (§IV-B4).
+type watchdog struct {
+	timeout    time.Duration
+	window     time.Duration
+	minSamples int
+
+	// pending maps relay → (origin|seq) → deadline.
+	pending map[packet.NodeID]map[string]time.Time
+	// outcomes per relay within the sliding window.
+	outcomes map[packet.NodeID][]outcome
+	// roots are collection roots (advertise ETX 0); they legitimately
+	// never forward.
+	roots map[packet.NodeID]bool
+	// droppedOrigins records which origins a relay dropped (for
+	// wormhole correlation).
+	droppedOrigins map[packet.NodeID]map[uint16]bool
+}
+
+type outcome struct {
+	at      time.Time
+	dropped bool
+}
+
+func newWatchdog(timeout, window time.Duration, minSamples int) *watchdog {
+	w := &watchdog{timeout: timeout, window: window, minSamples: minSamples}
+	w.reset()
+	return w
+}
+
+func (w *watchdog) reset() {
+	w.pending = make(map[packet.NodeID]map[string]time.Time)
+	w.outcomes = make(map[packet.NodeID][]outcome)
+	w.roots = make(map[packet.NodeID]bool)
+	w.droppedOrigins = make(map[packet.NodeID]map[uint16]bool)
+}
+
+func pendingKey(origin uint16, seq uint8) string {
+	return strconv.Itoa(int(origin)) + "|" + strconv.Itoa(int(seq))
+}
+
+// observe processes one capture and returns the drop ratio and sample
+// count for the frame's relay whenever new evidence about that relay
+// materialized (sample count 0 otherwise).
+func (w *watchdog) observe(c *packet.Captured) (relay packet.NodeID, ratio float64, samples int) {
+	if b, ok := c.Layer("ctp-beacon").(*ctp.Beacon); ok {
+		if b.ETX == 0 {
+			w.roots[c.Transmitter] = true
+		}
+		return "", 0, 0
+	}
+	d, ok := c.Layer("ctp-data").(*ctp.Data)
+	if !ok {
+		return "", 0, 0
+	}
+	w.expire(c.Time)
+
+	key := pendingKey(d.Origin, d.SeqNo)
+	// The transmitter just forwarded (or originated) this frame; any
+	// pending expectation on it is satisfied.
+	satisfied := false
+	if m := w.pending[c.Transmitter]; m != nil {
+		if _, waiting := m[key]; waiting {
+			delete(m, key)
+			w.outcomes[c.Transmitter] = append(w.outcomes[c.Transmitter], outcome{at: c.Time, dropped: false})
+			satisfied = true
+		}
+	}
+	// The frame is now in the hands of its link-layer destination; if
+	// that node is a relay (not a collection root, not broadcast), it
+	// must forward in turn — register the expectation even for frames
+	// that themselves satisfied one, so every hop of a chain is
+	// monitored.
+	if c.Dst != packet.Broadcast && c.Dst != "" && !w.roots[c.Dst] {
+		if w.pending[c.Dst] == nil {
+			w.pending[c.Dst] = make(map[string]time.Time)
+		}
+		w.pending[c.Dst][key] = c.Time.Add(w.timeout)
+	}
+	if satisfied {
+		return w.ratio(c.Transmitter, c.Time)
+	}
+	return "", 0, 0
+}
+
+// expire converts overdue expectations into drop outcomes.
+func (w *watchdog) expire(now time.Time) {
+	for relay, m := range w.pending {
+		for key, deadline := range m {
+			if now.After(deadline) {
+				delete(m, key)
+				w.outcomes[relay] = append(w.outcomes[relay], outcome{at: now, dropped: true})
+				if i := strings.IndexByte(key, '|'); i > 0 {
+					if origin, err := strconv.Atoi(key[:i]); err == nil {
+						if w.droppedOrigins[relay] == nil {
+							w.droppedOrigins[relay] = make(map[uint16]bool)
+						}
+						w.droppedOrigins[relay][uint16(origin)] = true
+					}
+				}
+			}
+		}
+	}
+}
+
+// ratio returns the windowed drop ratio and sample count for a relay.
+func (w *watchdog) ratio(relay packet.NodeID, now time.Time) (packet.NodeID, float64, int) {
+	evs := w.outcomes[relay]
+	cut := 0
+	for cut < len(evs) && now.Sub(evs[cut].at) > w.window {
+		cut++
+	}
+	evs = evs[cut:]
+	w.outcomes[relay] = evs
+	if len(evs) == 0 {
+		return relay, 0, 0
+	}
+	drops := 0
+	for _, e := range evs {
+		if e.dropped {
+			drops++
+		}
+	}
+	return relay, float64(drops) / float64(len(evs)), len(evs)
+}
+
+// latestRatios returns the windowed ratios of every relay with enough
+// samples; used on expiry-driven paths where the dropper itself never
+// transmits again.
+func (w *watchdog) latestRatios(now time.Time) map[packet.NodeID]float64 {
+	out := make(map[packet.NodeID]float64)
+	for relay := range w.outcomes {
+		_, ratio, n := w.ratio(relay, now)
+		if n >= w.minSamples {
+			out[relay] = ratio
+		}
+	}
+	return out
+}
+
+// origins returns the sorted origins dropped by a relay, rendered as a
+// comma-separated list (the payload of SuspectBlackhole knowggets).
+func (w *watchdog) origins(relay packet.NodeID) string {
+	set := w.droppedOrigins[relay]
+	ids := make([]int, 0, len(set))
+	for o := range set {
+		ids = append(ids, int(o))
+	}
+	sort.Ints(ids)
+	parts := make([]string, len(ids))
+	for i, o := range ids {
+		parts[i] = strconv.Itoa(o)
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseWatchdogParams reads common watchdog parameters.
+func parseWatchdogParams(params map[string]string) (timeout, window time.Duration, minSamples int, cooldown time.Duration, err error) {
+	timeout, window, minSamples, cooldown = 500*time.Millisecond, 30*time.Second, 8, 20*time.Second
+	if v, ok := params["timeout"]; ok {
+		if timeout, err = time.ParseDuration(v); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("timeout: %w", err)
+		}
+	}
+	if v, ok := params["window"]; ok {
+		if window, err = time.ParseDuration(v); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("window: %w", err)
+		}
+	}
+	if v, ok := params["minSamples"]; ok {
+		if minSamples, err = strconv.Atoi(v); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("minSamples: %w", err)
+		}
+	}
+	if v, ok := params["cooldown"]; ok {
+		if cooldown, err = time.ParseDuration(v); err != nil {
+			return 0, 0, 0, 0, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	return timeout, window, minSamples, cooldown, nil
+}
+
+// SelectiveForwarding detects relays that drop a fraction of the
+// traffic they should forward (drop ratio in the selective band).
+type SelectiveForwarding struct {
+	base
+	wd       *watchdog
+	cooldown time.Duration
+	suppress map[packet.NodeID]time.Time
+}
+
+var _ module.Module = (*SelectiveForwarding)(nil)
+
+// NewSelectiveForwarding creates the module. Parameters: "timeout",
+// "window", "cooldown" (durations), "minSamples" (int).
+func NewSelectiveForwarding(params map[string]string) (module.Module, error) {
+	timeout, window, minSamples, cooldown, err := parseWatchdogParams(params)
+	if err != nil {
+		return nil, err
+	}
+	return &SelectiveForwarding{
+		wd:       newWatchdog(timeout, window, minSamples),
+		cooldown: cooldown,
+	}, nil
+}
+
+// Name implements module.Module.
+func (d *SelectiveForwarding) Name() string { return SelectiveForwardingName }
+
+// WatchLabels implements module.Module.
+func (d *SelectiveForwarding) WatchLabels() []string {
+	return []string{knowledge.LabelMediums, knowledge.LabelMultihop}
+}
+
+// Required implements module.Module: "a selective forwarding attack
+// cannot be carried out in a single-hop network" (§III).
+func (d *SelectiveForwarding) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154) && boolIs(kb, knowledge.LabelMultihop, true)
+}
+
+// Activate implements module.Module.
+func (d *SelectiveForwarding) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.wd.reset()
+	d.suppress = make(map[packet.NodeID]time.Time)
+}
+
+// HandlePacket implements module.Module.
+func (d *SelectiveForwarding) HandlePacket(c *packet.Captured) {
+	if !d.active() {
+		return
+	}
+	d.wd.observe(c)
+	for relay, ratio := range d.wd.latestRatios(c.Time) {
+		if ratio >= 0.9 {
+			// Blackhole-grade: handled by the Blackhole module. The
+			// windowed ratio will pass back through the selective band
+			// while it decays after the attack stops — suppress the
+			// relay for a full window so the decay is not misreported.
+			d.suppress[relay] = c.Time.Add(d.wd.window)
+			continue
+		}
+		if ratio < 0.25 {
+			continue // healthy
+		}
+		if until, ok := d.suppress[relay]; ok && c.Time.Before(until) {
+			continue
+		}
+		d.suppress[relay] = c.Time.Add(d.cooldown)
+		d.ctx.Emit(module.Alert{
+			Time:       c.Time,
+			Attack:     attack.SelectiveForwarding,
+			Module:     d.Name(),
+			Suspects:   []packet.NodeID{relay},
+			Confidence: 0.8,
+			Details:    fmt.Sprintf("relay %s drops %.0f%% of forwarded traffic", relay, ratio*100),
+		})
+	}
+}
+
+// Blackhole detects relays that drop (nearly) all traffic they should
+// forward. It additionally publishes a collective SuspectBlackhole
+// knowgget naming the dropped origins, which peer Kalis nodes correlate
+// into wormhole detections (§VI-D).
+type Blackhole struct {
+	base
+	wd       *watchdog
+	cooldown time.Duration
+	suppress map[packet.NodeID]time.Time
+}
+
+var _ module.Module = (*Blackhole)(nil)
+
+// NewBlackhole creates the module. Parameters as
+// NewSelectiveForwarding.
+func NewBlackhole(params map[string]string) (module.Module, error) {
+	timeout, window, minSamples, cooldown, err := parseWatchdogParams(params)
+	if err != nil {
+		return nil, err
+	}
+	return &Blackhole{
+		wd:       newWatchdog(timeout, window, minSamples),
+		cooldown: cooldown,
+	}, nil
+}
+
+// Name implements module.Module.
+func (d *Blackhole) Name() string { return BlackholeName }
+
+// WatchLabels implements module.Module.
+func (d *Blackhole) WatchLabels() []string {
+	return []string{knowledge.LabelMediums, knowledge.LabelMultihop}
+}
+
+// Required implements module.Module.
+func (d *Blackhole) Required(kb *knowledge.Base) bool {
+	return hasMedium(kb, packet.MediumIEEE802154) && boolIs(kb, knowledge.LabelMultihop, true)
+}
+
+// Activate implements module.Module.
+func (d *Blackhole) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.wd.reset()
+	d.suppress = make(map[packet.NodeID]time.Time)
+}
+
+// HandlePacket implements module.Module.
+func (d *Blackhole) HandlePacket(c *packet.Captured) {
+	if !d.active() {
+		return
+	}
+	d.wd.observe(c)
+	for relay, ratio := range d.wd.latestRatios(c.Time) {
+		if ratio < 0.9 {
+			continue
+		}
+		if d.knowledgeDriven() {
+			d.ctx.KB.PutCollective(knowledge.LabelSuspectBlackhole, string(relay), d.wd.origins(relay))
+		}
+		if until, ok := d.suppress[relay]; ok && c.Time.Before(until) {
+			continue
+		}
+		d.suppress[relay] = c.Time.Add(d.cooldown)
+		d.ctx.Emit(module.Alert{
+			Time:       c.Time,
+			Attack:     attack.Blackhole,
+			Module:     d.Name(),
+			Suspects:   []packet.NodeID{relay},
+			Confidence: 0.85,
+			Details:    fmt.Sprintf("relay %s drops %.0f%% of forwarded traffic", relay, ratio*100),
+		})
+	}
+}

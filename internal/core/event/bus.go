@@ -1,0 +1,121 @@
+// Package event implements the event-driven backbone of Kalis (§V
+// "Event-driven Architecture"): components publish packet, knowledge
+// and detection events; subscribers are notified and process them
+// independently.
+//
+// The bus has two delivery modes. Synchronous delivery invokes
+// subscribers inline in subscription order — deterministic, used by
+// tests and the evaluation harness. Asynchronous delivery hands each
+// subscriber its own goroutine and queue, reproducing the paper's "all
+// the components in Kalis run independently" architecture; Close
+// drains and joins every worker (no fire-and-forget goroutines).
+package event
+
+import (
+	"sync"
+)
+
+// Topic names used by Kalis.
+const (
+	TopicPacket    = "packet"
+	TopicKnowledge = "knowledge"
+	TopicDetection = "detection"
+)
+
+// Handler consumes a published event payload.
+type Handler func(payload interface{})
+
+// Bus routes events from publishers to subscribers by topic.
+type Bus struct {
+	mu    sync.RWMutex
+	async bool
+	subs  map[string][]*subscriber
+	// wg tracks worker goroutines; pubWG tracks in-flight Publish
+	// calls so Close never closes a queue a publisher is sending on.
+	wg     sync.WaitGroup
+	pubWG  sync.WaitGroup
+	closed bool
+}
+
+type subscriber struct {
+	fn Handler
+	ch chan interface{}
+}
+
+// NewBus creates a bus. With async true each subscriber gets a
+// dedicated worker goroutine and events are delivered concurrently;
+// with async false delivery is inline and deterministic.
+func NewBus(async bool) *Bus {
+	return &Bus{async: async, subs: make(map[string][]*subscriber)}
+}
+
+// Subscribe registers a handler for a topic.
+func (b *Bus) Subscribe(topic string, fn Handler) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	sub := &subscriber{fn: fn}
+	if b.async {
+		sub.ch = make(chan interface{}, 1024)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			for p := range sub.ch {
+				sub.fn(p)
+			}
+		}()
+	}
+	b.subs[topic] = append(b.subs[topic], sub)
+}
+
+// Publish delivers payload to every subscriber of topic. Handlers may
+// publish further events re-entrantly (no lock is held during
+// delivery).
+func (b *Bus) Publish(topic string, payload interface{}) {
+	b.mu.RLock()
+	if b.closed {
+		b.mu.RUnlock()
+		return
+	}
+	// Registering in-flight status under the read lock means Close
+	// (which takes the write lock first) always waits for this send.
+	b.pubWG.Add(1)
+	subs := b.subs[topic]
+	b.mu.RUnlock()
+	defer b.pubWG.Done()
+
+	for _, s := range subs {
+		if s.ch != nil {
+			s.ch <- payload
+		} else {
+			s.fn(payload)
+		}
+	}
+}
+
+// Close stops the bus. In async mode it drains every subscriber queue
+// and waits for the workers to exit; afterwards Publish is a no-op.
+func (b *Bus) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	var chans []chan interface{}
+	for _, subs := range b.subs {
+		for _, s := range subs {
+			if s.ch != nil {
+				chans = append(chans, s.ch)
+			}
+		}
+	}
+	b.mu.Unlock()
+	b.pubWG.Wait() // no publisher is mid-send past this point
+	for _, ch := range chans {
+		close(ch)
+	}
+	b.wg.Wait()
+}

@@ -1,0 +1,122 @@
+package event
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSyncDeliveryOrder(t *testing.T) {
+	b := NewBus(false)
+	var got []int
+	b.Subscribe(TopicPacket, func(p interface{}) { got = append(got, p.(int)*10) })
+	b.Subscribe(TopicPacket, func(p interface{}) { got = append(got, p.(int)*10+1) })
+	b.Publish(TopicPacket, 1)
+	b.Publish(TopicPacket, 2)
+	want := []int{10, 11, 20, 21}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestTopicsAreIsolated(t *testing.T) {
+	b := NewBus(false)
+	count := 0
+	b.Subscribe(TopicDetection, func(interface{}) { count++ })
+	b.Publish(TopicPacket, 1)
+	b.Publish(TopicKnowledge, 2)
+	if count != 0 {
+		t.Errorf("cross-topic delivery: %d", count)
+	}
+	b.Publish(TopicDetection, 3)
+	if count != 1 {
+		t.Errorf("count = %d", count)
+	}
+}
+
+func TestAsyncDeliversAll(t *testing.T) {
+	b := NewBus(true)
+	var mu sync.Mutex
+	sum := 0
+	b.Subscribe(TopicPacket, func(p interface{}) {
+		mu.Lock()
+		sum += p.(int)
+		mu.Unlock()
+	})
+	total := 0
+	for i := 1; i <= 100; i++ {
+		b.Publish(TopicPacket, i)
+		total += i
+	}
+	b.Close() // drains and joins
+	if sum != total {
+		t.Errorf("sum = %d, want %d", sum, total)
+	}
+}
+
+func TestPublishAfterCloseIsNoop(t *testing.T) {
+	b := NewBus(false)
+	count := 0
+	b.Subscribe(TopicPacket, func(interface{}) { count++ })
+	b.Close()
+	b.Publish(TopicPacket, 1)
+	if count != 0 {
+		t.Errorf("delivered after close")
+	}
+}
+
+func TestSubscribeAfterCloseIsNoop(t *testing.T) {
+	b := NewBus(true)
+	b.Close()
+	b.Subscribe(TopicPacket, func(interface{}) { t.Error("handler invoked") })
+	b.Publish(TopicPacket, 1)
+}
+
+func TestDoubleCloseSafe(t *testing.T) {
+	b := NewBus(true)
+	b.Subscribe(TopicPacket, func(interface{}) {})
+	b.Close()
+	b.Close()
+}
+
+func TestConcurrentPublishAndClose(t *testing.T) {
+	// Closing while publishers race must neither panic (send on closed
+	// channel) nor deadlock. Run with -race.
+	for round := 0; round < 20; round++ {
+		b := NewBus(true)
+		b.Subscribe(TopicPacket, func(interface{}) {})
+		var wg sync.WaitGroup
+		for p := 0; p < 4; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 100; i++ {
+					b.Publish(TopicPacket, i)
+				}
+			}()
+		}
+		b.Close()
+		wg.Wait()
+	}
+}
+
+func TestReentrantPublish(t *testing.T) {
+	// A sync handler may publish further events (the core pipeline
+	// does: packet handling raises detection events).
+	b := NewBus(false)
+	var got []string
+	b.Subscribe(TopicPacket, func(interface{}) {
+		got = append(got, "packet")
+		b.Publish(TopicDetection, "alert")
+	})
+	b.Subscribe(TopicDetection, func(interface{}) { got = append(got, "detection") })
+	b.Publish(TopicPacket, 1)
+	if len(got) != 2 || got[0] != "packet" || got[1] != "detection" {
+		t.Errorf("got %v", got)
+	}
+	b.Close()
+}

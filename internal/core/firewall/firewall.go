@@ -1,0 +1,113 @@
+// Package firewall implements Kalis' smart-firewall deployment mode
+// (§V "Smart Firewall Deployment"): running on a smart router, Kalis'
+// knowledge-based alerts drive a packet filter for suspicious incoming
+// traffic from untrusted Internet sources to the IoT devices on the
+// local network.
+package firewall
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// Verdict is a filtering decision.
+type Verdict int
+
+// Verdicts.
+const (
+	Allow Verdict = iota + 1
+	Drop
+)
+
+// Firewall maintains a block list fed by Kalis alerts and filters
+// frames flowing through the router.
+type Firewall struct {
+	// BlockFor is how long a suspect stays blocked (0 = forever,
+	// matching the paper's "temporary revocation" when set).
+	BlockFor time.Duration
+	// MinConfidence gates which alerts install blocks.
+	MinConfidence float64
+
+	mu      sync.Mutex
+	blocked map[packet.NodeID]time.Time // suspect → expiry (zero = forever)
+	dropped uint64
+	passed  uint64
+}
+
+// New creates a firewall blocking suspects for blockFor (0 = forever)
+// from alerts at or above minConfidence.
+func New(blockFor time.Duration, minConfidence float64) *Firewall {
+	return &Firewall{
+		BlockFor:      blockFor,
+		MinConfidence: minConfidence,
+		blocked:       make(map[packet.NodeID]time.Time),
+	}
+}
+
+// HandleAlert installs blocks for an alert's suspects; wire it to
+// Kalis with OnAlert.
+func (f *Firewall) HandleAlert(a module.Alert) {
+	if a.Confidence < f.MinConfidence {
+		return
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range a.Suspects {
+		var expiry time.Time
+		if f.BlockFor > 0 {
+			expiry = a.Time.Add(f.BlockFor)
+		}
+		f.blocked[s] = expiry
+	}
+}
+
+// Filter decides whether a frame may pass the router: frames sourced
+// from or transmitted by a blocked suspect are dropped.
+func (f *Firewall) Filter(c *packet.Captured) Verdict {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, id := range []packet.NodeID{c.Src, c.Transmitter} {
+		expiry, ok := f.blocked[id]
+		if !ok {
+			continue
+		}
+		if !expiry.IsZero() && c.Time.After(expiry) {
+			delete(f.blocked, id)
+			continue
+		}
+		f.dropped++
+		return Drop
+	}
+	f.passed++
+	return Allow
+}
+
+// Unblock removes a suspect manually.
+func (f *Firewall) Unblock(id packet.NodeID) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.blocked, id)
+}
+
+// Blocked returns the currently blocked identities, sorted.
+func (f *Firewall) Blocked() []packet.NodeID {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]packet.NodeID, 0, len(f.blocked))
+	for id := range f.blocked {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Stats returns pass/drop counters.
+func (f *Firewall) Stats() (passed, dropped uint64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.passed, f.dropped
+}

@@ -1,0 +1,72 @@
+package firewall
+
+import (
+	"testing"
+	"time"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+func alertAt(at time.Time, conf float64, suspects ...packet.NodeID) module.Alert {
+	return module.Alert{Time: at, Attack: "icmp-flood", Suspects: suspects, Confidence: conf}
+}
+
+func frame(at time.Time, src, tx packet.NodeID) *packet.Captured {
+	return &packet.Captured{Time: at, Src: src, Transmitter: tx}
+}
+
+func TestBlockAndFilter(t *testing.T) {
+	fw := New(0, 0.8)
+	fw.HandleAlert(alertAt(t0, 0.9, "attacker"))
+	if v := fw.Filter(frame(t0.Add(time.Second), "attacker", "attacker")); v != Drop {
+		t.Error("blocked source passed")
+	}
+	if v := fw.Filter(frame(t0.Add(time.Second), "innocent", "innocent")); v != Allow {
+		t.Error("innocent dropped")
+	}
+	// Spoofed source, blocked transmitter: still dropped.
+	if v := fw.Filter(frame(t0.Add(2*time.Second), "spoofed", "attacker")); v != Drop {
+		t.Error("blocked transmitter passed")
+	}
+	passed, dropped := fw.Stats()
+	if passed != 1 || dropped != 2 {
+		t.Errorf("stats: %d/%d", passed, dropped)
+	}
+}
+
+func TestConfidenceGate(t *testing.T) {
+	fw := New(0, 0.9)
+	fw.HandleAlert(alertAt(t0, 0.7, "maybe"))
+	if len(fw.Blocked()) != 0 {
+		t.Error("low-confidence alert installed a block")
+	}
+}
+
+func TestTemporaryBlockExpires(t *testing.T) {
+	fw := New(30*time.Second, 0.5)
+	fw.HandleAlert(alertAt(t0, 0.9, "attacker"))
+	if fw.Filter(frame(t0.Add(10*time.Second), "attacker", "attacker")) != Drop {
+		t.Error("block not in force")
+	}
+	if fw.Filter(frame(t0.Add(31*time.Second), "attacker", "attacker")) != Allow {
+		t.Error("expired block still dropping")
+	}
+	if len(fw.Blocked()) != 0 {
+		t.Error("expired block not pruned")
+	}
+}
+
+func TestUnblock(t *testing.T) {
+	fw := New(0, 0.5)
+	fw.HandleAlert(alertAt(t0, 0.9, "a", "b"))
+	if got := fw.Blocked(); len(got) != 2 || got[0] != "a" {
+		t.Errorf("blocked = %v", got)
+	}
+	fw.Unblock("a")
+	if got := fw.Blocked(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("after unblock = %v", got)
+	}
+}

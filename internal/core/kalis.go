@@ -1,0 +1,241 @@
+// Package core assembles a complete Kalis node from its components
+// (Fig. 4): the Communication System feeds captured packets through the
+// event bus to the Data Store and the Module Manager; sensing modules
+// distill knowggets into the Knowledge Base; the Knowledge Base drives
+// dynamic activation of detection modules; alerts flow to subscribers
+// (dashboards, countermeasures, the smart firewall) and collective
+// knowledge synchronizes with peer Kalis nodes.
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"kalis/internal/core/collective"
+	"kalis/internal/core/datastore"
+	"kalis/internal/core/detection"
+	"kalis/internal/core/event"
+	"kalis/internal/core/kconfig"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/core/sensing"
+	"kalis/internal/packet"
+)
+
+// Config configures a Kalis node.
+type Config struct {
+	// NodeID identifies this Kalis node (the knowgget creator field).
+	NodeID string
+	// KnowledgeDriven enables adaptive module activation; disabling it
+	// yields the paper's traditional-IDS baseline (all installed
+	// modules always active, no knowledge use).
+	KnowledgeDriven bool
+	// WindowSize is the Data Store sliding-window capacity (packets);
+	// 0 selects the default.
+	WindowSize int
+	// Async selects asynchronous event delivery (the paper's
+	// "all components run independently" mode); synchronous delivery
+	// is deterministic and is the default for experiments.
+	Async bool
+	// ConfigText is an optional configuration file in the Fig. 6
+	// grammar: module activations and a-priori knowggets.
+	ConfigText string
+	// InstallAll installs every registered module (the usual Kalis
+	// deployment: the whole module library is available and the
+	// Knowledge Base decides what runs). Modules listed in ConfigText
+	// are installed with their parameters either way.
+	InstallAll bool
+}
+
+// Kalis is one IDS node.
+type Kalis struct {
+	id       string
+	kb       *knowledge.Base
+	store    *datastore.Store
+	registry *module.Registry
+	manager  *module.Manager
+	bus      *event.Bus
+	coll     *collective.Node
+}
+
+// New builds a Kalis node.
+func New(cfg Config) (*Kalis, error) {
+	if cfg.NodeID == "" {
+		cfg.NodeID = "K1"
+	}
+	kb := knowledge.NewBase(cfg.NodeID)
+	store := datastore.New(cfg.WindowSize)
+	registry := module.NewRegistry()
+	sensing.Register(registry)
+	detection.Register(registry)
+	manager := module.NewManager(kb, store, cfg.KnowledgeDriven)
+	bus := event.NewBus(cfg.Async)
+
+	k := &Kalis{
+		id:       cfg.NodeID,
+		kb:       kb,
+		store:    store,
+		registry: registry,
+		manager:  manager,
+		bus:      bus,
+	}
+	bus.Subscribe(event.TopicPacket, func(payload interface{}) {
+		if c, ok := payload.(*packet.Captured); ok {
+			manager.HandlePacket(c)
+		}
+	})
+	manager.OnAlert(func(a module.Alert) { bus.Publish(event.TopicDetection, a) })
+	kb.SubscribeAll(func(kg knowledge.Knowgget) { bus.Publish(event.TopicKnowledge, kg) })
+
+	installed := make(map[string]bool)
+	if cfg.ConfigText != "" {
+		parsed, err := kconfig.Parse(cfg.ConfigText)
+		if err != nil {
+			return nil, fmt.Errorf("kalis: config: %w", err)
+		}
+		for _, kg := range parsed.Knowggets {
+			kb.PutStatic(kg.Label, kg.Entity, kg.Value)
+		}
+		for _, def := range parsed.Modules {
+			mod, err := registry.New(def.Name, def.Params)
+			if err != nil {
+				return nil, fmt.Errorf("kalis: config: %w", err)
+			}
+			manager.Install(mod, def.Params)
+			installed[def.Name] = true
+		}
+	}
+	if cfg.InstallAll {
+		for _, name := range registry.Names() {
+			if installed[name] {
+				continue
+			}
+			mod, err := registry.New(name, nil)
+			if err != nil {
+				return nil, fmt.Errorf("kalis: install %s: %w", name, err)
+			}
+			manager.Install(mod, nil)
+		}
+	}
+	return k, nil
+}
+
+// ID returns the node identifier.
+func (k *Kalis) ID() string { return k.id }
+
+// KB returns the node's Knowledge Base.
+func (k *Kalis) KB() *knowledge.Base { return k.kb }
+
+// Store returns the node's Data Store.
+func (k *Kalis) Store() *datastore.Store { return k.store }
+
+// Manager returns the node's Module Manager.
+func (k *Kalis) Manager() *module.Manager { return k.manager }
+
+// Registry returns the node's module registry (for installing custom
+// modules).
+func (k *Kalis) Registry() *module.Registry { return k.registry }
+
+// Install instantiates a registered module by name and installs it.
+func (k *Kalis) Install(name string, params map[string]string) error {
+	mod, err := k.registry.New(name, params)
+	if err != nil {
+		return err
+	}
+	k.manager.Install(mod, params)
+	return nil
+}
+
+// HandleCapture feeds one captured packet into the node — the entry
+// point wired to sniffers and trace replay.
+func (k *Kalis) HandleCapture(c *packet.Captured) {
+	k.bus.Publish(event.TopicPacket, c)
+}
+
+// OnAlert registers a detection-event consumer.
+func (k *Kalis) OnAlert(fn func(module.Alert)) {
+	k.bus.Subscribe(event.TopicDetection, func(payload interface{}) {
+		if a, ok := payload.(module.Alert); ok {
+			fn(a)
+		}
+	})
+}
+
+// OnKnowledge registers a knowledge-event consumer.
+func (k *Kalis) OnKnowledge(fn func(knowledge.Knowgget)) {
+	k.bus.Subscribe(event.TopicKnowledge, func(payload interface{}) {
+		if kg, ok := payload.(knowledge.Knowgget); ok {
+			fn(kg)
+		}
+	})
+}
+
+// Alerts returns every alert collected so far.
+func (k *Kalis) Alerts() []module.Alert { return k.manager.Alerts() }
+
+// ActiveModules returns the names of currently active modules.
+func (k *Kalis) ActiveModules() []string { return k.manager.Active() }
+
+// SetLog enables traffic logging to w in the Kalis trace format.
+func (k *Kalis) SetLog(w io.Writer) { k.store.SetLog(w) }
+
+// EnableCollective attaches collective knowledge management over the
+// given transport with a pre-shared passphrase.
+func (k *Kalis) EnableCollective(t collective.Transport, passphrase string) error {
+	n, err := collective.NewNode(k.kb, t, passphrase)
+	if err != nil {
+		return err
+	}
+	k.coll = n
+	return nil
+}
+
+// Collective returns the collective-knowledge manager, or nil.
+func (k *Kalis) Collective() *collective.Node { return k.coll }
+
+// SuggestConfig distills the node's current knowledge into a fixed
+// configuration file — the paper's envisioned compile-time deployment
+// for very small devices (§VIII): "selecting a specific module
+// configuration — based on the knowledge collected by Kalis in a
+// network — and ... deploy that configuration at compile-time". The
+// output lists the detection modules the current knowledge requires
+// (with their installed parameters) and pins the discovered network
+// features as a-priori knowggets, so a constrained node skips
+// discovery entirely. The result parses back with kconfig.Parse.
+func (k *Kalis) SuggestConfig() string {
+	cfg := &kconfig.Config{}
+	for _, name := range k.manager.Active() {
+		if kind, ok := k.manager.ModuleKind(name); !ok || kind != module.KindDetection {
+			continue
+		}
+		def := kconfig.ModuleDef{Name: name}
+		if params := k.manager.ParamsOf(name); len(params) > 0 {
+			def.Params = params
+		}
+		cfg.Modules = append(cfg.Modules, def)
+	}
+	for _, label := range []string{
+		knowledge.LabelMultihop, knowledge.LabelMobility, knowledge.LabelEncrypted,
+	} {
+		if v, ok := k.kb.Value(label); ok {
+			cfg.Knowggets = append(cfg.Knowggets, kconfig.KnowggetDef{Label: label, Value: v})
+		}
+	}
+	for _, kg := range k.kb.QueryPrefix(k.id + "$" + knowledge.LabelMediums + ".") {
+		cfg.Knowggets = append(cfg.Knowggets, kconfig.KnowggetDef{Label: kg.Label, Value: kg.Value})
+	}
+	return kconfig.Generate(cfg)
+}
+
+// Close shuts the node down: the event bus drains, the traffic log
+// flushes, and the collective layer closes.
+func (k *Kalis) Close() error {
+	k.bus.Close()
+	err := k.store.FlushLog()
+	if k.coll != nil {
+		if cerr := k.coll.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}

@@ -1,0 +1,83 @@
+package kconfig
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateRoundTrip(t *testing.T) {
+	cfg := &Config{
+		Modules: []ModuleDef{
+			{Name: "SelectiveForwardingModule"},
+			{Name: "TrafficStatsModule", Params: map[string]string{"interval": "5s", "detectionThresh": "2"}},
+		},
+		Knowggets: []KnowggetDef{
+			{Label: "Multihop", Value: "true"},
+			{Label: "SignalStrength", Entity: "SensorA", Value: "-67"},
+			{Label: "Note", Value: "has spaces, punctuation!"},
+		},
+	}
+	text := Generate(cfg)
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("generated config does not parse: %v\n%s", err, text)
+	}
+	if len(parsed.Modules) != 2 || parsed.Modules[0].Name != "SelectiveForwardingModule" {
+		t.Errorf("modules: %+v", parsed.Modules)
+	}
+	if parsed.Modules[1].Params["interval"] != "5s" {
+		t.Errorf("params: %+v", parsed.Modules[1].Params)
+	}
+	if len(parsed.Knowggets) != 3 {
+		t.Fatalf("knowggets: %+v", parsed.Knowggets)
+	}
+	if parsed.Knowggets[1].Entity != "SensorA" || parsed.Knowggets[1].Value != "-67" {
+		t.Errorf("entity knowgget: %+v", parsed.Knowggets[1])
+	}
+	if parsed.Knowggets[2].Value != "has spaces, punctuation!" {
+		t.Errorf("quoted value: %q", parsed.Knowggets[2].Value)
+	}
+}
+
+func TestGenerateEmpty(t *testing.T) {
+	text := Generate(&Config{})
+	parsed, err := Parse(text)
+	if err != nil {
+		t.Fatalf("empty config: %v\n%s", err, text)
+	}
+	if len(parsed.Modules) != 0 || len(parsed.Knowggets) != 0 {
+		t.Errorf("parsed: %+v", parsed)
+	}
+}
+
+func TestQuickGenerateParseRoundTrip(t *testing.T) {
+	clean := func(s string, max int) string {
+		out := make([]byte, 0, len(s))
+		for i := 0; i < len(s) && len(out) < max; i++ {
+			c := s[i]
+			// Identifiers: keep it to safe word bytes for names/labels.
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+				out = append(out, c)
+			}
+		}
+		if len(out) == 0 {
+			return "X"
+		}
+		return string(out)
+	}
+	prop := func(name, label, value string) bool {
+		cfg := &Config{
+			Modules:   []ModuleDef{{Name: clean(name, 20)}},
+			Knowggets: []KnowggetDef{{Label: clean(label, 20), Value: value}},
+		}
+		parsed, err := Parse(Generate(cfg))
+		if err != nil {
+			return false
+		}
+		return len(parsed.Modules) == 1 && parsed.Modules[0].Name == cfg.Modules[0].Name &&
+			len(parsed.Knowggets) == 1 && parsed.Knowggets[0].Value == value
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,433 @@
+// Package kconfig parses Kalis configuration files in the JSON-inspired
+// grammar of the paper's Fig. 6:
+//
+//	⟨config⟩    ::= ⟨modules⟩ ⟨knowggets⟩
+//	⟨modules⟩   ::= 'modules = {' ⟨module-list⟩ '}'
+//	⟨module-def⟩::= ⟨module-name⟩ [ '(' ⟨param-list⟩ ')' ]
+//	⟨knowggets⟩ ::= 'knowggets = {' ⟨knowgget-list⟩ '}'
+//
+// Module definitions activate modules by name at startup (with optional
+// key=value parameters); knowgget entries provide the a-priori static
+// knowledge of §IV-B3. Knowgget keys may carry an "@entity" suffix but
+// never a creator — static knowggets are always attributed to the local
+// Kalis node. Both sections are optional and may appear in either
+// order; either may be empty.
+package kconfig
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// ModuleDef is one module activation directive.
+type ModuleDef struct {
+	// Name is the module name to instantiate by registry lookup.
+	Name string
+	// Params are the optional module parameters.
+	Params map[string]string
+}
+
+// KnowggetDef is one a-priori knowgget.
+type KnowggetDef struct {
+	Label  string
+	Entity string
+	Value  string
+}
+
+// Config is a parsed configuration file.
+type Config struct {
+	Modules   []ModuleDef
+	Knowggets []KnowggetDef
+}
+
+// ParseError reports a syntax error with its position.
+type ParseError struct {
+	Line, Col int
+	Msg       string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("kconfig: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// Parse parses a configuration file.
+func Parse(src string) (*Config, error) {
+	p := &parser{lex: newLexer(src)}
+	return p.parseConfig()
+}
+
+// Generate renders a Config back into the Fig. 6 grammar. Generate and
+// Parse round-trip, which enables the paper's envisioned compile-time
+// deployment flow (§VIII): capture the module configuration a running
+// Kalis node selected for a network, and ship it to constrained
+// devices as their fixed configuration.
+func Generate(cfg *Config) string {
+	var sb strings.Builder
+	sb.WriteString("modules = {")
+	for i, m := range cfg.Modules {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		sb.WriteString("\n\t")
+		sb.WriteString(m.Name)
+		if len(m.Params) > 0 {
+			keys := make([]string, 0, len(m.Params))
+			for k := range m.Params {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			sb.WriteString(" (")
+			for j, k := range keys {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%s=%s", k, quoteIfNeeded(m.Params[k]))
+			}
+			sb.WriteString(")")
+		}
+	}
+	sb.WriteString("\n}\nknowggets = {")
+	for i, kg := range cfg.Knowggets {
+		if i > 0 {
+			sb.WriteString(",")
+		}
+		key := kg.Label
+		if kg.Entity != "" {
+			key += "@" + kg.Entity
+		}
+		fmt.Fprintf(&sb, "\n\t%s = %s", key, quoteIfNeeded(kg.Value))
+	}
+	sb.WriteString("\n}\n")
+	return sb.String()
+}
+
+// quoteIfNeeded quotes values the bare-word lexer could not re-read.
+func quoteIfNeeded(v string) string {
+	if v == "" {
+		return `""`
+	}
+	for i := 0; i < len(v); i++ {
+		if !isWordByte(v[i]) {
+			return fmt.Sprintf("%q", v)
+		}
+	}
+	return v
+}
+
+// --- lexer ---
+
+type tokenKind int
+
+const (
+	tokEOF    tokenKind = iota + 1
+	tokIdent            // bare word: names, numbers, booleans
+	tokString           // quoted string
+	tokEq               // =
+	tokComma            // ,
+	tokLBrace           // {
+	tokRBrace           // }
+	tokLParen           // (
+	tokRParen           // )
+)
+
+type token struct {
+	kind      tokenKind
+	text      string
+	line, col int
+}
+
+type lexer struct {
+	src       string
+	pos       int
+	line, col int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+func (l *lexer) errf(line, col int, format string, args ...interface{}) *ParseError {
+	return &ParseError{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) advance() byte {
+	c := l.src[l.pos]
+	l.pos++
+	if c == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return c
+}
+
+// isWordByte reports bytes allowed in bare identifiers/values: letters,
+// digits, and the punctuation used in labels, entities and numbers.
+func isWordByte(c byte) bool {
+	return unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c)) ||
+		strings.IndexByte("._@-+:$", c) >= 0
+}
+
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.advance()
+		case c == '#': // comment to end of line
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.advance()
+			}
+		default:
+			goto scan
+		}
+	}
+	return token{kind: tokEOF, line: l.line, col: l.col}, nil
+
+scan:
+	line, col := l.line, l.col
+	c := l.advance()
+	switch c {
+	case '=':
+		return token{tokEq, "=", line, col}, nil
+	case ',':
+		return token{tokComma, ",", line, col}, nil
+	case '{':
+		return token{tokLBrace, "{", line, col}, nil
+	case '}':
+		return token{tokRBrace, "}", line, col}, nil
+	case '(':
+		return token{tokLParen, "(", line, col}, nil
+	case ')':
+		return token{tokRParen, ")", line, col}, nil
+	case '"':
+		// Collect the raw literal (escapes intact), then decode it
+		// with the full Go escape syntax so Generate/Parse round-trip
+		// arbitrary values.
+		var sb strings.Builder
+		for {
+			if l.pos >= len(l.src) {
+				return token{}, l.errf(line, col, "unterminated string")
+			}
+			c := l.advance()
+			if c == '"' {
+				s, err := strconv.Unquote(`"` + sb.String() + `"`)
+				if err != nil {
+					return token{}, l.errf(line, col, "bad string literal: %v", err)
+				}
+				return token{tokString, s, line, col}, nil
+			}
+			sb.WriteByte(c)
+			if c == '\\' && l.pos < len(l.src) {
+				sb.WriteByte(l.advance())
+			}
+		}
+	default:
+		if !isWordByte(c) {
+			return token{}, l.errf(line, col, "unexpected character %q", c)
+		}
+		start := l.pos - 1
+		for l.pos < len(l.src) && isWordByte(l.src[l.pos]) {
+			l.advance()
+		}
+		return token{tokIdent, l.src[start:l.pos], line, col}, nil
+	}
+}
+
+// --- parser ---
+
+type parser struct {
+	lex    *lexer
+	peeked *token
+}
+
+func (p *parser) next() (token, error) {
+	if p.peeked != nil {
+		t := *p.peeked
+		p.peeked = nil
+		return t, nil
+	}
+	return p.lex.next()
+}
+
+func (p *parser) peek() (token, error) {
+	if p.peeked == nil {
+		t, err := p.lex.next()
+		if err != nil {
+			return token{}, err
+		}
+		p.peeked = &t
+	}
+	return *p.peeked, nil
+}
+
+func (p *parser) expect(kind tokenKind, what string) (token, error) {
+	t, err := p.next()
+	if err != nil {
+		return token{}, err
+	}
+	if t.kind != kind {
+		return token{}, &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected %s, got %q", what, t.text)}
+	}
+	return t, nil
+}
+
+func (p *parser) parseConfig() (*Config, error) {
+	cfg := &Config{}
+	seen := map[string]bool{}
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokEOF {
+			return cfg, nil
+		}
+		if t.kind != tokIdent || (t.text != "modules" && t.text != "knowggets") {
+			return nil, &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected 'modules' or 'knowggets', got %q", t.text)}
+		}
+		if seen[t.text] {
+			return nil, &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("duplicate %q section", t.text)}
+		}
+		seen[t.text] = true
+		if _, err := p.expect(tokEq, "'='"); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokLBrace, "'{'"); err != nil {
+			return nil, err
+		}
+		if t.text == "modules" {
+			if err := p.parseModules(cfg); err != nil {
+				return nil, err
+			}
+		} else {
+			if err := p.parseKnowggets(cfg); err != nil {
+				return nil, err
+			}
+		}
+	}
+}
+
+func (p *parser) parseModules(cfg *Config) error {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokRBrace {
+			return nil
+		}
+		if t.kind != tokIdent {
+			return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected module name, got %q", t.text)}
+		}
+		def := ModuleDef{Name: t.text}
+		nxt, err := p.peek()
+		if err != nil {
+			return err
+		}
+		if nxt.kind == tokLParen {
+			if _, err := p.next(); err != nil {
+				return err
+			}
+			def.Params, err = p.parseParams()
+			if err != nil {
+				return err
+			}
+		}
+		cfg.Modules = append(cfg.Modules, def)
+		sep, err := p.next()
+		if err != nil {
+			return err
+		}
+		if sep.kind == tokRBrace {
+			return nil
+		}
+		if sep.kind != tokComma {
+			return &ParseError{Line: sep.line, Col: sep.col, Msg: fmt.Sprintf("expected ',' or '}', got %q", sep.text)}
+		}
+	}
+}
+
+func (p *parser) parseParams() (map[string]string, error) {
+	params := make(map[string]string)
+	for {
+		t, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if t.kind == tokRParen {
+			return params, nil
+		}
+		if t.kind != tokIdent {
+			return nil, &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected parameter name, got %q", t.text)}
+		}
+		if _, err := p.expect(tokEq, "'='"); err != nil {
+			return nil, err
+		}
+		v, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if v.kind != tokIdent && v.kind != tokString {
+			return nil, &ParseError{Line: v.line, Col: v.col, Msg: fmt.Sprintf("expected parameter value, got %q", v.text)}
+		}
+		params[t.text] = v.text
+		sep, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if sep.kind == tokRParen {
+			return params, nil
+		}
+		if sep.kind != tokComma {
+			return nil, &ParseError{Line: sep.line, Col: sep.col, Msg: fmt.Sprintf("expected ',' or ')', got %q", sep.text)}
+		}
+	}
+}
+
+func (p *parser) parseKnowggets(cfg *Config) error {
+	for {
+		t, err := p.next()
+		if err != nil {
+			return err
+		}
+		if t.kind == tokRBrace {
+			return nil
+		}
+		if t.kind != tokIdent && t.kind != tokString {
+			return &ParseError{Line: t.line, Col: t.col, Msg: fmt.Sprintf("expected knowgget key, got %q", t.text)}
+		}
+		if strings.Contains(t.text, "$") {
+			return &ParseError{Line: t.line, Col: t.col, Msg: "static knowggets must not specify a creator"}
+		}
+		def := KnowggetDef{Label: t.text}
+		if i := strings.LastIndexByte(t.text, '@'); i >= 0 {
+			def.Label, def.Entity = t.text[:i], t.text[i+1:]
+		}
+		if _, err := p.expect(tokEq, "'='"); err != nil {
+			return err
+		}
+		v, err := p.next()
+		if err != nil {
+			return err
+		}
+		if v.kind != tokIdent && v.kind != tokString {
+			return &ParseError{Line: v.line, Col: v.col, Msg: fmt.Sprintf("expected knowgget value, got %q", v.text)}
+		}
+		def.Value = v.text
+		cfg.Knowggets = append(cfg.Knowggets, def)
+		sep, err := p.next()
+		if err != nil {
+			return err
+		}
+		if sep.kind == tokRBrace {
+			return nil
+		}
+		if sep.kind != tokComma {
+			return &ParseError{Line: sep.line, Col: sep.col, Msg: fmt.Sprintf("expected ',' or '}', got %q", sep.text)}
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package kconfig
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// paperExample is the configuration file from the paper's Fig. 7.
+const paperExample = `
+modules = {
+	TopologyDetectionModule,
+	TrafficStatsModule (
+		activationThresh=1,
+		detectionThresh=2
+	)
+}
+knowggets = {
+	mobility = false
+}
+`
+
+func TestPaperExample(t *testing.T) {
+	cfg, err := Parse(paperExample)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.Modules) != 2 {
+		t.Fatalf("modules = %d, want 2", len(cfg.Modules))
+	}
+	if cfg.Modules[0].Name != "TopologyDetectionModule" || cfg.Modules[0].Params != nil {
+		t.Errorf("module 0: %+v", cfg.Modules[0])
+	}
+	m1 := cfg.Modules[1]
+	if m1.Name != "TrafficStatsModule" || m1.Params["activationThresh"] != "1" || m1.Params["detectionThresh"] != "2" {
+		t.Errorf("module 1: %+v", m1)
+	}
+	if len(cfg.Knowggets) != 1 || cfg.Knowggets[0].Label != "mobility" || cfg.Knowggets[0].Value != "false" {
+		t.Errorf("knowggets: %+v", cfg.Knowggets)
+	}
+}
+
+func TestEmptySections(t *testing.T) {
+	cfg, err := Parse("modules = { } knowggets = { }")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.Modules) != 0 || len(cfg.Knowggets) != 0 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	cfg, err := Parse("")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.Modules) != 0 || len(cfg.Knowggets) != 0 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestSectionsInAnyOrder(t *testing.T) {
+	cfg, err := Parse(`knowggets = { a = 1 } modules = { M }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.Modules) != 1 || len(cfg.Knowggets) != 1 {
+		t.Errorf("cfg = %+v", cfg)
+	}
+}
+
+func TestEntityKnowgget(t *testing.T) {
+	cfg, err := Parse(`knowggets = { SignalStrength@SensorA = -67 }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	kg := cfg.Knowggets[0]
+	if kg.Label != "SignalStrength" || kg.Entity != "SensorA" || kg.Value != "-67" {
+		t.Errorf("knowgget: %+v", kg)
+	}
+}
+
+func TestQuotedValues(t *testing.T) {
+	cfg, err := Parse(`knowggets = { greeting = "hello, world" }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Knowggets[0].Value != "hello, world" {
+		t.Errorf("value = %q", cfg.Knowggets[0].Value)
+	}
+}
+
+func TestComments(t *testing.T) {
+	cfg, err := Parse("# top comment\nmodules = { M } # trailing\nknowggets = { a = 1 }")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(cfg.Modules) != 1 {
+		t.Errorf("modules = %+v", cfg.Modules)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct {
+		name, src, wantSub string
+	}{
+		{"creator in knowgget", `knowggets = { K1$x = 1 }`, "creator"},
+		{"duplicate section", `modules = { } modules = { }`, "duplicate"},
+		{"bad top level", `bogus = { }`, "expected 'modules' or 'knowggets'"},
+		{"missing brace", `modules = M`, "'{'"},
+		{"missing eq", `modules { M }`, "'='"},
+		{"unterminated string", `knowggets = { a = "x`, "unterminated"},
+		{"module name not ident", `modules = { , }`, "module name"},
+		{"param missing value", `modules = { M(a=) }`, "parameter value"},
+		{"knowgget missing value", `knowggets = { a = }`, "knowgget value"},
+		{"bad separator", `modules = { A B }`, "','"},
+		{"stray char", `modules = { A } ;`, "unexpected character"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := Parse(c.src)
+			if err == nil {
+				t.Fatal("expected error")
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error type %T", err)
+			}
+			if !strings.Contains(err.Error(), c.wantSub) {
+				t.Errorf("error %q does not mention %q", err, c.wantSub)
+			}
+		})
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := Parse("modules = {\n  M,\n  ;\n}")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error: %v", err)
+	}
+	if pe.Line != 3 {
+		t.Errorf("line = %d, want 3", pe.Line)
+	}
+}
+
+func TestDurationAndDottedValues(t *testing.T) {
+	cfg, err := Parse(`modules = { TrafficStatsModule(interval=5s), M2(rate=0.5) }`)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if cfg.Modules[0].Params["interval"] != "5s" || cfg.Modules[1].Params["rate"] != "0.5" {
+		t.Errorf("params: %+v", cfg.Modules)
+	}
+}

@@ -1,0 +1,56 @@
+package knowledge
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentAccess hammers the Knowledge Base from writers,
+// readers and subscribers at once; run with -race. The Base backs an
+// async event-bus deployment, so it must be safe under concurrency.
+func TestConcurrentAccess(t *testing.T) {
+	b := NewBase("K1")
+	b.Subscribe("TrafficFrequency", func(Knowgget) {})
+	b.SubscribeAll(func(Knowgget) {})
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				b.Put(fmt.Sprintf("TrafficFrequency.Kind%d", w), fmt.Sprintf("%d", i))
+				b.PutEntity("SignalStrength", fmt.Sprintf("node-%d", w), "-60")
+				b.PutCollective("Shared", fmt.Sprintf("e%d", w), "v")
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = b.QueryLocal()
+				_, _ = b.Float("TrafficFrequency.Kind0")
+				_ = b.QueryEntity("node-1")
+				_ = b.Snapshot()
+				_ = b.Len()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			b.AcceptRemote("K2", Knowgget{Label: "X", Value: fmt.Sprint(i), Creator: "K2"})
+			b.Delete("K2$X")
+		}
+	}()
+	wg.Wait()
+
+	if b.Len() == 0 {
+		t.Error("base empty after concurrent writes")
+	}
+}

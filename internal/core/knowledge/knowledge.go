@@ -1,0 +1,390 @@
+// Package knowledge implements Kalis' Knowledge Base: the centralized
+// store of knowggets ("knowledge nuggets") describing the features of
+// the monitored entities and networks (§IV-B3).
+//
+// Following the paper's implementation (§V, Fig. 5b), each knowgget
+// k = ⟨label, value, creator, entity⟩ is stored as a key/value pair of
+// strings with the key encoded as "creator$label@entity" (the "@entity"
+// suffix is present only for entity-specific knowggets). Multilevel
+// knowggets are flattened with dot notation ("TrafficFrequency.TCPSYN").
+// Lookups exploit the encoding: local vs collective knowggets by
+// creator prefix, entity-specific knowggets by suffix, single knowggets
+// by exact match.
+package knowledge
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Well-known knowgget labels shared by the sensing modules (producers)
+// and detection modules (consumers).
+const (
+	LabelMultihop         = "Multihop"         // bool: topology is multi-hop
+	LabelMobility         = "Mobility"         // bool: network is mobile
+	LabelMonitoredNodes   = "MonitoredNodes"   // int: distinct entities seen
+	LabelSignalStrength   = "SignalStrength"   // float per entity: smoothed RSSI dBm
+	LabelTrafficFrequency = "TrafficFrequency" // multilevel: packets/s per kind
+	LabelMediums          = "Mediums"          // multilevel: observed mediums
+	LabelEmergentSource   = "EmergentSource"   // per entity: traffic source with no inbound
+	LabelSuspectBlackhole = "SuspectBlackhole" // per entity: local blackhole suspicion
+	LabelEncrypted        = "Encrypted"        // bool: link-layer security observed
+)
+
+// Knowgget is one piece of knowledge: a labelled value with provenance.
+type Knowgget struct {
+	// Label describes the information, dot-flattened for multilevel
+	// knowggets (e.g. "TrafficFrequency.TCPSYN").
+	Label string
+	// Value is the string-encoded value.
+	Value string
+	// Creator is the Kalis node that created the knowgget.
+	Creator string
+	// Entity is the monitored entity the knowgget refers to, or "".
+	Entity string
+	// Collective marks the knowgget for synchronization to peer Kalis
+	// nodes.
+	Collective bool
+}
+
+// Key returns the encoded storage key "creator$label@entity".
+func (k Knowgget) Key() string {
+	key := k.Creator + "$" + k.Label
+	if k.Entity != "" {
+		key += "@" + k.Entity
+	}
+	return key
+}
+
+// ParseKey decodes a storage key back into (creator, label, entity).
+func ParseKey(key string) (creator, label, entity string) {
+	if i := strings.IndexByte(key, '$'); i >= 0 {
+		creator, key = key[:i], key[i+1:]
+	}
+	if i := strings.LastIndexByte(key, '@'); i >= 0 {
+		key, entity = key[:i], key[i+1:]
+	}
+	return creator, key, entity
+}
+
+// SubscribeFunc is notified of a knowgget change (insert or update).
+type SubscribeFunc func(Knowgget)
+
+// SyncFunc receives collective knowggets that must be propagated to
+// peer Kalis nodes; it is installed by the collective-knowledge layer.
+type SyncFunc func(Knowgget)
+
+// Base is the Knowledge Base of one Kalis node.
+type Base struct {
+	local string
+
+	mu      sync.RWMutex
+	entries map[string]Knowgget
+	static  map[string]bool // labels provided as a-priori knowledge
+	subsAll []SubscribeFunc
+	subs    map[string][]SubscribeFunc // by label
+	syncFn  SyncFunc
+}
+
+// NewBase creates a Knowledge Base for the Kalis node with the given
+// identifier.
+func NewBase(localID string) *Base {
+	return &Base{
+		local:   localID,
+		entries: make(map[string]Knowgget),
+		static:  make(map[string]bool),
+		subs:    make(map[string][]SubscribeFunc),
+	}
+}
+
+// PutStatic stores an a-priori knowgget from the configuration file
+// (§IV-B3 "Static Knowledge") and marks its label static. Sensing
+// modules whose only job is to discover a statically-known feature use
+// IsStatic to declare themselves not required — e.g. providing
+// "Mobility = false" statically means Kalis never tries to detect
+// mobility.
+func (b *Base) PutStatic(label, entity, value string) bool {
+	b.mu.Lock()
+	b.static[label] = true
+	b.mu.Unlock()
+	return b.store(Knowgget{Label: label, Value: value, Creator: b.local, Entity: entity})
+}
+
+// IsStatic reports whether the label was provided as a-priori
+// knowledge.
+func (b *Base) IsStatic(label string) bool {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.static[label]
+}
+
+// LocalID returns the local Kalis node identifier.
+func (b *Base) LocalID() string { return b.local }
+
+// SetSync installs the collective-knowledge propagation hook.
+func (b *Base) SetSync(fn SyncFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.syncFn = fn
+}
+
+// Put stores a local knowgget with the given label and value. It
+// returns true if the stored value changed.
+func (b *Base) Put(label, value string) bool {
+	return b.store(Knowgget{Label: label, Value: value, Creator: b.local})
+}
+
+// PutEntity stores a local entity-specific knowgget.
+func (b *Base) PutEntity(label, entity, value string) bool {
+	return b.store(Knowgget{Label: label, Value: value, Creator: b.local, Entity: entity})
+}
+
+// PutCollective stores a local knowgget marked for synchronization to
+// peer Kalis nodes.
+func (b *Base) PutCollective(label, entity, value string) bool {
+	return b.store(Knowgget{Label: label, Value: value, Creator: b.local, Entity: entity, Collective: true})
+}
+
+// PutBool, PutInt and PutFloat are typed conveniences over Put.
+func (b *Base) PutBool(label string, v bool) bool { return b.Put(label, strconv.FormatBool(v)) }
+
+// PutInt stores an integer-valued local knowgget.
+func (b *Base) PutInt(label string, v int) bool { return b.Put(label, strconv.Itoa(v)) }
+
+// PutFloat stores a float-valued local knowgget.
+func (b *Base) PutFloat(label string, v float64) bool {
+	return b.Put(label, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// AcceptRemote stores a knowgget received from the peer Kalis node
+// identified by from. Per §IV-B3, a node can only update knowggets
+// that it originally generated: the knowgget is rejected unless its
+// creator field equals the sending peer. It returns true if accepted
+// and changed.
+func (b *Base) AcceptRemote(from string, k Knowgget) bool {
+	if k.Creator != from || from == b.local {
+		return false
+	}
+	k.Collective = true
+	return b.store(k)
+}
+
+func (b *Base) store(k Knowgget) bool {
+	key := k.Key()
+	b.mu.Lock()
+	old, existed := b.entries[key]
+	if existed && old.Value == k.Value && old.Collective == k.Collective {
+		b.mu.Unlock()
+		return false
+	}
+	b.entries[key] = k
+	subs := b.notifyList(k.Label)
+	syncFn := b.syncFn
+	b.mu.Unlock()
+
+	for _, fn := range subs {
+		fn(k)
+	}
+	if k.Collective && k.Creator == b.local && syncFn != nil {
+		syncFn(k)
+	}
+	return true
+}
+
+// notifyList must be called with b.mu held; it returns the handlers to
+// invoke (called after unlock so handlers may re-enter the Base).
+func (b *Base) notifyList(label string) []SubscribeFunc {
+	out := make([]SubscribeFunc, 0, len(b.subsAll)+4)
+	out = append(out, b.subsAll...)
+	out = append(out, b.subs[label]...)
+	// Multilevel: a subscription to "TrafficFrequency" also fires for
+	// "TrafficFrequency.TCPSYN".
+	if i := strings.IndexByte(label, '.'); i > 0 {
+		out = append(out, b.subs[label[:i]]...)
+	}
+	return out
+}
+
+// Delete removes a knowgget by key. It returns true if present.
+func (b *Base) Delete(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.entries[key]; !ok {
+		return false
+	}
+	delete(b.entries, key)
+	return true
+}
+
+// Get returns the knowgget stored under the exact key.
+func (b *Base) Get(key string) (Knowgget, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	k, ok := b.entries[key]
+	return k, ok
+}
+
+// Value returns the raw string value of a local knowgget by label.
+func (b *Base) Value(label string) (string, bool) {
+	k, ok := b.Get(b.local + "$" + label)
+	return k.Value, ok
+}
+
+// EntityValue returns the raw string value of a local entity-specific
+// knowgget.
+func (b *Base) EntityValue(label, entity string) (string, bool) {
+	k, ok := b.Get(b.local + "$" + label + "@" + entity)
+	return k.Value, ok
+}
+
+// Bool parses a local knowgget as bool; ok is false when the knowgget
+// is absent or fails to parse as the requested type.
+func (b *Base) Bool(label string) (v, ok bool) {
+	s, ok := b.Value(label)
+	if !ok {
+		return false, false
+	}
+	parsed, err := strconv.ParseBool(s)
+	if err != nil {
+		return false, false
+	}
+	return parsed, true
+}
+
+// Int parses a local knowgget as int.
+func (b *Base) Int(label string) (int, bool) {
+	s, ok := b.Value(label)
+	if !ok {
+		return 0, false
+	}
+	parsed, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, false
+	}
+	return parsed, true
+}
+
+// Float parses a local knowgget as float64.
+func (b *Base) Float(label string) (float64, bool) {
+	s, ok := b.Value(label)
+	if !ok {
+		return 0, false
+	}
+	parsed, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return parsed, true
+}
+
+// EntityFloat parses a local entity-specific knowgget as float64.
+func (b *Base) EntityFloat(label, entity string) (float64, bool) {
+	s, ok := b.EntityValue(label, entity)
+	if !ok {
+		return 0, false
+	}
+	parsed, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return parsed, true
+}
+
+// QueryPrefix returns all knowggets whose key begins with prefix,
+// sorted by key. "Looking up local (or collective) knowggets only
+// requires searching for the prefix matching (or not matching) the
+// identifier of the local Kalis node" (§V).
+func (b *Base) QueryPrefix(prefix string) []Knowgget {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Knowgget
+	for key, k := range b.entries {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, k)
+		}
+	}
+	sortKnowggets(out)
+	return out
+}
+
+// QueryLocal returns all knowggets created by the local node.
+func (b *Base) QueryLocal() []Knowgget { return b.QueryPrefix(b.local + "$") }
+
+// QueryCollective returns all knowggets created by peer nodes.
+func (b *Base) QueryCollective() []Knowgget {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Knowgget
+	for _, k := range b.entries {
+		if k.Creator != b.local {
+			out = append(out, k)
+		}
+	}
+	sortKnowggets(out)
+	return out
+}
+
+// QueryEntity returns all knowggets (any creator) about the entity,
+// using the "@entity" key suffix.
+func (b *Base) QueryEntity(entity string) []Knowgget {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	var out []Knowgget
+	suffix := "@" + entity
+	for key, k := range b.entries {
+		if strings.HasSuffix(key, suffix) {
+			out = append(out, k)
+		}
+	}
+	sortKnowggets(out)
+	return out
+}
+
+// Children returns the sub-knowggets of a local multilevel knowgget:
+// all local knowggets whose label begins with "label.".
+func (b *Base) Children(label string) []Knowgget {
+	return b.QueryPrefix(b.local + "$" + label + ".")
+}
+
+// Subscribe registers fn to be notified of changes to knowggets with
+// the given label (any creator or entity). Subscribing to a multilevel
+// parent label also fires for its children. The Module Manager and the
+// dynamic detection-module configuration are built on this mechanism
+// (§V "Dynamic Detection Module Configuration").
+func (b *Base) Subscribe(label string, fn SubscribeFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subs[label] = append(b.subs[label], fn)
+}
+
+// SubscribeAll registers fn for every knowgget change.
+func (b *Base) SubscribeAll(fn SubscribeFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.subsAll = append(b.subsAll, fn)
+}
+
+// Snapshot returns a copy of every knowgget, sorted by key.
+func (b *Base) Snapshot() []Knowgget {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]Knowgget, 0, len(b.entries))
+	for _, k := range b.entries {
+		out = append(out, k)
+	}
+	sortKnowggets(out)
+	return out
+}
+
+// Len returns the number of stored knowggets.
+func (b *Base) Len() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return len(b.entries)
+}
+
+func sortKnowggets(ks []Knowgget) {
+	sort.Slice(ks, func(i, j int) bool { return ks[i].Key() < ks[j].Key() })
+}

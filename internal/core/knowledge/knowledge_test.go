@@ -1,0 +1,272 @@
+package knowledge
+
+import (
+	"strconv"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyEncoding(t *testing.T) {
+	cases := []struct {
+		k    Knowgget
+		want string
+	}{
+		{Knowgget{Label: "Multihop", Value: "true", Creator: "K1"}, "K1$Multihop"},
+		{Knowgget{Label: "SignalStrength", Value: "-67", Creator: "K1", Entity: "SensorA"}, "K1$SignalStrength@SensorA"},
+		{Knowgget{Label: "TrafficFrequency.TCPSYN", Value: "0.037", Creator: "T1"}, "T1$TrafficFrequency.TCPSYN"},
+	}
+	for _, c := range cases {
+		if got := c.k.Key(); got != c.want {
+			t.Errorf("Key() = %q, want %q", got, c.want)
+		}
+		creator, label, entity := ParseKey(c.k.Key())
+		if creator != c.k.Creator || label != c.k.Label || entity != c.k.Entity {
+			t.Errorf("ParseKey(%q) = (%q,%q,%q)", c.k.Key(), creator, label, entity)
+		}
+	}
+}
+
+func TestPutGetTyped(t *testing.T) {
+	b := NewBase("K1")
+	b.PutBool("Multihop", true)
+	b.PutInt("MonitoredNodes", 8)
+	b.PutFloat("Rate", 0.037)
+	b.PutEntity("SignalStrength", "SensorA", "-67.5")
+
+	if v, ok := b.Bool("Multihop"); !ok || !v {
+		t.Error("Bool")
+	}
+	if v, ok := b.Int("MonitoredNodes"); !ok || v != 8 {
+		t.Error("Int")
+	}
+	if v, ok := b.Float("Rate"); !ok || v != 0.037 {
+		t.Error("Float")
+	}
+	if v, ok := b.EntityFloat("SignalStrength", "SensorA"); !ok || v != -67.5 {
+		t.Error("EntityFloat")
+	}
+	if _, ok := b.Bool("Absent"); ok {
+		t.Error("absent knowgget parsed")
+	}
+	b.Put("NotABool", "banana")
+	if _, ok := b.Bool("NotABool"); ok {
+		t.Error("type mismatch should fail")
+	}
+}
+
+func TestStoreChangeDetection(t *testing.T) {
+	b := NewBase("K1")
+	if !b.Put("X", "1") {
+		t.Error("first put should change")
+	}
+	if b.Put("X", "1") {
+		t.Error("same value should not change")
+	}
+	if !b.Put("X", "2") {
+		t.Error("new value should change")
+	}
+}
+
+func TestQueries(t *testing.T) {
+	b := NewBase("K1")
+	b.Put("Multihop", "true")
+	b.Put("TrafficFrequency.TCPSYN", "0.037")
+	b.Put("TrafficFrequency.TCPACK", "0.090")
+	b.PutEntity("SignalStrength", "SensorA", "-67")
+	b.AcceptRemote("K2", Knowgget{Label: "SignalStrength", Value: "-84", Creator: "K2", Entity: "SensorA"})
+
+	if got := len(b.QueryLocal()); got != 4 {
+		t.Errorf("QueryLocal = %d, want 4", got)
+	}
+	coll := b.QueryCollective()
+	if len(coll) != 1 || coll[0].Creator != "K2" {
+		t.Errorf("QueryCollective = %+v", coll)
+	}
+	ent := b.QueryEntity("SensorA")
+	if len(ent) != 2 {
+		t.Errorf("QueryEntity = %d, want 2 (both creators)", len(ent))
+	}
+	kids := b.Children("TrafficFrequency")
+	if len(kids) != 2 {
+		t.Errorf("Children = %d, want 2", len(kids))
+	}
+	if kids[0].Label != "TrafficFrequency.TCPACK" {
+		t.Errorf("children not sorted: %+v", kids)
+	}
+}
+
+func TestAcceptRemoteCreatorRule(t *testing.T) {
+	b := NewBase("K1")
+	// Peer may only write knowggets it created.
+	if b.AcceptRemote("K2", Knowgget{Label: "X", Value: "1", Creator: "K3"}) {
+		t.Error("forged creator accepted")
+	}
+	if b.AcceptRemote("K2", Knowgget{Label: "X", Value: "1", Creator: "K1"}) {
+		t.Error("peer overwrote local knowledge")
+	}
+	if b.AcceptRemote("K1", Knowgget{Label: "X", Value: "1", Creator: "K1"}) {
+		t.Error("self-acceptance")
+	}
+	if !b.AcceptRemote("K2", Knowgget{Label: "X", Value: "1", Creator: "K2"}) {
+		t.Error("legitimate remote update rejected")
+	}
+	// Update of the same knowgget by its creator is allowed.
+	if !b.AcceptRemote("K2", Knowgget{Label: "X", Value: "2", Creator: "K2"}) {
+		t.Error("legitimate remote re-update rejected")
+	}
+}
+
+func TestSubscribeByLabel(t *testing.T) {
+	b := NewBase("K1")
+	var events []string
+	b.Subscribe("Multihop", func(k Knowgget) { events = append(events, k.Value) })
+	b.Put("Multihop", "true")
+	b.Put("Other", "1")
+	b.Put("Multihop", "false")
+	if len(events) != 2 || events[0] != "true" || events[1] != "false" {
+		t.Errorf("events = %v", events)
+	}
+}
+
+func TestSubscribeMultilevelParent(t *testing.T) {
+	b := NewBase("K1")
+	count := 0
+	b.Subscribe("TrafficFrequency", func(Knowgget) { count++ })
+	b.Put("TrafficFrequency.TCPSYN", "1")
+	b.Put("TrafficFrequency.TCPACK", "2")
+	b.Put("TrafficFrequencyX", "3") // different label, no dot boundary
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestSubscribeAll(t *testing.T) {
+	b := NewBase("K1")
+	count := 0
+	b.SubscribeAll(func(Knowgget) { count++ })
+	b.Put("A", "1")
+	b.PutEntity("B", "e", "2")
+	b.Put("A", "1") // unchanged: no event
+	if count != 2 {
+		t.Errorf("count = %d, want 2", count)
+	}
+}
+
+func TestSubscriberMayReenter(t *testing.T) {
+	b := NewBase("K1")
+	b.Subscribe("A", func(k Knowgget) {
+		if k.Value == "1" {
+			b.Put("B", "derived")
+		}
+	})
+	b.Put("A", "1")
+	if v, ok := b.Value("B"); !ok || v != "derived" {
+		t.Error("re-entrant put failed")
+	}
+}
+
+func TestCollectiveSyncHook(t *testing.T) {
+	b := NewBase("K1")
+	var synced []Knowgget
+	b.SetSync(func(k Knowgget) { synced = append(synced, k) })
+	b.PutCollective("SignalStrength", "SensorA", "-67")
+	b.Put("Local", "x")
+	b.AcceptRemote("K2", Knowgget{Label: "Y", Value: "2", Creator: "K2", Collective: true})
+	if len(synced) != 1 || synced[0].Label != "SignalStrength" {
+		t.Errorf("synced = %+v (remote/local knowggets must not re-sync)", synced)
+	}
+}
+
+func TestStaticKnowledge(t *testing.T) {
+	b := NewBase("K1")
+	b.PutStatic("Mobility", "", "false")
+	if !b.IsStatic("Mobility") {
+		t.Error("IsStatic")
+	}
+	if b.IsStatic("Multihop") {
+		t.Error("unmarked label static")
+	}
+	if v, ok := b.Bool("Mobility"); !ok || v {
+		t.Error("static value not stored")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	b := NewBase("K1")
+	b.Put("X", "1")
+	if !b.Delete("K1$X") {
+		t.Error("delete existing")
+	}
+	if b.Delete("K1$X") {
+		t.Error("delete absent")
+	}
+	if _, ok := b.Value("X"); ok {
+		t.Error("still present")
+	}
+}
+
+func TestSnapshotAndLen(t *testing.T) {
+	b := NewBase("K1")
+	for i := 0; i < 5; i++ {
+		b.PutInt("N"+strconv.Itoa(i), i)
+	}
+	if b.Len() != 5 {
+		t.Errorf("Len = %d", b.Len())
+	}
+	snap := b.Snapshot()
+	if len(snap) != 5 || snap[0].Key() > snap[4].Key() {
+		t.Errorf("snapshot unsorted or wrong size: %v", snap)
+	}
+}
+
+// TestFigure5Representation reproduces the paper's Fig. 5b: the
+// key-value pair representation of the example Knowledge Base.
+func TestFigure5Representation(t *testing.T) {
+	b := NewBase("K1")
+	b.PutBool("Multihop", true)
+	b.PutInt("MonitoredNodes", 8)
+	b.PutEntity("SignalStrength", "SensorA", "-67")
+	b.AcceptRemote("K2", Knowgget{Label: "SignalStrength", Value: "-84", Creator: "K2", Entity: "SensorA"})
+	b.Put("TrafficFrequency.TCPSYN", "0.037")
+	b.Put("TrafficFrequency.TCPACK", "0.090")
+
+	want := map[string]string{
+		"K1$Multihop":                "true",
+		"K1$MonitoredNodes":          "8",
+		"K1$SignalStrength@SensorA":  "-67",
+		"K2$SignalStrength@SensorA":  "-84",
+		"K1$TrafficFrequency.TCPSYN": "0.037",
+		"K1$TrafficFrequency.TCPACK": "0.090",
+	}
+	snap := b.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("entries = %d, want %d", len(snap), len(want))
+	}
+	for _, kg := range snap {
+		if want[kg.Key()] != kg.Value {
+			t.Errorf("%s = %q, want %q", kg.Key(), kg.Value, want[kg.Key()])
+		}
+	}
+}
+
+func TestQuickKeyRoundTrip(t *testing.T) {
+	prop := func(label, creator, entity string) bool {
+		// Keys assume $ and @ do not appear in components.
+		for _, s := range []string{label, creator, entity} {
+			for _, r := range s {
+				if r == '$' || r == '@' {
+					return true // skip invalid inputs
+				}
+			}
+		}
+		if label == "" || creator == "" {
+			return true
+		}
+		k := Knowgget{Label: label, Creator: creator, Entity: entity}
+		c, l, e := ParseKey(k.Key())
+		return c == creator && l == label && e == entity
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

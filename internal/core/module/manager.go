@@ -1,0 +1,207 @@
+package module
+
+import (
+	"sync"
+
+	"kalis/internal/core/datastore"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/packet"
+)
+
+// AlertFunc consumes alerts collected by the manager.
+type AlertFunc func(Alert)
+
+// Manager coordinates all modules: it routes new packet events to the
+// active modules, collects detection alerts, and — when knowledge-
+// driven operation is enabled — activates/deactivates modules as the
+// Knowledge Base changes, via the publish-subscribe mechanism of §V
+// ("Dynamic Detection Module Configuration").
+//
+// With knowledge-driven operation disabled the manager keeps every
+// installed module active at all times; this is exactly the paper's
+// "traditional IDS" baseline (§VI-B: "we emulate a traditional IDS by
+// running our system without Knowledge Base, and with all the modules
+// active at all times").
+type Manager struct {
+	kb    *knowledge.Base
+	store *datastore.Store
+
+	mu              sync.Mutex
+	modules         []Module
+	active          map[string]bool
+	params          map[string]map[string]string
+	knowledgeDriven bool
+	alertFns        []AlertFunc
+	alerts          []Alert
+
+	// Work accounting, the basis of the CPU-usage comparison: every
+	// (packet, active module) pair costs one invocation.
+	packets     uint64
+	invocations uint64
+	activations uint64
+}
+
+// NewManager creates a manager bound to a Knowledge Base and Data
+// Store. knowledgeDriven selects adaptive module activation (Kalis)
+// vs all-modules-always-on (traditional IDS baseline).
+func NewManager(kb *knowledge.Base, store *datastore.Store, knowledgeDriven bool) *Manager {
+	return &Manager{
+		kb:              kb,
+		store:           store,
+		active:          make(map[string]bool),
+		params:          make(map[string]map[string]string),
+		knowledgeDriven: knowledgeDriven,
+	}
+}
+
+// KnowledgeDriven reports whether adaptive activation is enabled.
+func (m *Manager) KnowledgeDriven() bool { return m.knowledgeDriven }
+
+// OnAlert registers a consumer for every alert raised by any module.
+func (m *Manager) OnAlert(fn AlertFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.alertFns = append(m.alertFns, fn)
+}
+
+// Install adds a module (inactive until its knowledge predicate first
+// holds) and subscribes its watch labels to the Knowledge Base.
+func (m *Manager) Install(mod Module, params map[string]string) {
+	m.mu.Lock()
+	m.modules = append(m.modules, mod)
+	m.params[mod.Name()] = params
+	m.mu.Unlock()
+
+	for _, label := range mod.WatchLabels() {
+		mod := mod
+		m.kb.Subscribe(label, func(knowledge.Knowgget) { m.reevaluate(mod) })
+	}
+	m.reevaluate(mod)
+}
+
+// reevaluate synchronizes one module's activation with the current
+// knowledge.
+func (m *Manager) reevaluate(mod Module) {
+	m.mu.Lock()
+	want := !m.knowledgeDriven || mod.Required(m.kb)
+	have := m.active[mod.Name()]
+	if want == have {
+		m.mu.Unlock()
+		return
+	}
+	m.active[mod.Name()] = want
+	params := m.params[mod.Name()]
+	m.activations++
+	m.mu.Unlock()
+
+	if want {
+		mod.Activate(&Context{
+			KB:              m.kb,
+			Store:           m.store,
+			Emit:            m.emit,
+			Params:          params,
+			KnowledgeDriven: m.knowledgeDriven,
+		})
+	} else {
+		mod.Deactivate()
+	}
+}
+
+func (m *Manager) emit(a Alert) {
+	m.mu.Lock()
+	m.alerts = append(m.alerts, a)
+	fns := make([]AlertFunc, len(m.alertFns))
+	copy(fns, m.alertFns)
+	m.mu.Unlock()
+	for _, fn := range fns {
+		fn(a)
+	}
+}
+
+// HandlePacket records the capture in the Data Store and routes it to
+// every active module.
+func (m *Manager) HandlePacket(c *packet.Captured) {
+	_ = m.store.Append(c)
+
+	m.mu.Lock()
+	m.packets++
+	mods := make([]Module, 0, len(m.modules))
+	for _, mod := range m.modules {
+		if m.active[mod.Name()] {
+			mods = append(mods, mod)
+		}
+	}
+	m.invocations += uint64(len(mods))
+	m.mu.Unlock()
+
+	for _, mod := range mods {
+		mod.HandlePacket(c)
+	}
+}
+
+// Active returns the names of currently active modules, in install
+// order.
+func (m *Manager) Active() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.modules))
+	for _, mod := range m.modules {
+		if m.active[mod.Name()] {
+			out = append(out, mod.Name())
+		}
+	}
+	return out
+}
+
+// Installed returns the names of all installed modules, in install
+// order.
+func (m *Manager) Installed() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.modules))
+	for _, mod := range m.modules {
+		out = append(out, mod.Name())
+	}
+	return out
+}
+
+// ParamsOf returns the parameters a module was installed with.
+func (m *Manager) ParamsOf(name string) map[string]string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	params := m.params[name]
+	out := make(map[string]string, len(params))
+	for k, v := range params {
+		out[k] = v
+	}
+	return out
+}
+
+// ModuleKind returns the kind of an installed module.
+func (m *Manager) ModuleKind(name string) (Kind, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, mod := range m.modules {
+		if mod.Name() == name {
+			return mod.Kind(), true
+		}
+	}
+	return 0, false
+}
+
+// Alerts returns a copy of all alerts collected so far.
+func (m *Manager) Alerts() []Alert {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]Alert, len(m.alerts))
+	copy(out, m.alerts)
+	return out
+}
+
+// Stats returns work-accounting counters: packets dispatched, total
+// (packet × active module) invocations, and activation transitions.
+func (m *Manager) Stats() (packets, invocations, activations uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.packets, m.invocations, m.activations
+}

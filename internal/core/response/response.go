@@ -1,0 +1,208 @@
+// Package response implements Kalis' automatic response actions: §III
+// names alerts to a user plus "automatic response actions (such as
+// re-transmission of packets, and device isolation)" as the follow-up
+// to detection. A Responder maps attack classes to actions through a
+// policy, applies per-entity cooldowns and a global isolation budget
+// (bounding the blast radius of a misbehaving detector), and keeps an
+// audit log of everything it did.
+package response
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// Action is a response action class.
+type Action int
+
+// Actions, in increasing order of severity.
+const (
+	// ActionNone suppresses any response.
+	ActionNone Action = iota + 1
+	// ActionNotify only notifies (the alert is already delivered to
+	// subscribers; the responder just records it).
+	ActionNotify
+	// ActionBlock asks the packet filter (smart firewall) to drop the
+	// suspects' traffic.
+	ActionBlock
+	// ActionIsolate revokes the suspects from the network (the §VI-A
+	// countermeasure).
+	ActionIsolate
+)
+
+// String returns the action name.
+func (a Action) String() string {
+	switch a {
+	case ActionNone:
+		return "none"
+	case ActionNotify:
+		return "notify"
+	case ActionBlock:
+		return "block"
+	case ActionIsolate:
+		return "isolate"
+	default:
+		return fmt.Sprintf("action(%d)", int(a))
+	}
+}
+
+// Rule decides the response for one attack class.
+type Rule struct {
+	// Action to take.
+	Action Action
+	// MinConfidence gates the rule; lower-confidence alerts are only
+	// recorded.
+	MinConfidence float64
+	// Cooldown suppresses repeat actions against the same entity.
+	Cooldown time.Duration
+}
+
+// Policy maps canonical attack names to rules.
+type Policy struct {
+	// Rules by attack name.
+	Rules map[string]Rule
+	// Default applies to attacks without a specific rule.
+	Default Rule
+	// IsolationBudget caps the number of distinct entities ever
+	// isolated; 0 means no isolation at all. An IDS must not be able
+	// to disassemble the network it guards.
+	IsolationBudget int
+}
+
+// DefaultPolicy isolates on high-confidence alerts, blocks on medium,
+// and bounds isolation to maxIsolations entities.
+func DefaultPolicy(maxIsolations int) Policy {
+	return Policy{
+		Rules:           map[string]Rule{},
+		Default:         Rule{Action: ActionIsolate, MinConfidence: 0.85, Cooldown: time.Minute},
+		IsolationBudget: maxIsolations,
+	}
+}
+
+// Taken is one audit-log entry.
+type Taken struct {
+	Time   time.Time
+	Attack string
+	Action Action
+	Target packet.NodeID
+	// Note explains skipped or downgraded actions.
+	Note string
+}
+
+// Responder executes a policy. Wire Isolate/Block to the deployment
+// (simulator revocation, firewall, router ACLs) and HandleAlert to a
+// Kalis node's OnAlert.
+type Responder struct {
+	policy Policy
+	// Isolate removes an entity from the network; nil disables
+	// isolation.
+	Isolate func(packet.NodeID) error
+	// Block installs a packet-filter rule; nil disables blocking.
+	Block func(packet.NodeID) error
+
+	mu        sync.Mutex
+	lastActed map[packet.NodeID]time.Time
+	isolated  map[packet.NodeID]bool
+	audit     []Taken
+}
+
+// NewResponder creates a responder with the given policy.
+func NewResponder(policy Policy) *Responder {
+	return &Responder{
+		policy:    policy,
+		lastActed: make(map[packet.NodeID]time.Time),
+		isolated:  make(map[packet.NodeID]bool),
+	}
+}
+
+// HandleAlert applies the policy to one alert.
+func (r *Responder) HandleAlert(a module.Alert) {
+	rule, ok := r.policy.Rules[a.Attack]
+	if !ok {
+		rule = r.policy.Default
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	if rule.Action == ActionNone || a.Confidence < rule.MinConfidence {
+		r.audit = append(r.audit, Taken{Time: a.Time, Attack: a.Attack, Action: ActionNotify,
+			Note: "below policy threshold"})
+		return
+	}
+	for _, target := range a.Suspects {
+		if until, acted := r.lastActed[target]; acted && a.Time.Before(until) {
+			continue
+		}
+		entry := Taken{Time: a.Time, Attack: a.Attack, Action: rule.Action, Target: target}
+		switch rule.Action {
+		case ActionIsolate:
+			if r.isolated[target] {
+				continue
+			}
+			if len(r.isolated) >= r.policy.IsolationBudget {
+				entry.Action = ActionBlock
+				entry.Note = "isolation budget exhausted; downgraded to block"
+				if r.Block != nil {
+					_ = r.Block(target)
+				}
+				break
+			}
+			if r.Isolate == nil {
+				entry.Note = "no isolation hook"
+				break
+			}
+			if err := r.Isolate(target); err != nil {
+				entry.Note = "isolate failed: " + err.Error()
+				break
+			}
+			r.isolated[target] = true
+		case ActionBlock:
+			if r.Block == nil {
+				entry.Note = "no block hook"
+				break
+			}
+			if err := r.Block(target); err != nil {
+				entry.Note = "block failed: " + err.Error()
+			}
+		case ActionNotify:
+			// Recording is the action.
+		}
+		r.lastActed[target] = a.Time.Add(rule.Cooldown)
+		r.audit = append(r.audit, entry)
+	}
+}
+
+// Audit returns a copy of the audit log.
+func (r *Responder) Audit() []Taken {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Taken, len(r.audit))
+	copy(out, r.audit)
+	return out
+}
+
+// Isolated returns the entities isolated so far, sorted.
+func (r *Responder) Isolated() []packet.NodeID {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]packet.NodeID, 0, len(r.isolated))
+	for id := range r.isolated {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Restore lifts an isolation (e.g. after the paper's "temporary
+// revocation" expires or an operator overrides).
+func (r *Responder) Restore(id packet.NodeID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.isolated, id)
+	delete(r.lastActed, id)
+}

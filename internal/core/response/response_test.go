@@ -1,0 +1,135 @@
+package response
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+func alert(at time.Time, name string, conf float64, suspects ...packet.NodeID) module.Alert {
+	return module.Alert{Time: at, Attack: name, Confidence: conf, Suspects: suspects}
+}
+
+func newTestResponder(budget int) (*Responder, *[]packet.NodeID, *[]packet.NodeID) {
+	isolated := &[]packet.NodeID{}
+	blocked := &[]packet.NodeID{}
+	r := NewResponder(DefaultPolicy(budget))
+	r.Isolate = func(id packet.NodeID) error { *isolated = append(*isolated, id); return nil }
+	r.Block = func(id packet.NodeID) error { *blocked = append(*blocked, id); return nil }
+	return r, isolated, blocked
+}
+
+func TestIsolateOnHighConfidence(t *testing.T) {
+	r, isolated, _ := newTestResponder(3)
+	r.HandleAlert(alert(t0, "blackhole", 0.9, "0x0002"))
+	if len(*isolated) != 1 || (*isolated)[0] != "0x0002" {
+		t.Errorf("isolated = %v", *isolated)
+	}
+	got := r.Isolated()
+	if len(got) != 1 || got[0] != "0x0002" {
+		t.Errorf("Isolated() = %v", got)
+	}
+}
+
+func TestConfidenceGateRecordsOnly(t *testing.T) {
+	r, isolated, _ := newTestResponder(3)
+	r.HandleAlert(alert(t0, "traffic-anomaly", 0.4, "0x0002"))
+	if len(*isolated) != 0 {
+		t.Error("low-confidence alert acted on")
+	}
+	audit := r.Audit()
+	if len(audit) != 1 || audit[0].Action != ActionNotify {
+		t.Errorf("audit = %+v", audit)
+	}
+}
+
+func TestCooldownSuppressesRepeats(t *testing.T) {
+	r, isolated, _ := newTestResponder(5)
+	r.HandleAlert(alert(t0, "blackhole", 0.9, "0x0002"))
+	r.HandleAlert(alert(t0.Add(10*time.Second), "blackhole", 0.9, "0x0002"))
+	if len(*isolated) != 1 {
+		t.Errorf("isolations = %d, want 1 (cooldown)", len(*isolated))
+	}
+	r.HandleAlert(alert(t0.Add(2*time.Minute), "blackhole", 0.9, "0x0002"))
+	// Already isolated: still no second call.
+	if len(*isolated) != 1 {
+		t.Errorf("isolations = %d after cooldown (already isolated)", len(*isolated))
+	}
+}
+
+func TestIsolationBudgetDowngradesToBlock(t *testing.T) {
+	r, isolated, blocked := newTestResponder(2)
+	r.HandleAlert(alert(t0, "sybil", 0.9, "a", "b", "c", "d"))
+	if len(*isolated) != 2 {
+		t.Errorf("isolated = %v, want 2 (budget)", *isolated)
+	}
+	if len(*blocked) != 2 {
+		t.Errorf("blocked = %v, want the overflow", *blocked)
+	}
+	for _, e := range r.Audit() {
+		if e.Target == "c" || e.Target == "d" {
+			if e.Action != ActionBlock || e.Note == "" {
+				t.Errorf("overflow entry = %+v", e)
+			}
+		}
+	}
+}
+
+func TestZeroBudgetNeverIsolates(t *testing.T) {
+	r, isolated, blocked := newTestResponder(0)
+	r.HandleAlert(alert(t0, "blackhole", 0.95, "0x0002"))
+	if len(*isolated) != 0 {
+		t.Error("isolated despite zero budget")
+	}
+	if len(*blocked) != 1 {
+		t.Error("overflow not blocked")
+	}
+}
+
+func TestPerAttackRules(t *testing.T) {
+	policy := DefaultPolicy(5)
+	policy.Rules["icmp-flood"] = Rule{Action: ActionBlock, MinConfidence: 0.5, Cooldown: time.Minute}
+	policy.Rules["traffic-anomaly"] = Rule{Action: ActionNone}
+	r := NewResponder(policy)
+	var blocked []packet.NodeID
+	r.Block = func(id packet.NodeID) error { blocked = append(blocked, id); return nil }
+
+	r.HandleAlert(alert(t0, "icmp-flood", 0.7, "x"))
+	r.HandleAlert(alert(t0, "traffic-anomaly", 0.99, "y"))
+	if len(blocked) != 1 || blocked[0] != "x" {
+		t.Errorf("blocked = %v", blocked)
+	}
+}
+
+func TestHookFailureAudited(t *testing.T) {
+	r := NewResponder(DefaultPolicy(5))
+	r.Isolate = func(packet.NodeID) error { return errors.New("radio gone") }
+	r.HandleAlert(alert(t0, "blackhole", 0.9, "0x0002"))
+	audit := r.Audit()
+	if len(audit) != 1 || audit[0].Note == "" {
+		t.Errorf("audit = %+v", audit)
+	}
+	if len(r.Isolated()) != 0 {
+		t.Error("failed isolation recorded as isolated")
+	}
+}
+
+func TestRestore(t *testing.T) {
+	r, _, _ := newTestResponder(5)
+	r.HandleAlert(alert(t0, "blackhole", 0.9, "0x0002"))
+	r.Restore("0x0002")
+	if len(r.Isolated()) != 0 {
+		t.Error("Restore did not lift isolation")
+	}
+}
+
+func TestActionString(t *testing.T) {
+	if ActionIsolate.String() != "isolate" || Action(9).String() != "action(9)" {
+		t.Error("action strings")
+	}
+}

@@ -1,0 +1,213 @@
+package sensing
+
+import (
+	"math"
+	"strconv"
+	"time"
+
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// MobilityName is the registry name of the Mobility Awareness module.
+const MobilityName = "MobilityAwarenessModule"
+
+// Mobility is the Mobility Awareness sensing module (§V): it "uses a
+// simple approach that detects mobility when any node's signal strength
+// changes more than a certain threshold". It maintains a smoothed
+// (EWMA) signal-strength knowgget per monitored entity and publishes
+// the network-wide Mobility knowgget: true while threshold-exceeding
+// RSSI changes are being observed, reverting to false after a quiet
+// period with stable signal strengths.
+//
+// With the "collective" parameter enabled, SignalStrength knowggets are
+// shared with peer Kalis nodes, and the module implements the paper's
+// §IV-B3 correlation example: "being aware that other Kalis nodes are
+// noticing changes in signal strength for specific devices can enable
+// the local Kalis node to correlate such changes with those experienced
+// locally and detect mobility in the network". A local sub-threshold
+// deviation that coincides with a peer-observed change for the same
+// entity is promoted to a mobility signal.
+type Mobility struct {
+	ctx *module.Context
+
+	// threshold is the RSSI deviation (dB) that signals movement.
+	threshold float64
+	// quiet is how long signal strengths must stay stable before the
+	// network is declared static again.
+	quiet time.Duration
+	// alpha is the EWMA smoothing factor.
+	alpha float64
+	// minSamples is the per-entity sample count before deviations are
+	// trusted (lets the EWMA settle).
+	minSamples int
+	// collective marks SignalStrength knowggets for peer sharing.
+	collective bool
+
+	ewma     map[packet.NodeID]float64
+	samples  map[packet.NodeID]int
+	lastMove time.Time
+	declared bool
+	mobile   bool
+
+	// remote mirrors peer-observed signal strengths per entity; a peer
+	// change flags the entity for cross-node corroboration.
+	remote  map[packet.NodeID]remoteSignal
+	subbed  bool
+	localID string
+}
+
+// remoteSignal is the last peer-reported signal strength for an entity.
+type remoteSignal struct {
+	value   float64
+	changed bool // a threshold/2 change since the previous report
+}
+
+var _ module.Module = (*Mobility)(nil)
+
+// NewMobility creates the module. Parameters: "threshold" (dB, default
+// 4), "quiet" (duration, default 12s), "collective" (bool, default
+// false: share SignalStrength knowggets with peer Kalis nodes).
+func NewMobility(params map[string]string) (module.Module, error) {
+	m := &Mobility{threshold: 4, quiet: 12 * time.Second, alpha: 0.3, minSamples: 4}
+	if v, ok := params["threshold"]; ok {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return nil, err
+		}
+		m.threshold = f
+	}
+	if v, ok := params["quiet"]; ok {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			return nil, err
+		}
+		m.quiet = d
+	}
+	if v, ok := params["collective"]; ok {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return nil, err
+		}
+		m.collective = b
+	}
+	return m, nil
+}
+
+// Name implements module.Module.
+func (m *Mobility) Name() string { return MobilityName }
+
+// Kind implements module.Module.
+func (m *Mobility) Kind() module.Kind { return module.KindSensing }
+
+// WatchLabels implements module.Module.
+func (m *Mobility) WatchLabels() []string { return []string{knowledge.LabelMobility} }
+
+// Required implements module.Module: if mobility is statically known
+// ("the network is static and will always remain so", §IV-B3) there is
+// nothing to sense.
+func (m *Mobility) Required(kb *knowledge.Base) bool {
+	return !kb.IsStatic(knowledge.LabelMobility)
+}
+
+// Activate implements module.Module.
+func (m *Mobility) Activate(ctx *module.Context) {
+	m.ctx = ctx
+	m.ewma = make(map[packet.NodeID]float64)
+	m.samples = make(map[packet.NodeID]int)
+	m.lastMove = time.Time{}
+	m.declared = false
+	m.mobile = false
+	m.remote = make(map[packet.NodeID]remoteSignal)
+	m.localID = ctx.KB.LocalID()
+	if m.collective && !m.subbed {
+		m.subbed = true
+		ctx.KB.Subscribe(knowledge.LabelSignalStrength, m.onRemoteSignal)
+	}
+}
+
+// onRemoteSignal mirrors peer-observed signal strengths and marks
+// entities whose strength changed at a peer.
+func (m *Mobility) onRemoteSignal(kg knowledge.Knowgget) {
+	if m.ctx == nil || kg.Creator == m.localID || kg.Entity == "" {
+		return
+	}
+	v, err := strconv.ParseFloat(kg.Value, 64)
+	if err != nil {
+		return
+	}
+	id := packet.NodeID(kg.Entity)
+	prev, seen := m.remote[id]
+	changed := seen && math.Abs(v-prev.value) > m.threshold/2
+	m.remote[id] = remoteSignal{value: v, changed: changed || prev.changed}
+}
+
+// Deactivate implements module.Module.
+func (m *Mobility) Deactivate() { m.ctx = nil }
+
+// HandlePacket implements module.Module.
+func (m *Mobility) HandlePacket(c *packet.Captured) {
+	if m.ctx == nil || c.Transmitter == "" || c.RSSI == 0 {
+		return
+	}
+	id := c.Transmitter
+	kb := m.ctx.KB
+
+	prev, seen := m.ewma[id]
+	if !seen {
+		m.ewma[id] = c.RSSI
+		m.samples[id] = 1
+		m.putSignal(id, c.RSSI)
+		return
+	}
+	dev := c.RSSI - prev
+	if dev < 0 {
+		dev = -dev
+	}
+	m.samples[id]++
+	next := prev + m.alpha*(c.RSSI-prev)
+	m.ewma[id] = next
+	m.putSignal(id, next)
+
+	moved := dev > m.threshold
+	if !moved && m.collective && dev > m.threshold/2 {
+		// Cross-node corroboration (§IV-B3): a local sub-threshold
+		// deviation plus a peer-observed change for the same entity is
+		// strong evidence of genuine movement rather than shadowing.
+		if r, ok := m.remote[id]; ok && r.changed {
+			moved = true
+			m.remote[id] = remoteSignal{value: r.value}
+		}
+	}
+	if m.samples[id] >= m.minSamples && moved {
+		m.lastMove = c.Time
+		if !m.declared || !m.mobile {
+			m.declared = true
+			m.mobile = true
+			kb.PutBool(knowledge.LabelMobility, true)
+		}
+		// A node seen moving: its EWMA should track quickly.
+		m.ewma[id] = c.RSSI
+		return
+	}
+	// Declare static once signal strengths have been quiet long enough
+	// (or immediately if no movement was ever observed and we have
+	// sufficient history).
+	quietLongEnough := !m.lastMove.IsZero() && c.Time.Sub(m.lastMove) > m.quiet
+	neverMoved := m.lastMove.IsZero() && m.samples[id] >= m.minSamples*2
+	if (quietLongEnough || neverMoved) && (!m.declared || m.mobile) {
+		m.declared = true
+		m.mobile = false
+		kb.PutBool(knowledge.LabelMobility, false)
+	}
+}
+
+func (m *Mobility) putSignal(id packet.NodeID, v float64) {
+	val := strconv.FormatFloat(v, 'f', 1, 64)
+	if m.collective {
+		m.ctx.KB.PutCollective(knowledge.LabelSignalStrength, string(id), val)
+	} else {
+		m.ctx.KB.PutEntity(knowledge.LabelSignalStrength, string(id), val)
+	}
+}

@@ -1,0 +1,15 @@
+package sensing
+
+import "kalis/internal/core/module"
+
+// Register adds every sensing-module factory to the registry.
+func Register(r *module.Registry) {
+	r.Register(TopologyName, NewTopology)
+	r.Register(TrafficStatsName, NewTrafficStats)
+	r.Register(MobilityName, NewMobility)
+}
+
+// Names lists the registry names of all sensing modules.
+func Names() []string {
+	return []string{TopologyName, TrafficStatsName, MobilityName}
+}

@@ -1,0 +1,274 @@
+package sensing
+
+import (
+	"net/netip"
+	"strconv"
+	"testing"
+	"time"
+
+	"kalis/internal/core/datastore"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/stack"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+func mkCap(t *testing.T, medium packet.Medium, raw []byte, at time.Time, rssi float64) *packet.Captured {
+	t.Helper()
+	c, err := stack.Decode(medium, raw)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	c.Time = at
+	c.RSSI = rssi
+	return c
+}
+
+func newCtx(kb *knowledge.Base) *module.Context {
+	return &module.Context{KB: kb, Store: datastore.New(64), Emit: func(module.Alert) {}, KnowledgeDriven: true}
+}
+
+func TestTopologyDetectsMultihopFromTHL(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, err := NewTopology(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mod.Activate(newCtx(kb))
+
+	// Origin transmission (THL 0, src == transmitter): no evidence.
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, stack.BuildCTPData(3, 2, 3, 1, 0, 20, nil), t0, -60))
+	if _, ok := kb.Bool(knowledge.LabelMultihop); ok {
+		t.Fatal("multihop declared too early")
+	}
+	// Forwarded frame (THL 1, transmitter != origin): multi-hop.
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, stack.BuildCTPData(2, 1, 3, 1, 1, 20, nil), t0.Add(time.Second), -61))
+	if v, ok := kb.Bool(knowledge.LabelMultihop); !ok || !v {
+		t.Fatal("multihop not declared")
+	}
+}
+
+func TestTopologyDeclaresSingleHop(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewTopology(map[string]string{"singleHopAfter": "10"})
+	mod.Activate(newCtx(kb))
+	src := netip.MustParseAddr("192.168.1.5")
+	dst := netip.MustParseAddr("192.168.1.10")
+	for i := 0; i < 10; i++ {
+		raw := stack.BuildICMPEcho(src, dst, icmp.TypeEchoRequest, 1, uint16(i), 64)
+		mod.HandlePacket(mkCap(t, packet.MediumWiFi, raw, t0.Add(time.Duration(i)*time.Second), -55))
+	}
+	if v, ok := kb.Bool(knowledge.LabelMultihop); !ok || v {
+		t.Fatalf("single-hop not declared: v=%v ok=%v", v, ok)
+	}
+	if v, _ := kb.Value(knowledge.LabelMediums + ".wifi"); v != "true" {
+		t.Error("wifi medium knowgget missing")
+	}
+}
+
+func TestTopologyDetectsRPLAndMesh(t *testing.T) {
+	for name, raw := range map[string][]byte{
+		"rpl":  stack.BuildRPLDIO(3, 1, 512, 1),
+		"mesh": stack.BuildSixLowPANData(4, 2, 9, 1, 3, 5, []byte{1}),
+	} {
+		kb := knowledge.NewBase("K1")
+		mod, _ := NewTopology(nil)
+		mod.Activate(newCtx(kb))
+		mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0, -60))
+		if v, ok := kb.Bool(knowledge.LabelMultihop); !ok || !v {
+			t.Errorf("%s: multihop not declared", name)
+		}
+	}
+}
+
+func TestTopologyCountsNodesAndEdges(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewTopology(nil)
+	mod.Activate(newCtx(kb))
+	for i := 2; i <= 4; i++ {
+		raw := stack.BuildCTPData(uint16(i), 1, uint16(i), 1, 0, 20, nil)
+		mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0, -60))
+	}
+	if n, ok := kb.Int(knowledge.LabelMonitoredNodes); !ok || n != 4 { // 3 senders + dst 1
+		t.Errorf("MonitoredNodes = %d", n)
+	}
+	if len(kb.QueryPrefix("K1$Edge@")) != 3 {
+		t.Errorf("edges = %d, want 3", len(kb.QueryPrefix("K1$Edge@")))
+	}
+}
+
+func TestTopologyNotRequiredWhenStatic(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	kb.PutStatic(knowledge.LabelMultihop, "", "true")
+	mod, _ := NewTopology(nil)
+	if mod.Required(kb) {
+		t.Error("topology discovery should not be required with static knowledge")
+	}
+}
+
+func TestTrafficStatsPublishesRates(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewTrafficStats(map[string]string{"interval": "5s"})
+	mod.Activate(newCtx(kb))
+
+	src := netip.MustParseAddr("192.168.1.66")
+	victim := netip.MustParseAddr("192.168.1.10")
+	// 10 echo replies in the first 5 s window, then one packet in the
+	// next window to trigger publication.
+	for i := 0; i < 10; i++ {
+		raw := stack.BuildICMPEcho(src, victim, icmp.TypeEchoReply, 1, uint16(i), 64)
+		mod.HandlePacket(mkCap(t, packet.MediumWiFi, raw, t0.Add(time.Duration(i)*400*time.Millisecond), -60))
+	}
+	raw := stack.BuildICMPEcho(src, victim, icmp.TypeEchoRequest, 1, 99, 64)
+	mod.HandlePacket(mkCap(t, packet.MediumWiFi, raw, t0.Add(6*time.Second), -60))
+
+	v, ok := kb.Value(knowledge.LabelTrafficFrequency + ".ICMPEchoReply")
+	if !ok {
+		t.Fatal("global rate missing")
+	}
+	if f, _ := strconv.ParseFloat(v, 64); f != 2.0 {
+		t.Errorf("rate = %s, want 2.000", v)
+	}
+	ev, ok := kb.EntityValue(knowledge.LabelTrafficFrequency+".ICMPEchoReply", "192.168.1.10")
+	if !ok {
+		t.Fatal("per-victim rate missing")
+	}
+	if f, _ := strconv.ParseFloat(ev, 64); f != 2.0 {
+		t.Errorf("per-victim rate = %s", ev)
+	}
+}
+
+func TestTrafficStatsZeroesQuietKinds(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewTrafficStats(map[string]string{"interval": "5s"})
+	mod.Activate(newCtx(kb))
+	src := netip.MustParseAddr("192.168.1.66")
+	victim := netip.MustParseAddr("192.168.1.10")
+	for i := 0; i < 5; i++ {
+		raw := stack.BuildICMPEcho(src, victim, icmp.TypeEchoReply, 1, uint16(i), 64)
+		mod.HandlePacket(mkCap(t, packet.MediumWiFi, raw, t0.Add(time.Duration(i)*time.Second), -60))
+	}
+	// Two quiet windows later, a different-kind packet arrives.
+	raw := stack.BuildUDP(src, victim, 1, 2, 1, nil)
+	mod.HandlePacket(mkCap(t, packet.MediumWiFi, raw, t0.Add(16*time.Second), -60))
+
+	v, ok := kb.Value(knowledge.LabelTrafficFrequency + ".ICMPEchoReply")
+	if !ok {
+		t.Fatal("rate missing")
+	}
+	if f, _ := strconv.ParseFloat(v, 64); f != 0 {
+		t.Errorf("stale rate = %s, want 0", v)
+	}
+}
+
+func TestTrafficStatsAlwaysRequired(t *testing.T) {
+	mod, _ := NewTrafficStats(nil)
+	if !mod.Required(knowledge.NewBase("K1")) {
+		t.Error("traffic stats should always be required")
+	}
+}
+
+func TestMobilityDeclaresStaticThenMobile(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewMobility(map[string]string{"threshold": "6"})
+	mod.Activate(newCtx(kb))
+
+	raw := stack.BuildCTPBeacon(2, 1, 10, 1)
+	// Stable RSSI: declared static after enough samples.
+	for i := 0; i < 10; i++ {
+		mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(time.Duration(i)*time.Second), -60+float64(i%2)))
+	}
+	if v, ok := kb.Bool(knowledge.LabelMobility); !ok || v {
+		t.Fatalf("static not declared: v=%v ok=%v", v, ok)
+	}
+	// Large RSSI swing: mobile.
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(11*time.Second), -80))
+	if v, _ := kb.Bool(knowledge.LabelMobility); !v {
+		t.Fatal("mobility not declared after jump")
+	}
+	// Quiet again for longer than the quiet period: static.
+	for i := 0; i < 20; i++ {
+		mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(time.Duration(12+i)*time.Second), -80.5))
+	}
+	if v, _ := kb.Bool(knowledge.LabelMobility); v {
+		t.Fatal("static not re-declared after quiet period")
+	}
+}
+
+func TestMobilityPublishesSignalStrength(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewMobility(nil)
+	mod.Activate(newCtx(kb))
+	raw := stack.BuildCTPBeacon(5, 1, 10, 1)
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0, -63))
+	if v, ok := kb.EntityFloat(knowledge.LabelSignalStrength, "0x0005"); !ok || v != -63 {
+		t.Errorf("SignalStrength = %v ok=%v", v, ok)
+	}
+}
+
+func TestMobilityNotRequiredWhenStatic(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	kb.PutStatic(knowledge.LabelMobility, "", "false")
+	mod, _ := NewMobility(nil)
+	if mod.Required(kb) {
+		t.Error("mobility awareness should not be required with static knowledge")
+	}
+}
+
+func TestMobilityCollectiveCorrelation(t *testing.T) {
+	kb := knowledge.NewBase("K1")
+	mod, _ := NewMobility(map[string]string{"threshold": "6", "collective": "true"})
+	mod.Activate(newCtx(kb))
+
+	raw := stack.BuildCTPBeacon(5, 1, 10, 1)
+	// Stable local baseline for entity 0x0005.
+	for i := 0; i < 8; i++ {
+		mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(time.Duration(i)*time.Second), -60))
+	}
+	if v, _ := kb.Bool(knowledge.LabelMobility); v {
+		t.Fatal("mobile before any deviation")
+	}
+	// A local sub-threshold deviation alone (4 dB < 6 dB): not enough.
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(9*time.Second), -64))
+	if v, _ := kb.Bool(knowledge.LabelMobility); v {
+		t.Fatal("sub-threshold deviation alone declared mobility")
+	}
+	// A peer (K2) reports a significant change for the same entity...
+	kb.AcceptRemote("K2", knowledge.Knowgget{
+		Label: knowledge.LabelSignalStrength, Value: "-70", Creator: "K2", Entity: "0x0005"})
+	kb.AcceptRemote("K2", knowledge.Knowgget{
+		Label: knowledge.LabelSignalStrength, Value: "-77", Creator: "K2", Entity: "0x0005"})
+	// ...and the next local sub-threshold deviation corroborates it
+	// (EWMA sits near -61.2 after the -64 sample; -65 deviates ~3.8 dB,
+	// between threshold/2 and threshold).
+	mod.HandlePacket(mkCap(t, packet.MediumIEEE802154, raw, t0.Add(10*time.Second), -65))
+	if v, _ := kb.Bool(knowledge.LabelMobility); !v {
+		t.Fatal("correlated deviation did not declare mobility")
+	}
+	// The local SignalStrength knowggets were shared as collective.
+	kg, ok := kb.Get("K1$" + knowledge.LabelSignalStrength + "@0x0005")
+	if !ok || !kg.Collective {
+		t.Errorf("local signal knowgget not collective: %+v", kg)
+	}
+}
+
+func TestSensingParamErrors(t *testing.T) {
+	if _, err := NewTopology(map[string]string{"singleHopAfter": "x"}); err == nil {
+		t.Error("bad singleHopAfter accepted")
+	}
+	if _, err := NewTrafficStats(map[string]string{"interval": "x"}); err == nil {
+		t.Error("bad interval accepted")
+	}
+	if _, err := NewMobility(map[string]string{"threshold": "x"}); err == nil {
+		t.Error("bad threshold accepted")
+	}
+	if _, err := NewMobility(map[string]string{"quiet": "x"}); err == nil {
+		t.Error("bad quiet accepted")
+	}
+	if _, err := NewMobility(map[string]string{"collective": "x"}); err == nil {
+		t.Error("bad collective accepted")
+	}
+}

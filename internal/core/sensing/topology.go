@@ -1,0 +1,181 @@
+// Package sensing implements Kalis' sensing modules — the autonomous
+// knowledge-discovery mechanisms of §IV-B4: Topology Discovery, Traffic
+// Statistics Collection, and Mobility Awareness. Sensing modules turn
+// raw captures into knowggets; they never raise alerts.
+package sensing
+
+import (
+	"strconv"
+
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/sixlowpan"
+	"kalis/internal/proto/zigbee"
+)
+
+// TopologyName is the registry name of the Topology Discovery module.
+const TopologyName = "TopologyDiscoveryModule"
+
+// Topology is the Topology Discovery sensing module. It reconstructs
+// the local topology from captured traffic and differentiates multi-hop
+// from single-hop networks using: the communication medium, the
+// detection of known routing protocols (RPL in 6LoWPAN, CTP in TinyOS),
+// the inclusion of forwarding/next-hop headers in packets, and direct
+// evidence of per-hop forwarding (§V "Sensing Modules").
+//
+// It also publishes the observed mediums (Mediums.*), the number of
+// distinct monitored entities (MonitoredNodes), and the communication
+// graph edges it reconstructs, which detection modules use for
+// hop-distance reasoning.
+type Topology struct {
+	ctx *module.Context
+
+	// singleHopAfter is the packet count after which, absent any
+	// multi-hop evidence, the network is declared single-hop.
+	singleHopAfter int
+
+	packets  int
+	multihop bool
+	declared bool
+	secured  bool
+	nodes    map[packet.NodeID]bool
+	edges    map[packet.NodeID]map[packet.NodeID]bool
+	mediums  map[packet.Medium]bool
+}
+
+var _ module.Module = (*Topology)(nil)
+
+// NewTopology creates the module. Parameters: "singleHopAfter" (packet
+// count, default 30).
+func NewTopology(params map[string]string) (module.Module, error) {
+	t := &Topology{singleHopAfter: 30}
+	if v, ok := params["singleHopAfter"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return nil, err
+		}
+		t.singleHopAfter = n
+	}
+	return t, nil
+}
+
+// Name implements module.Module.
+func (t *Topology) Name() string { return TopologyName }
+
+// Kind implements module.Module.
+func (t *Topology) Kind() module.Kind { return module.KindSensing }
+
+// WatchLabels implements module.Module.
+func (t *Topology) WatchLabels() []string { return []string{knowledge.LabelMultihop} }
+
+// Required implements module.Module: discovery is unnecessary when the
+// topology is statically known.
+func (t *Topology) Required(kb *knowledge.Base) bool {
+	return !kb.IsStatic(knowledge.LabelMultihop)
+}
+
+// Activate implements module.Module.
+func (t *Topology) Activate(ctx *module.Context) {
+	t.ctx = ctx
+	t.packets = 0
+	t.multihop = false
+	t.declared = false
+	t.secured = false
+	t.nodes = make(map[packet.NodeID]bool)
+	t.edges = make(map[packet.NodeID]map[packet.NodeID]bool)
+	t.mediums = make(map[packet.Medium]bool)
+}
+
+// Deactivate implements module.Module.
+func (t *Topology) Deactivate() { t.ctx = nil }
+
+// HandlePacket implements module.Module.
+func (t *Topology) HandlePacket(c *packet.Captured) {
+	if t.ctx == nil {
+		return
+	}
+	t.packets++
+	kb := t.ctx.KB
+
+	if !t.mediums[c.Medium] {
+		t.mediums[c.Medium] = true
+		kb.Put(knowledge.LabelMediums+"."+c.Medium.String(), "true")
+	}
+	t.observeNode(c.Transmitter)
+	t.observeNode(c.Src)
+	t.observeNode(c.Dst)
+	t.observeEdge(c.Transmitter, c.Dst)
+
+	if evidence, ok := t.multihopEvidence(c); ok && !t.multihop {
+		t.multihop = true
+		t.declared = true
+		kb.Put("MultihopEvidence", evidence)
+		kb.PutBool(knowledge.LabelMultihop, true)
+	}
+	if !t.declared && t.packets >= t.singleHopAfter {
+		t.declared = true
+		kb.PutBool(knowledge.LabelMultihop, false)
+	}
+	// Link-layer security is a prevention-technique feature (§III-B2):
+	// devices that encrypt are immune to data alteration, so observing
+	// the 802.15.4 security bit lets Kalis deactivate that detection.
+	if mac, ok := c.Layer("ieee802154").(*ieee802154.Frame); ok && mac.Security && !t.secured {
+		t.secured = true
+		kb.PutBool(knowledge.LabelEncrypted, true)
+	}
+}
+
+func (t *Topology) observeNode(id packet.NodeID) {
+	if id == "" || id == packet.Broadcast || t.nodes[id] {
+		return
+	}
+	t.nodes[id] = true
+	t.ctx.KB.PutInt(knowledge.LabelMonitoredNodes, len(t.nodes))
+}
+
+func (t *Topology) observeEdge(from, to packet.NodeID) {
+	if from == "" || to == "" || to == packet.Broadcast || from == to {
+		return
+	}
+	if t.edges[from] == nil {
+		t.edges[from] = make(map[packet.NodeID]bool)
+	}
+	if !t.edges[from][to] {
+		t.edges[from][to] = true
+		t.ctx.KB.PutEntity("Edge", string(from)+">"+string(to), "true")
+	}
+}
+
+// multihopEvidence inspects one capture for multi-hop signals.
+func (t *Topology) multihopEvidence(c *packet.Captured) (string, bool) {
+	// Direct evidence: the frame's end-to-end source differs from the
+	// per-hop transmitter — someone is forwarding.
+	if c.Src != "" && c.Transmitter != "" && c.Src != c.Transmitter {
+		return "forwarding (src != transmitter)", true
+	}
+	for _, l := range c.Layers {
+		switch v := l.(type) {
+		case *ctp.Data:
+			if v.THL > 0 {
+				return "CTP THL > 0", true
+			}
+		case *sixlowpan.Packet:
+			if v.Mesh != nil {
+				return "6LoWPAN mesh header", true
+			}
+		case *sixlowpan.RPLMessage:
+			return "RPL control traffic", true
+		case *zigbee.Frame:
+			if v.SourceRoute {
+				return "ZigBee source route", true
+			}
+			if v.IsRouting() && (v.Command == zigbee.CmdRouteRequest || v.Command == zigbee.CmdRouteReply || v.Command == zigbee.CmdRouteRecord) {
+				return "ZigBee route discovery", true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kalis/internal/core/kconfig"
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+func TestSuggestConfig(t *testing.T) {
+	k, err := New(Config{NodeID: "K1", KnowledgeDriven: true, InstallAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+
+	// Let the node learn a multi-hop, static 802.15.4 network.
+	k.HandleCapture(mkCap(t, packet.MediumIEEE802154, stack.BuildCTPBeacon(1, 1, 0, 1), t0, -50))
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * 3 * time.Second)
+		k.HandleCapture(mkCap(t, packet.MediumIEEE802154,
+			stack.BuildCTPData(3, 2, 3, uint8(i), 0, 20, []byte{0x01, uint8(i)}), at, -65))
+		k.HandleCapture(mkCap(t, packet.MediumIEEE802154,
+			stack.BuildCTPData(2, 1, 3, uint8(i), 1, 10, []byte{0x01, uint8(i)}), at.Add(30*time.Millisecond), -55))
+	}
+
+	text := k.SuggestConfig()
+	cfg, err := kconfig.Parse(text)
+	if err != nil {
+		t.Fatalf("suggested config does not parse: %v\n%s", err, text)
+	}
+	names := map[string]bool{}
+	for _, m := range cfg.Modules {
+		names[m.Name] = true
+	}
+	// The multi-hop 802.15.4 detection set, no WiFi modules, no
+	// sensing modules (features are pinned instead).
+	for _, want := range []string{"SelectiveForwardingModule", "BlackholeModule", "SinkholeModule", "WormholeModule"} {
+		if !names[want] {
+			t.Errorf("suggested config missing %s\n%s", want, text)
+		}
+	}
+	for _, not := range []string{"ICMPFloodModule", "SmurfModule", "TopologyDiscoveryModule"} {
+		if names[not] {
+			t.Errorf("suggested config should not list %s\n%s", not, text)
+		}
+	}
+	labels := map[string]string{}
+	for _, kg := range cfg.Knowggets {
+		labels[kg.Label] = kg.Value
+	}
+	if labels["Multihop"] != "true" {
+		t.Errorf("Multihop knowgget = %q", labels["Multihop"])
+	}
+	if labels["Mediums.ieee802.15.4"] != "true" {
+		t.Errorf("medium knowgget missing: %v", labels)
+	}
+
+	// The constrained deployment: a new node with this config and no
+	// default library detects the same attack immediately.
+	small, err := New(Config{NodeID: "tiny", KnowledgeDriven: true, ConfigText: text})
+	if err != nil {
+		t.Fatalf("deploying suggested config: %v", err)
+	}
+	defer small.Close()
+	active := strings.Join(small.ActiveModules(), ",")
+	if !strings.Contains(active, "SelectiveForwardingModule") {
+		t.Errorf("constrained node modules: %s", active)
+	}
+	// No discovery modules needed — features are static knowledge.
+	if strings.Contains(active, "TopologyDiscoveryModule") {
+		t.Errorf("constrained node still discovering: %s", active)
+	}
+}

@@ -1,0 +1,282 @@
+package devices
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/stack"
+)
+
+func newSimWithSniffer(t *testing.T, mediums ...packet.Medium) (*netsim.Sim, *[]*packet.Captured) {
+	t.Helper()
+	sim := netsim.New(11)
+	sn := sim.AddSniffer("ids", netsim.Position{X: 10, Y: 10}, mediums...)
+	caps := &[]*packet.Captured{}
+	sn.Subscribe(func(c *packet.Captured) { *caps = append(*caps, c.Clone()) })
+	return sim, caps
+}
+
+func countKind(caps []*packet.Captured, k packet.Kind) int {
+	n := 0
+	for _, c := range caps {
+		if c.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+func TestWSNLineDeliversMultiHop(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumIEEE802154)
+	motes := BuildWSNLine(sim, 4, 20) // base + 3 motes, 20 m apart
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	sim.RunFor(time.Minute)
+
+	base := motes[0]
+	if base.Delivered == 0 {
+		t.Fatal("no data delivered to base")
+	}
+	// The farthest mote's packets must traverse intermediate hops and
+	// appear on air with THL > 0.
+	sawForwarded := false
+	for _, c := range *caps {
+		if d, ok := c.Layer("ctp-data").(*ctp.Data); ok && d.THL > 0 {
+			sawForwarded = true
+			if c.Transmitter == c.Src {
+				t.Error("forwarded frame should have transmitter != origin")
+			}
+		}
+	}
+	if !sawForwarded {
+		t.Error("no multi-hop forwarding observed")
+	}
+	if countKind(*caps, packet.KindCTPBeacon) == 0 {
+		t.Error("no routing beacons observed")
+	}
+}
+
+func TestMoteDropForwardHook(t *testing.T) {
+	sim := netsim.New(3)
+	motes := BuildWSNLine(sim, 3, 20)
+	motes[1].DropForward = func(*ctp.Data) bool { return true } // blackhole at relay
+	for _, m := range motes {
+		m.Start(sim.Now().Add(time.Second))
+	}
+	sim.RunFor(30 * time.Second)
+	// Only the relay's own packets should arrive; mote 2's are dropped.
+	got := motes[0].Delivered
+	if got == 0 {
+		t.Fatal("relay's own traffic missing")
+	}
+	sim2 := netsim.New(3)
+	motes2 := BuildWSNLine(sim2, 3, 20)
+	for _, m := range motes2 {
+		m.Start(sim2.Now().Add(time.Second))
+	}
+	sim2.RunFor(30 * time.Second)
+	if motes2[0].Delivered <= got {
+		t.Errorf("blackhole did not reduce delivery: with=%d without=%d", got, motes2[0].Delivered)
+	}
+}
+
+func TestIPHostEchoResponder(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumWiFi)
+	victim := sim.AddNode(&netsim.Node{Name: "victim", IP: netip.MustParseAddr("192.168.1.10"), Pos: netsim.Position{X: 5}})
+	host := NewIPHost(victim)
+	pinger := sim.AddNode(&netsim.Node{Name: "pinger", IP: netip.MustParseAddr("192.168.1.20"), Pos: netsim.Position{X: 15}})
+
+	sim.After(time.Second, func() {
+		raw := stack.BuildICMPEcho(pinger.IP, victim.IP, icmp.TypeEchoRequest, 1, 1, 64)
+		pinger.Send(packet.MediumWiFi, raw)
+	})
+	sim.RunFor(5 * time.Second)
+
+	if host.Replies != 1 {
+		t.Errorf("Replies = %d, want 1", host.Replies)
+	}
+	if countKind(*caps, packet.KindICMPEchoRequest) != 1 || countKind(*caps, packet.KindICMPEchoReply) != 1 {
+		t.Errorf("capture kinds: %d req, %d rep",
+			countKind(*caps, packet.KindICMPEchoRequest), countKind(*caps, packet.KindICMPEchoReply))
+	}
+}
+
+func TestThermostatSessionShape(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumWiFi)
+	cloudIP := netip.MustParseAddr("34.1.2.3")
+	router := sim.AddNode(&netsim.Node{Name: "router", IP: cloudIP, Pos: netsim.Position{X: 0}})
+	NewCloudPeer(router)
+	tn := sim.AddNode(&netsim.Node{Name: "nest", IP: netip.MustParseAddr("192.168.1.11"), Pos: netsim.Position{X: 8}})
+	th := NewThermostat(tn, cloudIP)
+	th.Interval = 30 * time.Second
+	th.Start(sim.Now().Add(time.Second))
+	sim.RunFor(2 * time.Minute)
+
+	syn := countKind(*caps, packet.KindTCPSYN)
+	ack := countKind(*caps, packet.KindTCPACK)
+	if syn < 3 || syn > 5 {
+		t.Errorf("SYN count = %d, want ~4", syn)
+	}
+	if ack <= syn {
+		t.Errorf("expected more ACKs (%d) than SYNs (%d)", ack, syn)
+	}
+}
+
+func TestBulbBroadcasts(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumWiFi)
+	bn := sim.AddNode(&netsim.Node{Name: "lifx", IP: netip.MustParseAddr("192.168.1.12"), Pos: netsim.Position{X: 4}})
+	b := NewBulb(bn)
+	b.Start(sim.Now().Add(time.Second))
+	sim.RunFor(35 * time.Second)
+	if got := countKind(*caps, packet.KindUDP); got != 4 {
+		t.Errorf("UDP broadcasts = %d, want 4", got)
+	}
+}
+
+func TestCameraBursts(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumWiFi)
+	cn := sim.AddNode(&netsim.Node{Name: "arlo", IP: netip.MustParseAddr("192.168.1.13"), Pos: netsim.Position{X: 4}})
+	c := NewCamera(cn, netip.MustParseAddr("34.9.9.9"))
+	c.Start(sim.Now().Add(time.Second))
+	sim.RunFor(11 * time.Second)
+	if syn := countKind(*caps, packet.KindTCPSYN); syn != 1 {
+		t.Errorf("SYN = %d, want 1", syn)
+	}
+	// ~2 bursts of 4 data frames within 11 s (PSH|ACK classifies as TCPACK).
+	if data := countKind(*caps, packet.KindTCPACK); data < 8 {
+		t.Errorf("data frames = %d, want >= 8", data)
+	}
+}
+
+func TestDashButtonPress(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumWiFi)
+	dn := sim.AddNode(&netsim.Node{Name: "dash", IP: netip.MustParseAddr("192.168.1.14"), Pos: netsim.Position{X: 4}})
+	d := NewDashButton(dn, netip.MustParseAddr("34.7.7.7"))
+	sim.After(time.Second, d.Press)
+	sim.RunFor(5 * time.Second)
+	if got := countKind(*caps, packet.KindWiFiMgmt); got != 2 {
+		t.Errorf("mgmt frames = %d, want 2 (probe+assoc)", got)
+	}
+	if got := countKind(*caps, packet.KindTCPSYN); got != 1 {
+		t.Errorf("SYN = %d, want 1", got)
+	}
+}
+
+func TestSmartLockAdvertising(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumBluetooth)
+	ln := sim.AddNode(&netsim.Node{Name: "august", Pos: netsim.Position{X: 4}})
+	l := NewSmartLock(ln, ble.Address{1, 2, 3, 4, 5, 6})
+	l.Start(sim.Now().Add(time.Second))
+	sim.After(5*time.Second, l.Operate)
+	sim.RunFor(9 * time.Second)
+	if adv := countKind(*caps, packet.KindBLEAdvertising); adv != 5 {
+		t.Errorf("advertisements = %d, want 5", adv)
+	}
+	if dat := countKind(*caps, packet.KindBLEData); dat != 1 {
+		t.Errorf("data PDUs = %d, want 1", dat)
+	}
+}
+
+func TestAdaptiveRoutingSinkholeAttraction(t *testing.T) {
+	// With adaptive routing, a node advertising an implausibly low
+	// cost pulls neighbours' parents onto itself — the sinkhole
+	// mechanism — and routing recovers after the attacker is revoked.
+	sim := netsim.New(13)
+	motes := BuildWSNLine(sim, 4, 20) // base(1) - 2 - 3 - 4
+	for _, m := range motes {
+		m.Adaptive = true
+		m.Start(sim.Now().Add(time.Second))
+	}
+	sim.RunFor(2 * time.Minute) // let beacons settle
+	legitimateParent := motes[2].Parent
+
+	// An attacker platform near mote 3 advertises cost 1.
+	attacker := sim.AddNode(&netsim.Node{Name: "sink", Addr16: 9, Pos: netsim.Position{X: 45, Y: 5}})
+	sim.Every(sim.Now().Add(time.Second), 5*time.Second, func() bool {
+		attacker.Send(packet.MediumIEEE802154, stack.BuildCTPBeacon(9, 1, 1, 1))
+		return true
+	})
+	sim.RunFor(time.Minute)
+	if motes[2].Parent != 9 {
+		t.Fatalf("mote 3 parent = %d, want pulled to sinkhole 9 (was %d)", motes[2].Parent, legitimateParent)
+	}
+
+	// Revoke the attacker; its beacon entry ages out and routing
+	// recovers onto a legitimate parent.
+	attacker.Revoke()
+	sim.RunFor(3 * time.Minute)
+	if motes[2].Parent == 9 {
+		t.Error("routing did not recover after revocation")
+	}
+}
+
+func TestRPLNodesFormDODAG(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumIEEE802154)
+	var root *RPLNode
+	for i := 0; i < 4; i++ {
+		addr := uint16(i + 1)
+		n := sim.AddNode(&netsim.Node{
+			Name:   "rpl-" + string(rune('1'+i)),
+			Addr16: addr,
+			Pos:    netsim.Position{X: float64(i) * 15},
+		})
+		parent := addr - 1
+		if i == 0 {
+			parent = addr
+		}
+		r := NewRPLNode(n, parent, uint16(256*(i+1)), i == 0)
+		r.Start(sim.Now().Add(time.Second))
+		if i == 0 {
+			root = r
+		}
+	}
+	sim.RunFor(time.Minute)
+
+	if root.Delivered == 0 {
+		t.Error("no data delivered to the DODAG root")
+	}
+	if countKind(*caps, packet.KindRPLControl) < 8 { // 4 nodes × ≥2 DIOs
+		t.Errorf("DIO count = %d", countKind(*caps, packet.KindRPLControl))
+	}
+	// Mesh forwarding visible on air: frames whose mesh origin is not
+	// the per-hop transmitter.
+	forwarded := false
+	for _, c := range *caps {
+		if c.Kind == packet.KindSixLowPAN && c.Src != c.Transmitter {
+			forwarded = true
+		}
+	}
+	if !forwarded {
+		t.Error("no mesh forwarding observed")
+	}
+}
+
+func TestZigbeeHubSubs(t *testing.T) {
+	sim, caps := newSimWithSniffer(t, packet.MediumIEEE802154)
+	hn := sim.AddNode(&netsim.Node{Name: "hub", Addr16: 0x0100, Pos: netsim.Position{X: 0}})
+	hub := NewZigbeeHub(hn)
+	for i := 0; i < 2; i++ {
+		sn := sim.AddNode(&netsim.Node{
+			Name:   "bulb-" + string(rune('a'+i)),
+			Addr16: uint16(0x0200 + i),
+			Pos:    netsim.Position{X: float64(5 + i*3)},
+		})
+		hub.AddSub(NewZigbeeSub(sn))
+	}
+	hub.Start(sim.Now().Add(time.Second))
+	sim.RunFor(30 * time.Second)
+
+	if hub.Reports != 4 { // 2 polls × 2 subs
+		t.Errorf("hub reports = %d, want 4", hub.Reports)
+	}
+	if got := countKind(*caps, packet.KindZigbeeData); got != 8 { // 4 commands + 4 reports
+		t.Errorf("zigbee data frames = %d, want 8", got)
+	}
+}

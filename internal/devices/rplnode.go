@@ -1,0 +1,99 @@
+package devices
+
+import (
+	"time"
+
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/sixlowpan"
+	"kalis/internal/proto/stack"
+)
+
+// RPLNode models a 6LoWPAN/RPL node (RFC 6550): it broadcasts periodic
+// DIO advertisements carrying its rank and originates mesh-forwarded
+// application data towards the DODAG root. Non-root nodes also relay
+// mesh data one hop towards their parent, like the CTP motes do for
+// collection traffic.
+type RPLNode struct {
+	node *netsim.Node
+	// Parent is the next hop towards the root.
+	Parent uint16
+	// Rank is the advertised RPL rank (root = 256).
+	Rank uint16
+	// Root reports whether this node is the DODAG root.
+	Root bool
+	// RootAddr is the DODAG root's address (data destination).
+	RootAddr uint16
+	// DIOInterval is the DIO broadcast period (default 20 s).
+	DIOInterval time.Duration
+	// DataInterval is the application data period (default 5 s).
+	DataInterval time.Duration
+	// Delivered counts data frames terminating at this root.
+	Delivered int
+
+	seq uint8
+}
+
+// NewRPLNode creates a node bound to the simulated radio.
+func NewRPLNode(node *netsim.Node, parent, rank uint16, root bool) *RPLNode {
+	n := &RPLNode{
+		node:         node,
+		Parent:       parent,
+		Rank:         rank,
+		Root:         root,
+		RootAddr:     1,
+		DIOInterval:  20 * time.Second,
+		DataInterval: 5 * time.Second,
+	}
+	node.OnReceive(n.receive)
+	return n
+}
+
+// Node returns the underlying simulated node.
+func (n *RPLNode) Node() *netsim.Node { return n.node }
+
+// Start schedules DIO broadcasts and data origination.
+func (n *RPLNode) Start(start time.Time) {
+	sim := n.node.Sim()
+	sim.Every(start, n.DIOInterval, func() bool {
+		n.seq++
+		n.node.Send(packet.MediumIEEE802154, stack.BuildRPLDIO(n.node.Addr16, n.seq, n.Rank, 1))
+		return true
+	})
+	if !n.Root {
+		sim.Every(start.Add(n.DataInterval/2), n.DataInterval, func() bool {
+			n.seq++
+			raw := stack.BuildSixLowPANData(n.node.Addr16, n.Parent, n.node.Addr16, n.RootAddr, n.seq, 8, []byte{0x02, n.seq})
+			n.node.Send(packet.MediumIEEE802154, raw)
+			return true
+		})
+	}
+}
+
+func (n *RPLNode) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumIEEE802154 {
+		return
+	}
+	mac, err := ieee802154.Decode(raw)
+	if err != nil || mac.DstShort != n.node.Addr16 {
+		return
+	}
+	lp, err := sixlowpan.Decode(mac.Payload)
+	if err != nil || lp.Mesh == nil {
+		return
+	}
+	if n.Root || lp.Mesh.Dst == n.node.Addr16 {
+		n.Delivered++
+		return
+	}
+	if lp.Mesh.HopsLeft == 0 {
+		return
+	}
+	// Relay one hop towards the parent, decrementing HopsLeft.
+	n.seq++
+	fwd := stack.BuildSixLowPANData(n.node.Addr16, n.Parent, lp.Mesh.Origin, lp.Mesh.Dst, n.seq, lp.Mesh.HopsLeft-1, lp.Payload)
+	n.node.Sim().After(15*time.Millisecond, func() {
+		n.node.Send(packet.MediumIEEE802154, fwd)
+	})
+}

@@ -1,0 +1,343 @@
+package devices
+
+import (
+	"net/netip"
+	"time"
+
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/ipv4"
+	"kalis/internal/proto/stack"
+	"kalis/internal/proto/tcp"
+	"kalis/internal/proto/wifi"
+)
+
+// IPHost gives a simulated node basic IP-host behaviour on WiFi: it
+// answers ICMP echo requests addressed to it with echo replies. This is
+// the amplification behaviour the Smurf attack abuses — neighbours of
+// the victim "will thus respond with ICMP Echo Reply messages directed
+// to the victim" (§III-A1).
+type IPHost struct {
+	node *netsim.Node
+	// Replies counts echo replies sent.
+	Replies int
+}
+
+// NewIPHost installs echo-responder behaviour on the node.
+func NewIPHost(node *netsim.Node) *IPHost {
+	h := &IPHost{node: node}
+	node.OnReceive(h.receive)
+	return h
+}
+
+// Node returns the underlying simulated node.
+func (h *IPHost) Node() *netsim.Node { return h.node }
+
+func (h *IPHost) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumWiFi {
+		return
+	}
+	fr, err := wifi.Decode(raw)
+	if err != nil || fr.Type != wifi.TypeData {
+		return
+	}
+	ip, err := ipv4.Decode(fr.Payload)
+	if err != nil || ip.Protocol != ipv4.ProtoICMP || ip.Dst != h.node.IP {
+		return
+	}
+	m, err := icmp.Decode(ip.Payload)
+	if err != nil || !m.IsEchoRequest() {
+		return
+	}
+	h.Replies++
+	// Echo replies mirror the request payload, as real stacks do.
+	reply := stack.BuildICMPEchoPayload(h.node.IP, ip.Src, icmp.TypeEchoReply, m.ID, m.Seq, 64, m.Payload)
+	h.node.Sim().After(5*time.Millisecond, func() {
+		h.node.Send(packet.MediumWiFi, reply)
+	})
+}
+
+// CloudPeer simulates the internet-side endpoint of device↔cloud TCP
+// sessions: it completes handshakes (SYN→SYN/ACK) and acknowledges
+// data. In the simulation it lives on the router/uplink node.
+type CloudPeer struct {
+	node *netsim.Node
+	// Handshakes counts completed SYN→SYN/ACK exchanges.
+	Handshakes int
+}
+
+// NewCloudPeer installs cloud-endpoint behaviour on the node.
+func NewCloudPeer(node *netsim.Node) *CloudPeer {
+	p := &CloudPeer{node: node}
+	node.OnReceive(p.receive)
+	return p
+}
+
+func (p *CloudPeer) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumWiFi {
+		return
+	}
+	fr, err := wifi.Decode(raw)
+	if err != nil || fr.Type != wifi.TypeData {
+		return
+	}
+	ip, err := ipv4.Decode(fr.Payload)
+	if err != nil || ip.Protocol != ipv4.ProtoTCP || ip.Dst != p.node.IP {
+		return
+	}
+	seg, err := tcp.Decode(ip.Src, ip.Dst, ip.Payload)
+	if err != nil {
+		return
+	}
+	switch {
+	case seg.IsSYN():
+		p.Handshakes++
+		resp := stack.BuildTCP(p.node.IP, ip.Src, seg.DstPort, seg.SrcPort,
+			tcp.FlagSYN|tcp.FlagACK, 1000, seg.Seq+1, 1, nil)
+		p.node.Sim().After(8*time.Millisecond, func() { p.node.Send(packet.MediumWiFi, resp) })
+	case len(seg.Payload) > 0:
+		resp := stack.BuildTCP(p.node.IP, ip.Src, seg.DstPort, seg.SrcPort,
+			tcp.FlagACK, seg.Ack, seg.Seq+uint32(len(seg.Payload)), 2, nil)
+		p.node.Sim().After(8*time.Millisecond, func() { p.node.Send(packet.MediumWiFi, resp) })
+	}
+}
+
+// CloudRelay models a home router/AP relaying Internet-side traffic
+// onto the local WiFi network: device→cloud TCP traffic is answered by
+// frames *transmitted by the router* but *sourced from the cloud IP* —
+// the forwarding pattern that makes the WiFi segment observably
+// multi-hop to a passive monitor.
+type CloudRelay struct {
+	node  *netsim.Node
+	cloud netip.Addr
+	seq   uint16
+	// Relayed counts responses forwarded onto the LAN.
+	Relayed int
+}
+
+// NewCloudRelay installs relay behaviour on the router node, answering
+// for the given cloud address.
+func NewCloudRelay(node *netsim.Node, cloud netip.Addr) *CloudRelay {
+	r := &CloudRelay{node: node, cloud: cloud}
+	node.OnReceive(r.receive)
+	return r
+}
+
+func (r *CloudRelay) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumWiFi {
+		return
+	}
+	fr, err := wifi.Decode(raw)
+	if err != nil || fr.Type != wifi.TypeData {
+		return
+	}
+	ip, err := ipv4.Decode(fr.Payload)
+	if err != nil || ip.Protocol != ipv4.ProtoTCP || ip.Dst != r.cloud {
+		return
+	}
+	seg, err := tcp.Decode(ip.Src, ip.Dst, ip.Payload)
+	if err != nil {
+		return
+	}
+	var resp *tcp.Segment
+	switch {
+	case seg.IsSYN():
+		resp = &tcp.Segment{SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: 5000, Ack: seg.Seq + 1, Flags: tcp.FlagSYN | tcp.FlagACK, Window: 65535}
+	case len(seg.Payload) > 0:
+		resp = &tcp.Segment{SrcPort: seg.DstPort, DstPort: seg.SrcPort,
+			Seq: seg.Ack, Ack: seg.Seq + uint32(len(seg.Payload)), Flags: tcp.FlagACK, Window: 65535}
+	default:
+		return
+	}
+	r.seq++
+	r.Relayed++
+	ipResp := &ipv4.Header{TTL: 63, Protocol: ipv4.ProtoTCP, Src: r.cloud, Dst: ip.Src,
+		ID: r.seq, Payload: resp.Encode(r.cloud, ip.Src)}
+	raw2 := stack.BuildIPFrame(r.node.IP, ip.Src, r.seq, ipResp.Encode())
+	r.node.Sim().After(15*time.Millisecond, func() {
+		r.node.Send(packet.MediumWiFi, raw2)
+	})
+}
+
+// Thermostat is a Nest-style device: a periodic TLS-like TCP report to
+// its cloud service (handshake, opaque payload, teardown).
+type Thermostat struct {
+	node  *netsim.Node
+	cloud netip.Addr
+	// Interval is the reporting period (default 60 s).
+	Interval time.Duration
+	seq      uint32
+	ipid     uint16
+}
+
+// NewThermostat creates a thermostat reporting to the given cloud IP.
+func NewThermostat(node *netsim.Node, cloud netip.Addr) *Thermostat {
+	return &Thermostat{node: node, cloud: cloud, Interval: time.Minute}
+}
+
+// Start schedules the report cycle beginning at start.
+func (d *Thermostat) Start(start time.Time) {
+	sim := d.node.Sim()
+	sim.Every(start, d.Interval, func() bool {
+		d.report()
+		return true
+	})
+}
+
+func (d *Thermostat) report() {
+	sim := d.node.Sim()
+	src, dst := d.node.IP, d.cloud
+	d.seq += 1000
+	d.ipid++
+	syn := stack.BuildTCP(src, dst, 42000, 443, tcp.FlagSYN, d.seq, 0, d.ipid, nil)
+	d.node.Send(packet.MediumWiFi, syn)
+	seq := d.seq
+	sim.After(30*time.Millisecond, func() {
+		d.ipid++
+		ack := stack.BuildTCP(src, dst, 42000, 443, tcp.FlagACK, seq+1, 1001, d.ipid, nil)
+		d.node.Send(packet.MediumWiFi, ack)
+		d.ipid++
+		payload := make([]byte, 48) // opaque TLS-like record
+		for i := range payload {
+			payload[i] = byte(i * 7)
+		}
+		data := stack.BuildTCP(src, dst, 42000, 443, tcp.FlagACK|tcp.FlagPSH, seq+1, 1001, d.ipid, payload)
+		d.node.Send(packet.MediumWiFi, data)
+	})
+	sim.After(120*time.Millisecond, func() {
+		d.ipid++
+		fin := stack.BuildTCP(src, dst, 42000, 443, tcp.FlagFIN|tcp.FlagACK, seq+49, 1002, d.ipid, nil)
+		d.node.Send(packet.MediumWiFi, fin)
+	})
+}
+
+// Bulb is a Lifx-style smart bulb: LAN UDP state broadcasts.
+type Bulb struct {
+	node *netsim.Node
+	// Interval is the broadcast period (default 10 s).
+	Interval time.Duration
+	ipid     uint16
+}
+
+// NewBulb creates a bulb bound to the node.
+func NewBulb(node *netsim.Node) *Bulb {
+	return &Bulb{node: node, Interval: 10 * time.Second}
+}
+
+// Start schedules the broadcast cycle.
+func (d *Bulb) Start(start time.Time) {
+	bcast := netip.MustParseAddr("192.168.1.255")
+	d.node.Sim().Every(start, d.Interval, func() bool {
+		d.ipid++
+		raw := stack.BuildUDP(d.node.IP, bcast, 56700, 56700, d.ipid, []byte{0x24, 0x00, 0x00, 0x14})
+		d.node.Send(packet.MediumWiFi, raw)
+		return true
+	})
+}
+
+// Camera is an Arlo-style camera: bursts of TCP data upstream.
+type Camera struct {
+	node  *netsim.Node
+	cloud netip.Addr
+	// Interval is the burst period (default 5 s); Burst is frames per
+	// burst (default 4).
+	Interval time.Duration
+	Burst    int
+	seq      uint32
+	ipid     uint16
+}
+
+// NewCamera creates a camera streaming to the given cloud IP.
+func NewCamera(node *netsim.Node, cloud netip.Addr) *Camera {
+	return &Camera{node: node, cloud: cloud, Interval: 5 * time.Second, Burst: 4}
+}
+
+// Start schedules the streaming cycle.
+func (d *Camera) Start(start time.Time) {
+	sim := d.node.Sim()
+	// One handshake at start, then periodic data bursts.
+	sim.At(start, func() {
+		d.ipid++
+		d.node.Send(packet.MediumWiFi,
+			stack.BuildTCP(d.node.IP, d.cloud, 43000, 443, tcp.FlagSYN, 1, 0, d.ipid, nil))
+	})
+	sim.Every(start.Add(200*time.Millisecond), d.Interval, func() bool {
+		for i := 0; i < d.Burst; i++ {
+			d.seq += 512
+			d.ipid++
+			payload := make([]byte, 512)
+			raw := stack.BuildTCP(d.node.IP, d.cloud, 43000, 443, tcp.FlagACK|tcp.FlagPSH, d.seq, 1, d.ipid, payload)
+			off := time.Duration(i) * 10 * time.Millisecond
+			sim.After(off, func() { d.node.Send(packet.MediumWiFi, raw) })
+		}
+		return true
+	})
+}
+
+// DashButton is an Amazon-Dash-style device: mostly silent, then a
+// wake-up burst (WiFi association + one TCP exchange) when pressed.
+type DashButton struct {
+	node  *netsim.Node
+	cloud netip.Addr
+	ipid  uint16
+	wseq  uint16
+}
+
+// NewDashButton creates a dash button reporting to the given cloud IP.
+func NewDashButton(node *netsim.Node, cloud netip.Addr) *DashButton {
+	return &DashButton{node: node, cloud: cloud}
+}
+
+// Press simulates a button press at the current virtual time.
+func (d *DashButton) Press() {
+	sim := d.node.Sim()
+	mac := wifi.MAC{0x02, 0x01, 0x02, 0x03, 0x04, 0x05}
+	ap := wifi.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}
+	d.wseq++
+	d.node.Send(packet.MediumWiFi, stack.BuildWiFiMgmt(wifi.SubtypeProbeReq, mac, wifi.BroadcastMAC, d.wseq, nil))
+	sim.After(20*time.Millisecond, func() {
+		d.wseq++
+		d.node.Send(packet.MediumWiFi, stack.BuildWiFiMgmt(wifi.SubtypeAssocReq, mac, ap, d.wseq, nil))
+	})
+	sim.After(80*time.Millisecond, func() {
+		d.ipid++
+		d.node.Send(packet.MediumWiFi,
+			stack.BuildTCP(d.node.IP, d.cloud, 44000, 443, tcp.FlagSYN, 7, 0, d.ipid, nil))
+	})
+	sim.After(160*time.Millisecond, func() {
+		d.ipid++
+		d.node.Send(packet.MediumWiFi,
+			stack.BuildTCP(d.node.IP, d.cloud, 44000, 443, tcp.FlagACK|tcp.FlagPSH, 8, 1, d.ipid, []byte("order")))
+	})
+}
+
+// SmartLock is an August-style BLE lock: periodic advertising plus
+// occasional encrypted data exchanges.
+type SmartLock struct {
+	node *netsim.Node
+	addr ble.Address
+	// AdvInterval is the advertising period (default 2 s).
+	AdvInterval time.Duration
+}
+
+// NewSmartLock creates a lock with the given BLE address.
+func NewSmartLock(node *netsim.Node, addr ble.Address) *SmartLock {
+	return &SmartLock{node: node, addr: addr, AdvInterval: 2 * time.Second}
+}
+
+// Start schedules advertising.
+func (d *SmartLock) Start(start time.Time) {
+	d.node.Sim().Every(start, d.AdvInterval, func() bool {
+		d.node.Send(packet.MediumBluetooth, stack.BuildBLEAdv(d.addr, []byte{0x02, 0x01, 0x06}))
+		return true
+	})
+}
+
+// Operate simulates a lock/unlock exchange (opaque encrypted ATT).
+func (d *SmartLock) Operate() {
+	payload := []byte{0x52, 0xaa, 0x10, 0x33, 0x9c}
+	d.node.Send(packet.MediumBluetooth, stack.BuildBLEData(d.addr, payload))
+}

@@ -1,0 +1,110 @@
+package devices
+
+import (
+	"time"
+
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/stack"
+	"kalis/internal/proto/zigbee"
+)
+
+// ZigbeeHub models the "hub-to-subs" communication pattern of §II-A: a
+// powerful coordinator that polls its constrained subs over ZigBee and
+// relays their state upstream. The hub periodically sends a command to
+// each sub; subs answer with status reports.
+type ZigbeeHub struct {
+	node *netsim.Node
+	subs []*ZigbeeSub
+	// Interval is the polling period (default 15 s).
+	Interval time.Duration
+	seq      uint8
+	// Reports counts status reports received from subs.
+	Reports int
+}
+
+// NewZigbeeHub creates a hub bound to the node.
+func NewZigbeeHub(node *netsim.Node) *ZigbeeHub {
+	h := &ZigbeeHub{node: node, Interval: 15 * time.Second}
+	node.OnReceive(h.receive)
+	return h
+}
+
+// Node returns the underlying simulated node.
+func (h *ZigbeeHub) Node() *netsim.Node { return h.node }
+
+// AddSub registers a sub device coordinated by this hub.
+func (h *ZigbeeHub) AddSub(s *ZigbeeSub) {
+	s.hub = h.node.Addr16
+	h.subs = append(h.subs, s)
+}
+
+// Start schedules the polling cycle.
+func (h *ZigbeeHub) Start(start time.Time) {
+	h.node.Sim().Every(start, h.Interval, func() bool {
+		for i, s := range h.subs {
+			h.seq++
+			raw := stack.BuildZigbeeData(h.node.Addr16, s.node.Addr16, h.node.Addr16, s.node.Addr16, h.seq, []byte{0x10, byte(i)})
+			seqCopy := h.seq
+			h.node.Sim().After(time.Duration(i)*25*time.Millisecond, func() {
+				_ = seqCopy
+				h.node.Send(packet.MediumIEEE802154, raw)
+			})
+		}
+		return true
+	})
+}
+
+func (h *ZigbeeHub) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumIEEE802154 {
+		return
+	}
+	mac, err := ieee802154.Decode(raw)
+	if err != nil || mac.DstShort != h.node.Addr16 {
+		return
+	}
+	if _, err := zigbee.Decode(mac.Payload); err == nil {
+		h.Reports++
+	}
+}
+
+// ZigbeeSub is a constrained sub device (e.g. a light bulb's radio
+// module) that answers hub commands with status reports.
+type ZigbeeSub struct {
+	node *netsim.Node
+	hub  uint16
+	seq  uint8
+	// Commands counts commands received from the hub.
+	Commands int
+}
+
+// NewZigbeeSub creates a sub bound to the node.
+func NewZigbeeSub(node *netsim.Node) *ZigbeeSub {
+	s := &ZigbeeSub{node: node}
+	node.OnReceive(s.receive)
+	return s
+}
+
+// Node returns the underlying simulated node.
+func (s *ZigbeeSub) Node() *netsim.Node { return s.node }
+
+func (s *ZigbeeSub) receive(medium packet.Medium, raw []byte, _ *netsim.Node, _ float64) {
+	if medium != packet.MediumIEEE802154 {
+		return
+	}
+	mac, err := ieee802154.Decode(raw)
+	if err != nil || mac.DstShort != s.node.Addr16 {
+		return
+	}
+	nwk, err := zigbee.Decode(mac.Payload)
+	if err != nil || nwk.IsRouting() {
+		return
+	}
+	s.Commands++
+	s.seq++
+	resp := stack.BuildZigbeeData(s.node.Addr16, s.hub, s.node.Addr16, s.hub, s.seq, []byte{0x20, 0x01})
+	s.node.Sim().After(12*time.Millisecond, func() {
+		s.node.Send(packet.MediumIEEE802154, resp)
+	})
+}

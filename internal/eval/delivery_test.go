@@ -1,0 +1,51 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeliveryImpact(t *testing.T) {
+	res, err := DeliveryImpact(Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseWith, baseWithout := res.BaselineDelivery()
+	finalWith, finalWithout := res.FinalDelivery()
+	t.Logf("baseline %.2f/%.2f final %.2f/%.2f isolated after %v (%d alerts)",
+		baseWith, baseWithout, finalWith, finalWithout, res.IsolatedAt, res.Alerts)
+
+	if baseWith < 0.9 || baseWithout < 0.9 {
+		t.Errorf("baseline delivery degraded: %.2f / %.2f", baseWith, baseWithout)
+	}
+	// The sinkhole must actually hurt: some attack-phase bucket drops
+	// below half in both runs.
+	dipped := false
+	for _, v := range res.WithoutResponse[res.AttackStart:] {
+		if v < 0.5 {
+			dipped = true
+		}
+	}
+	if !dipped {
+		t.Error("sinkhole never degraded delivery")
+	}
+	// The paper's claim: the response restores the network; without it
+	// the degradation persists.
+	if finalWith < 0.9 {
+		t.Errorf("defended network did not recover: %.2f", finalWith)
+	}
+	if finalWithout > 0.5 {
+		t.Errorf("undefended network recovered by itself: %.2f", finalWithout)
+	}
+	if res.IsolatedAt == 0 || res.Alerts == 0 {
+		t.Error("no isolation/alerts in the defended run")
+	}
+
+	var sb strings.Builder
+	WriteDelivery(&sb, res)
+	for _, want := range []string{"attack begins", "isolated after", "█"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report missing %q", want)
+		}
+	}
+}

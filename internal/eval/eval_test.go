@@ -1,0 +1,36 @@
+package eval
+
+import (
+	"testing"
+)
+
+// runScenario is a test helper executing a scenario with few episodes.
+func runScenario(t *testing.T, sc Scenario, f Factory, episodes int) Result {
+	t.Helper()
+	res, err := Execute(sc, f, 42, episodes)
+	if err != nil {
+		t.Fatalf("%s: %v", sc.Name, err)
+	}
+	return res
+}
+
+func TestKalisPerScenario(t *testing.T) {
+	for _, sc := range AllScenarios() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			res := runScenario(t, sc, NewKalis("K1"), 8)
+			t.Logf("%s: detected %d/%d correct %d fp %d alerts %d",
+				sc.Name, res.Score.Detected, res.Score.Instances,
+				res.Score.Correct, res.Score.FalsePositives, res.Alerts)
+			if res.Score.DetectionRate() < 0.75 {
+				t.Errorf("detection rate = %.2f, want >= 0.75", res.Score.DetectionRate())
+			}
+			if res.Score.Accuracy() < 0.99 {
+				t.Errorf("accuracy = %.2f, want 1.0", res.Score.Accuracy())
+			}
+			if res.Score.FalsePositives > 2 {
+				t.Errorf("false positives = %d", res.Score.FalsePositives)
+			}
+		})
+	}
+}

@@ -1,0 +1,22 @@
+package eval
+
+import "testing"
+
+func TestFullTable2(t *testing.T) {
+	if testing.Short() {
+		t.Skip()
+	}
+	res, err := Table2(Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		t.Logf("%-16s DR=%.2f Acc=%.2f CPU=%.4f%% RAM=%.0fKB work/pkt=%.1f",
+			r.System, r.DetectionRate, r.Accuracy, r.CPUPercent, r.RAMKB, r.WorkPerPacket)
+	}
+	for _, r := range res.PerScenario {
+		t.Logf("  %-28s %-16s DR=%.2f acc=%.2f cpu=%v pkts=%d heap=%dKB",
+			r.Scenario, r.System, r.Score.DetectionRate(), r.Score.Accuracy(),
+			r.Resources.CPUTime, r.Resources.Packets, r.Resources.HeapBytes/1024)
+	}
+}

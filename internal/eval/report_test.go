@@ -1,0 +1,121 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"kalis/internal/metrics"
+)
+
+func TestWriteTable2(t *testing.T) {
+	res := &Table2Result{
+		Rows: []Table2Row{
+			{System: "Traditional IDS", DetectionRate: 0.83, Accuracy: 0.77, CPUPercent: 0.003, RAMKB: 1100, WorkPerPacket: 13.2, Applicable: 2},
+			{System: "Snort", DetectionRate: 1, Accuracy: 0.42, CPUPercent: 0.014, RAMKB: 1200, WorkPerPacket: 563, Applicable: 1},
+			{System: "Kalis", DetectionRate: 1, Accuracy: 1, CPUPercent: 0.003, RAMKB: 1100, WorkPerPacket: 9.1, Applicable: 2},
+		},
+		PerScenario: []Result{{
+			System: "Kalis", Scenario: "icmp-flood/single-hop",
+			Score:     metrics.Score{Instances: 50, Detected: 50, Correct: 50},
+			Resources: metrics.Resources{CPUTime: 16 * time.Millisecond, HeapBytes: 1 << 20},
+		}},
+	}
+	var sb strings.Builder
+	WriteTable2(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"Detection Rate", "Accuracy", "CPU usage", "RAM usage", "100%", "Paper reference"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table II output missing %q", want)
+		}
+	}
+}
+
+func TestWriteFig8(t *testing.T) {
+	res := &Fig8Result{
+		Rows: []Fig8Row{
+			{Scenario: "icmp-flood/single-hop", KalisDR: 1, KalisAcc: 1, TraditionalDR: 1, TradAcc: 0.42},
+		},
+		KalisAvgDR: 1, KalisAvgAcc: 1, TradAvgDR: 0.94, TradAvgAcc: 0.83,
+	}
+	var sb strings.Builder
+	WriteFig8(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"icmp-flood/single-hop", "AVERAGES", "█", "100.0%", "42.0%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 8 output missing %q", want)
+		}
+	}
+}
+
+func TestWriteReactivityAndOthers(t *testing.T) {
+	var sb strings.Builder
+	WriteReactivity(&sb, &ReactivityResult{
+		TopologyKnownAfter:     time.Second,
+		ModuleActiveAfter:      time.Second,
+		FirstAlertAfterEpisode: 13 * time.Second,
+		DetectionRate:          1,
+	})
+	if !strings.Contains(sb.String(), "100%") || !strings.Contains(sb.String(), "13s") {
+		t.Errorf("reactivity output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	WriteKnowledgeSharing(&sb, &WormholeResult{
+		WithWormholeAlerts: 11, WithBlackholeAlerts: 10,
+		WithDetectionRate: 1, WithAccuracy: 1,
+		WithoutBlackholeAlerts: 10,
+	})
+	if !strings.Contains(sb.String(), "wormhole alerts") {
+		t.Errorf("knowledge sharing output:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	WriteCountermeasure(&sb, &CountermeasureResult{
+		Kalis:       metrics.Countermeasure{CorrectRevocations: 1},
+		Traditional: metrics.Countermeasure{Collateral: 4},
+	})
+	if !strings.Contains(sb.String(), "Kalis:") || !strings.Contains(sb.String(), "Traditional IDS:") {
+		t.Errorf("countermeasure output:\n%s", sb.String())
+	}
+}
+
+func TestScenarioByName(t *testing.T) {
+	if _, ok := ScenarioByName("icmp-flood"); !ok {
+		t.Error("lookup by attack name failed")
+	}
+	if _, ok := ScenarioByName("smurf/multi-hop"); !ok {
+		t.Error("lookup by full name failed")
+	}
+	if _, ok := ScenarioByName("nope"); ok {
+		t.Error("unknown scenario found")
+	}
+}
+
+func TestSnortBlindOnWSNScenario(t *testing.T) {
+	sc, _ := ScenarioByName("selective-forwarding")
+	res, err := Execute(sc, NewSnort(100), 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score.Detected != 0 || res.Alerts != 0 {
+		t.Errorf("Snort detected on 802.15.4: %+v", res.Score)
+	}
+}
+
+func TestFirstDetection(t *testing.T) {
+	t1 := time.Unix(10, 0)
+	t2 := time.Unix(5, 0)
+	attrs := []metrics.Attribution{
+		{Time: t1, Attack: "sybil"},
+		{Time: t2, Attack: "sybil"},
+		{Time: time.Unix(1, 0), Attack: "other"},
+	}
+	got, ok := FirstDetection(attrs, "sybil")
+	if !ok || !got.Equal(t2) {
+		t.Errorf("FirstDetection = %v ok=%v", got, ok)
+	}
+	if _, ok := FirstDetection(attrs, "none"); ok {
+		t.Error("found nonexistent attack")
+	}
+}

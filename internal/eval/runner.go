@@ -1,0 +1,125 @@
+package eval
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"kalis/internal/core/detection"
+	"kalis/internal/metrics"
+	"kalis/internal/packet"
+)
+
+// Result is the outcome of one (scenario, system) run.
+type Result struct {
+	System    string
+	Scenario  string
+	Score     metrics.Score
+	Resources metrics.Resources
+	// Alerts is the total number of alerts the system raised.
+	Alerts int
+}
+
+// Execute replays one scenario through one system and scores it.
+func Execute(sc Scenario, factory Factory, seed int64, episodes int) (Result, error) {
+	if episodes <= 0 {
+		episodes = sc.Episodes
+	}
+	run := sc.Build(seed, episodes)
+
+	heapBefore := metrics.HeapLive()
+	ids, err := factory(seed)
+	if err != nil {
+		return Result{}, fmt.Errorf("eval: build %s: %w", sc.Name, err)
+	}
+	var meter metrics.CPUMeter
+	run.Sniffer.Subscribe(func(c *packet.Captured) {
+		meter.Time(func() { ids.HandleCapture(c) })
+	})
+	start := run.Sim.Now()
+	run.Sim.Run(run.End)
+	heapAfter := metrics.HeapLive()
+
+	attrs := ids.Attributions()
+	res := Result{
+		System:   ids.Label(),
+		Scenario: sc.Name,
+		Score:    metrics.ScoreAlerts(run.Instances, attrs, seed),
+		Alerts:   len(attrs),
+		Resources: metrics.Resources{
+			CPUTime:         meter.Busy(),
+			VirtualDuration: run.End.Sub(start),
+			HeapBytes:       maxInt64(heapAfter-heapBefore, 0),
+			Packets:         uint64(run.Sniffer.Captures),
+			WorkUnits:       ids.WorkUnits(),
+		},
+	}
+	ids.Close()
+	return res, nil
+}
+
+func maxInt64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TraditionalFor returns the traditional-IDS factory appropriate for a
+// scenario: for the replication scenario the baseline "randomly
+// selects one of the two modules for each of our experiment runs"
+// (§VI-B2), so a seeded coin flip excludes one variant; every other
+// scenario runs the full static library.
+func TraditionalFor(sc Scenario, seed int64) Factory {
+	if sc.Attack != "replication" {
+		return NewTraditional()
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x7261646d))
+	if rng.Intn(2) == 0 {
+		return NewTraditional(detection.ReplicationMobileName)
+	}
+	return NewTraditional(detection.ReplicationStaticName)
+}
+
+// ExecuteTraditional runs the traditional baseline on a scenario. For
+// the replication scenario it runs both possible module selections and
+// merges the scores — the deterministic expectation of the paper's
+// per-run coin flip.
+func ExecuteTraditional(sc Scenario, seed int64, episodes int) (Result, error) {
+	if sc.Attack != "replication" {
+		return Execute(sc, NewTraditional(), seed, episodes)
+	}
+	a, err := Execute(sc, NewTraditional(detection.ReplicationMobileName), seed, episodes)
+	if err != nil {
+		return Result{}, err
+	}
+	b, err := Execute(sc, NewTraditional(detection.ReplicationStaticName), seed+1, episodes)
+	if err != nil {
+		return Result{}, err
+	}
+	merged := a
+	merged.Score = a.Score.Add(b.Score)
+	merged.Alerts += b.Alerts
+	merged.Resources.CPUTime = (a.Resources.CPUTime + b.Resources.CPUTime) / 2
+	merged.Resources.HeapBytes = (a.Resources.HeapBytes + b.Resources.HeapBytes) / 2
+	merged.Resources.Packets = (a.Resources.Packets + b.Resources.Packets) / 2
+	merged.Resources.WorkUnits = (a.Resources.WorkUnits + b.Resources.WorkUnits) / 2
+	return merged, nil
+}
+
+// FirstDetection returns the earliest alert time for the given attack
+// name, if any.
+func FirstDetection(attrs []metrics.Attribution, attackName string) (time.Time, bool) {
+	var first time.Time
+	found := false
+	for _, a := range attrs {
+		if a.Attack != attackName {
+			continue
+		}
+		if !found || a.Time.Before(first) {
+			first = a.Time
+			found = true
+		}
+	}
+	return first, found
+}

@@ -1,0 +1,224 @@
+// Package metrics implements the evaluation metrics of §VI-B:
+// detection rate, classification accuracy, countermeasure
+// effectiveness, and CPU/RAM resource measurement.
+package metrics
+
+import (
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"kalis/internal/attacks"
+	"kalis/internal/packet"
+)
+
+// Attribution is one detection, reduced to what scoring needs. Both
+// Kalis/traditional alerts and Snort-like alerts convert into it.
+type Attribution struct {
+	Time     time.Time
+	Attack   string
+	Victim   packet.NodeID
+	Suspects []packet.NodeID
+	// Confidence ranks contradictory classifications: when several
+	// alerts with different attack names match one instance, the
+	// highest-confidence name wins (a wormhole correlation refines a
+	// plain blackhole alert); among equal confidences the operator
+	// must guess.
+	Confidence float64
+}
+
+// Score aggregates per-scenario results.
+type Score struct {
+	// Instances is the number of ground-truth adverse events.
+	Instances int
+	// Detected is how many instances at least one alert matched.
+	Detected int
+	// Correct is how many detected instances were classified as the
+	// right attack.
+	Correct int
+	// FalsePositives is the number of alerts matching no instance.
+	FalsePositives int
+}
+
+// DetectionRate is Detected/Instances — metric (i) of §VI-B.
+func (s Score) DetectionRate() float64 {
+	if s.Instances == 0 {
+		return 0
+	}
+	return float64(s.Detected) / float64(s.Instances)
+}
+
+// Accuracy is Correct/Detected — metric (ii) of §VI-B ("number of
+// correctly classified attacks out of all the detected attacks").
+func (s Score) Accuracy() float64 {
+	if s.Detected == 0 {
+		return 0
+	}
+	return float64(s.Correct) / float64(s.Detected)
+}
+
+// Add accumulates another score (for cross-scenario averages the
+// paper reports in Table II and Fig. 8).
+func (s Score) Add(o Score) Score {
+	return Score{
+		Instances:      s.Instances + o.Instances,
+		Detected:       s.Detected + o.Detected,
+		Correct:        s.Correct + o.Correct,
+		FalsePositives: s.FalsePositives + o.FalsePositives,
+	}
+}
+
+// matchGrace extends each instance window when matching alerts, since
+// threshold detectors legitimately fire shortly after a burst ends.
+const matchGrace = 10 * time.Second
+
+// matches reports whether the alert is attributable to the instance:
+// temporally within the (grace-extended) episode and tied to it by
+// victim, attacker, or attack name.
+func matches(a Attribution, inst attacks.Instance) bool {
+	if a.Time.Before(inst.Start) || a.Time.After(inst.End.Add(matchGrace)) {
+		return false
+	}
+	if inst.Victim != "" && a.Victim == inst.Victim {
+		return true
+	}
+	for _, s := range a.Suspects {
+		if s == inst.Attacker {
+			return true
+		}
+	}
+	return a.Attack == inst.Attack
+}
+
+// ScoreAlerts scores a run: every instance is checked for matching
+// alerts; an instance counts as correctly classified when the operator,
+// picking among the distinct attack names of its matching alerts
+// (uniformly at random, seeded — contradictory alerts force a guess,
+// which is precisely the traditional-IDS ambiguity cost), picks the
+// true name. Alerts matching no instance are false positives.
+func ScoreAlerts(instances []attacks.Instance, alerts []Attribution, seed int64) Score {
+	rng := rand.New(rand.NewSource(seed))
+	score := Score{Instances: len(instances)}
+	used := make([]bool, len(alerts))
+	for _, inst := range instances {
+		names := map[string]float64{} // attack name → best confidence
+		for i, a := range alerts {
+			if matches(a, inst) {
+				if a.Confidence > names[a.Attack] || names[a.Attack] == 0 {
+					names[a.Attack] = a.Confidence
+				}
+				used[i] = true
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		score.Detected++
+		// Keep only the highest-confidence names; guess among ties.
+		best := 0.0
+		for _, c := range names {
+			if c > best {
+				best = c
+			}
+		}
+		sorted := make([]string, 0, len(names))
+		for n, c := range names {
+			if c == best {
+				sorted = append(sorted, n)
+			}
+		}
+		sort.Strings(sorted)
+		if sorted[rng.Intn(len(sorted))] == inst.Attack {
+			score.Correct++
+		}
+	}
+	for i := range alerts {
+		if !used[i] {
+			score.FalsePositives++
+		}
+	}
+	return score
+}
+
+// Resources captures measured resource usage for one IDS run.
+type Resources struct {
+	// CPUTime is the wall-clock time spent inside the IDS's packet
+	// processing path.
+	CPUTime time.Duration
+	// VirtualDuration is the simulated time the run covered.
+	VirtualDuration time.Duration
+	// HeapBytes is the live-heap growth attributable to the run.
+	HeapBytes int64
+	// Packets is the number of captures processed.
+	Packets uint64
+	// WorkUnits counts per-packet work (module invocations or rule
+	// evaluations) — the platform-independent cost measure.
+	WorkUnits uint64
+}
+
+// CPUPercent normalizes processing time against simulated time: the
+// share of one (simulated-deployment) CPU the IDS would keep busy.
+func (r Resources) CPUPercent() float64 {
+	if r.VirtualDuration == 0 {
+		return 0
+	}
+	return 100 * float64(r.CPUTime) / float64(r.VirtualDuration)
+}
+
+// CPUMeter accumulates processing time.
+type CPUMeter struct {
+	busy time.Duration
+}
+
+// Time runs fn and adds its duration to the meter.
+func (m *CPUMeter) Time(fn func()) {
+	start := time.Now()
+	fn()
+	m.busy += time.Since(start)
+}
+
+// Busy returns the accumulated processing time.
+func (m *CPUMeter) Busy() time.Duration { return m.busy }
+
+// HeapLive returns the current live heap after a full GC; the
+// difference of two calls brackets a run's retained allocation.
+func HeapLive() int64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.HeapAlloc)
+}
+
+// Countermeasure captures the effect of revocation-based response
+// (metric (iii), §VI-B: "how positive a response action based on the
+// detections is for the overall network").
+type Countermeasure struct {
+	// Revoked is every node the IDS's response revoked.
+	Revoked []packet.NodeID
+	// CorrectRevocations are revoked true attackers.
+	CorrectRevocations int
+	// Collateral are revoked innocent nodes.
+	Collateral int
+	// VictimRevoked reports the pathological outcome the paper
+	// describes for the traditional IDS (revoking the victim
+	// disconnects the network).
+	VictimRevoked bool
+}
+
+// ScoreCountermeasure evaluates a set of revocations.
+func ScoreCountermeasure(revoked []packet.NodeID, attackers map[packet.NodeID]bool, victim packet.NodeID) Countermeasure {
+	cm := Countermeasure{Revoked: revoked}
+	for _, id := range revoked {
+		switch {
+		case attackers[id]:
+			cm.CorrectRevocations++
+		default:
+			cm.Collateral++
+			if id == victim {
+				cm.VictimRevoked = true
+			}
+		}
+	}
+	return cm
+}

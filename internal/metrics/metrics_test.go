@@ -1,0 +1,156 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"kalis/internal/attacks"
+	"kalis/internal/packet"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+func inst(id int, start time.Time, attackName string, attacker, victim packet.NodeID) attacks.Instance {
+	return attacks.Instance{
+		Attack: attackName, ID: id,
+		Start: start, End: start.Add(5 * time.Second),
+		Attacker: attacker, Victim: victim,
+	}
+}
+
+func TestScoreAllDetectedCorrect(t *testing.T) {
+	insts := []attacks.Instance{
+		inst(1, t0, "icmp-flood", "atk", "v"),
+		inst(2, t0.Add(time.Minute), "icmp-flood", "atk", "v"),
+	}
+	alerts := []Attribution{
+		{Time: t0.Add(2 * time.Second), Attack: "icmp-flood", Victim: "v", Confidence: 0.9},
+		{Time: t0.Add(61 * time.Second), Attack: "icmp-flood", Victim: "v", Confidence: 0.9},
+	}
+	s := ScoreAlerts(insts, alerts, 1)
+	if s.Detected != 2 || s.Correct != 2 || s.FalsePositives != 0 {
+		t.Errorf("score = %+v", s)
+	}
+	if s.DetectionRate() != 1 || s.Accuracy() != 1 {
+		t.Errorf("rates: %f %f", s.DetectionRate(), s.Accuracy())
+	}
+}
+
+func TestScoreMisclassification(t *testing.T) {
+	insts := []attacks.Instance{inst(1, t0, "wormhole", "b1", "")}
+	alerts := []Attribution{
+		{Time: t0.Add(time.Second), Attack: "blackhole", Suspects: []packet.NodeID{"b1"}, Confidence: 0.85},
+	}
+	s := ScoreAlerts(insts, alerts, 1)
+	if s.Detected != 1 || s.Correct != 0 {
+		t.Errorf("score = %+v", s)
+	}
+}
+
+func TestScoreConfidencePriority(t *testing.T) {
+	// A wormhole alert (0.9) must beat a simultaneous blackhole alert
+	// (0.85) deterministically, for any seed.
+	insts := []attacks.Instance{inst(1, t0, "wormhole", "b1", "")}
+	alerts := []Attribution{
+		{Time: t0.Add(time.Second), Attack: "blackhole", Suspects: []packet.NodeID{"b1"}, Confidence: 0.85},
+		{Time: t0.Add(2 * time.Second), Attack: "wormhole", Suspects: []packet.NodeID{"b1"}, Confidence: 0.9},
+	}
+	for seed := int64(0); seed < 20; seed++ {
+		s := ScoreAlerts(insts, alerts, seed)
+		if s.Correct != 1 {
+			t.Fatalf("seed %d: confidence priority violated: %+v", seed, s)
+		}
+	}
+}
+
+func TestScoreAmbiguityIsACoinToss(t *testing.T) {
+	// Two equal-confidence contradictory names: across seeds, roughly
+	// half the classifications are correct.
+	insts := []attacks.Instance{inst(1, t0, "icmp-flood", "atk", "v")}
+	alerts := []Attribution{
+		{Time: t0.Add(time.Second), Attack: "icmp-flood", Victim: "v", Confidence: 0.7},
+		{Time: t0.Add(time.Second), Attack: "smurf", Victim: "v", Confidence: 0.7},
+	}
+	correct := 0
+	for seed := int64(0); seed < 200; seed++ {
+		correct += ScoreAlerts(insts, alerts, seed).Correct
+	}
+	if correct < 60 || correct > 140 {
+		t.Errorf("correct = %d/200, want ~100", correct)
+	}
+}
+
+func TestScoreFalsePositives(t *testing.T) {
+	insts := []attacks.Instance{inst(1, t0, "sybil", "atk", "")}
+	alerts := []Attribution{
+		{Time: t0.Add(time.Second), Attack: "sybil", Suspects: []packet.NodeID{"atk"}, Confidence: 0.8},
+		{Time: t0.Add(time.Hour), Attack: "sybil", Suspects: []packet.NodeID{"atk"}, Confidence: 0.8}, // way outside
+		{Time: t0.Add(time.Second), Attack: "sinkhole", Suspects: []packet.NodeID{"other"}, Confidence: 0.8},
+	}
+	s := ScoreAlerts(insts, alerts, 1)
+	if s.FalsePositives != 2 {
+		t.Errorf("fp = %d, want 2", s.FalsePositives)
+	}
+}
+
+func TestScoreTimeWindowGrace(t *testing.T) {
+	insts := []attacks.Instance{inst(1, t0, "blackhole", "r", "")}
+	late := Attribution{Time: t0.Add(5*time.Second + matchGrace), Attack: "blackhole", Suspects: []packet.NodeID{"r"}, Confidence: 0.8}
+	if s := ScoreAlerts(insts, []Attribution{late}, 1); s.Detected != 1 {
+		t.Error("alert at grace boundary not matched")
+	}
+	tooLate := Attribution{Time: t0.Add(6*time.Second + matchGrace), Attack: "blackhole", Suspects: []packet.NodeID{"r"}, Confidence: 0.8}
+	if s := ScoreAlerts(insts, []Attribution{tooLate}, 1); s.Detected != 0 {
+		t.Error("alert beyond grace matched")
+	}
+	early := Attribution{Time: t0.Add(-time.Second), Attack: "blackhole", Suspects: []packet.NodeID{"r"}, Confidence: 0.8}
+	if s := ScoreAlerts(insts, []Attribution{early}, 1); s.Detected != 0 {
+		t.Error("alert before episode matched")
+	}
+}
+
+func TestEmptyScores(t *testing.T) {
+	var s Score
+	if s.DetectionRate() != 0 || s.Accuracy() != 0 {
+		t.Error("zero-value score rates")
+	}
+	sum := Score{Instances: 2, Detected: 1, Correct: 1}.Add(Score{Instances: 2, Detected: 2, Correct: 1})
+	if sum.Instances != 4 || sum.Detected != 3 || sum.Correct != 2 {
+		t.Errorf("Add: %+v", sum)
+	}
+}
+
+func TestCPUPercent(t *testing.T) {
+	r := Resources{CPUTime: time.Second, VirtualDuration: 100 * time.Second}
+	if got := r.CPUPercent(); got != 1 {
+		t.Errorf("CPUPercent = %f", got)
+	}
+	if (Resources{}).CPUPercent() != 0 {
+		t.Error("zero duration")
+	}
+}
+
+func TestCPUMeter(t *testing.T) {
+	var m CPUMeter
+	m.Time(func() { time.Sleep(time.Millisecond) })
+	if m.Busy() < time.Millisecond {
+		t.Errorf("busy = %v", m.Busy())
+	}
+}
+
+func TestScoreCountermeasure(t *testing.T) {
+	cm := ScoreCountermeasure(
+		[]packet.NodeID{"atk", "innocent", "victim"},
+		map[packet.NodeID]bool{"atk": true},
+		"victim",
+	)
+	if cm.CorrectRevocations != 1 || cm.Collateral != 2 || !cm.VictimRevoked {
+		t.Errorf("cm = %+v", cm)
+	}
+}
+
+func TestHeapLiveMonotonicSanity(t *testing.T) {
+	if HeapLive() <= 0 {
+		t.Error("heap should be positive")
+	}
+}

@@ -1,0 +1,96 @@
+package netsim
+
+import (
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+func TestSnifferAccessors(t *testing.T) {
+	s := New(1)
+	sn := s.AddSniffer("probe", Position{X: 3, Y: 4}, packet.MediumWiFi)
+	if sn.Name() != "probe" {
+		t.Errorf("Name = %q", sn.Name())
+	}
+	if sn.Position() != (Position{X: 3, Y: 4}) {
+		t.Errorf("Position = %+v", sn.Position())
+	}
+}
+
+func TestSimAccessors(t *testing.T) {
+	s := New(7)
+	if s.Rand() == nil {
+		t.Error("Rand nil")
+	}
+	n := s.AddNode(&Node{Name: "a"})
+	if s.Node("a") != n || s.Node("zzz") != nil {
+		t.Error("Node lookup")
+	}
+	if got := s.Nodes(); len(got) != 1 || got[0] != n {
+		t.Errorf("Nodes = %v", got)
+	}
+	if n.Sim() != s {
+		t.Error("Node.Sim")
+	}
+}
+
+func TestSetRadio(t *testing.T) {
+	s := New(1)
+	// A radio with zero range isolates everything.
+	s.SetRadio(&LogDistance{PL0: 40, D0: 1, Exponent: 3, Sensitivity: 0})
+	tx := s.AddNode(&Node{Name: "tx"})
+	sn := s.AddSniffer("ids", Position{X: 1})
+	count := 0
+	sn.Subscribe(func(*packet.Captured) { count++ })
+	s.After(time.Second, func() { tx.Send(packet.MediumIEEE802154, stack.BuildCTPBeacon(1, 1, 1, 1)) })
+	s.RunFor(2 * time.Second)
+	if count != 0 {
+		t.Error("deaf radio heard something")
+	}
+}
+
+func TestPositionDistance(t *testing.T) {
+	if d := (Position{X: 3}).Distance(Position{Y: 4}); d != 5 {
+		t.Errorf("Distance = %f", d)
+	}
+}
+
+func TestJitterMoverReturnsHome(t *testing.T) {
+	s := New(5)
+	home := Position{X: 40, Y: 10}
+	n := s.AddNode(&Node{Name: "m", Pos: home})
+	mv := NewJitterMover(s, []*Node{n}, 10)
+	mv.SetActive(true)
+	mv.Start(s.Now().Add(time.Second), time.Second)
+	s.RunFor(10 * time.Second)
+	if n.Pos == home {
+		t.Fatal("node never moved")
+	}
+	moved := n.Pos
+	// Bounded by radius around home.
+	if dx := n.Pos.X - home.X; dx > 10 || dx < -10 {
+		t.Errorf("x displacement %f exceeds radius", dx)
+	}
+	mv.SetActive(false)
+	if n.Pos != home {
+		t.Errorf("node not returned home: %+v (was %+v)", n.Pos, moved)
+	}
+	if mv.Active() {
+		t.Error("Active after disable")
+	}
+}
+
+func TestJitterMoverSkipsRevoked(t *testing.T) {
+	s := New(5)
+	n := s.AddNode(&Node{Name: "m", Pos: Position{X: 1}})
+	n.Revoke()
+	mv := NewJitterMover(s, []*Node{n}, 10)
+	mv.SetActive(true)
+	mv.Start(s.Now().Add(time.Second), time.Second)
+	s.RunFor(5 * time.Second)
+	if n.Pos != (Position{X: 1}) {
+		t.Error("revoked node moved")
+	}
+}

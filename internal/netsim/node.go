@@ -1,0 +1,62 @@
+package netsim
+
+import (
+	"net/netip"
+
+	"kalis/internal/packet"
+)
+
+// ReceiveHandler processes a frame delivered to a node: the medium, the
+// raw bytes, the physical transmitter, and the RSSI at this node.
+type ReceiveHandler func(medium packet.Medium, raw []byte, from *Node, rssi float64)
+
+// Node is a simulated network entity: an IoT device, a WSN mote, a hub,
+// or an attacker platform.
+type Node struct {
+	// Name is the unique simulation-level name (not visible on air).
+	Name string
+	// Addr16 is the node's IEEE 802.15.4 short address, if any.
+	Addr16 uint16
+	// IP is the node's IPv4 address, if any.
+	IP netip.Addr
+	// Pos is the current position in metres.
+	Pos Position
+	// TxPower is the transmit power in dBm.
+	TxPower float64
+
+	sim     *Sim
+	handler ReceiveHandler
+	revoked bool
+}
+
+// OnReceive installs the node's receive handler. A node without a
+// handler is transmit-only (it still exists for positioning/RSSI).
+func (n *Node) OnReceive(h ReceiveHandler) { n.handler = h }
+
+// Send transmits a raw frame on the given medium.
+func (n *Node) Send(medium packet.Medium, raw []byte) {
+	n.sim.Transmit(n, medium, raw, nil)
+}
+
+// SendTruth transmits a raw frame labelled with attack ground truth.
+func (n *Node) SendTruth(medium packet.Medium, raw []byte, truth *packet.GroundTruth) {
+	n.sim.Transmit(n, medium, raw, truth)
+}
+
+// Sim returns the simulation this node belongs to.
+func (n *Node) Sim() *Sim { return n.sim }
+
+// Revoke removes the node from the network: it no longer transmits or
+// receives. This implements the paper's simple countermeasure of
+// "temporary revocation from the network of any node identified as
+// suspect by the IDS" (§VI-A).
+func (n *Node) Revoke() { n.revoked = true }
+
+// Restore undoes Revoke.
+func (n *Node) Restore() { n.revoked = false }
+
+// Revoked reports whether the node is currently revoked.
+func (n *Node) Revoked() bool { return n.revoked }
+
+// MoveTo updates the node's position (mobility).
+func (n *Node) MoveTo(p Position) { n.Pos = p }

@@ -1,0 +1,74 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Position is a 2D location in metres.
+type Position struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to other.
+func (p Position) Distance(other Position) float64 {
+	dx, dy := p.X-other.X, p.Y-other.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// RadioModel computes whether a transmission is received and with what
+// signal strength.
+type RadioModel interface {
+	// Receive returns the RSSI in dBm observed at rx for a
+	// transmission from tx at txPower dBm, and whether the frame is
+	// received at all.
+	Receive(txPower float64, tx, rx Position, rng *rand.Rand) (rssi float64, ok bool)
+}
+
+// LogDistance is the standard log-distance path-loss model with
+// optional Gaussian shadowing:
+//
+//	RSSI = txPower − PL0 − 10·n·log10(d/d0) + N(0, σ)
+//
+// A frame is received when RSSI ≥ Sensitivity.
+type LogDistance struct {
+	// PL0 is the path loss at reference distance D0, in dB.
+	PL0 float64
+	// D0 is the reference distance in metres.
+	D0 float64
+	// Exponent is the path-loss exponent n (2 free space, ~3 indoor).
+	Exponent float64
+	// SigmaDB is the shadowing standard deviation in dB (0 = none).
+	SigmaDB float64
+	// Sensitivity is the receiver sensitivity threshold in dBm.
+	Sensitivity float64
+}
+
+var _ RadioModel = (*LogDistance)(nil)
+
+// DefaultRadio returns an indoor-like log-distance model: −40 dB loss
+// at 1 m, exponent 3, 1 dB shadowing, −95 dBm sensitivity. With the
+// default 0 dBm transmit power this yields a radio range of ~67 m.
+func DefaultRadio() *LogDistance {
+	return &LogDistance{PL0: 40, D0: 1, Exponent: 3, SigmaDB: 1, Sensitivity: -95}
+}
+
+// Receive implements RadioModel.
+func (m *LogDistance) Receive(txPower float64, tx, rx Position, rng *rand.Rand) (float64, bool) {
+	d := tx.Distance(rx)
+	if d < m.D0 {
+		d = m.D0
+	}
+	rssi := txPower - m.PL0 - 10*m.Exponent*math.Log10(d/m.D0)
+	if m.SigmaDB > 0 && rng != nil {
+		rssi += rng.NormFloat64() * m.SigmaDB
+	}
+	if rssi < m.Sensitivity {
+		return rssi, false
+	}
+	return rssi, true
+}
+
+// Range returns the deterministic (no-shadowing) maximum reception
+// distance for the given transmit power.
+func (m *LogDistance) Range(txPower float64) float64 {
+	return m.D0 * math.Pow(10, (txPower-m.PL0-m.Sensitivity)/(10*m.Exponent))
+}

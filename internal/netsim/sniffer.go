@@ -1,0 +1,51 @@
+package netsim
+
+import (
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+// CaptureFunc consumes decoded captures from a sniffer.
+type CaptureFunc func(*packet.Captured)
+
+// Sniffer is a promiscuous monitoring port: the attachment point for a
+// Kalis node (or for trace recording). It overhears every transmission
+// in radio range on its configured mediums, decodes it through the
+// protocol stack, and hands the resulting capture envelope to its
+// subscribers in order.
+type Sniffer struct {
+	name    string
+	pos     Position
+	sim     *Sim
+	mediums map[packet.Medium]bool
+	subs    []CaptureFunc
+	// DecodeErrors counts frames that failed protocol decoding.
+	DecodeErrors int
+	// Captures counts successfully decoded frames.
+	Captures int
+}
+
+// Name returns the sniffer's name.
+func (s *Sniffer) Name() string { return s.name }
+
+// Position returns the sniffer's location.
+func (s *Sniffer) Position() Position { return s.pos }
+
+// Subscribe adds a capture consumer. Subscribers are invoked
+// synchronously in subscription order for every decoded frame.
+func (s *Sniffer) Subscribe(fn CaptureFunc) { s.subs = append(s.subs, fn) }
+
+func (s *Sniffer) capture(medium packet.Medium, raw []byte, from *Node, rssi float64, truth *packet.GroundTruth) {
+	c, err := stack.Decode(medium, raw)
+	if err != nil {
+		s.DecodeErrors++
+		return
+	}
+	c.Time = s.sim.Now()
+	c.RSSI = rssi
+	c.Truth = truth
+	s.Captures++
+	for _, fn := range s.subs {
+		fn(c)
+	}
+}

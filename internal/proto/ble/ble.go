@@ -1,0 +1,79 @@
+// Package ble implements a simplified Bluetooth Low Energy link layer:
+// advertising PDUs (the beacons an August-style smart lock broadcasts)
+// and data PDUs carrying opaque encrypted ATT traffic. Kalis overhears
+// these on its Bluetooth capture interface; payloads are opaque, but
+// advertising cadence and RSSI are observable.
+package ble
+
+import (
+	"errors"
+	"fmt"
+)
+
+// PDUType is the BLE PDU type.
+type PDUType uint8
+
+// PDU types used by the simulated devices.
+const (
+	PDUAdvInd     PDUType = 0x0 // connectable undirected advertising
+	PDUAdvNonConn PDUType = 0x2 // non-connectable advertising
+	PDUScanReq    PDUType = 0x3
+	PDUScanRsp    PDUType = 0x4
+	PDUConnectReq PDUType = 0x5
+	PDUData       PDUType = 0xf // (simplified) data channel PDU
+)
+
+// Address is a 48-bit BLE device address.
+type Address [6]byte
+
+// String renders the address in colon-hex form.
+func (a Address) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// ErrTruncated is returned for PDUs shorter than the header.
+var ErrTruncated = errors.New("ble: truncated PDU")
+
+// PDU is a decoded (simplified) BLE PDU.
+type PDU struct {
+	Type    PDUType
+	Adv     Address
+	Payload []byte
+}
+
+// LayerName implements packet.Layer.
+func (p *PDU) LayerName() string { return "ble" }
+
+// String renders a compact human-readable form.
+func (p *PDU) String() string {
+	return fmt.Sprintf("ble pdu=0x%x adv=%s len=%d", uint8(p.Type), p.Adv, len(p.Payload))
+}
+
+// IsAdvertising reports whether the PDU is advertising-channel traffic.
+func (p *PDU) IsAdvertising() bool { return p.Type != PDUData }
+
+// Encode serialises the PDU.
+func (p *PDU) Encode() []byte {
+	buf := make([]byte, 8, 8+len(p.Payload))
+	buf[0] = uint8(p.Type)
+	buf[1] = uint8(len(p.Payload))
+	copy(buf[2:8], p.Adv[:])
+	return append(buf, p.Payload...)
+}
+
+// Decode parses a simplified BLE PDU.
+func Decode(b []byte) (*PDU, error) {
+	if len(b) < 8 {
+		return nil, ErrTruncated
+	}
+	n := int(b[1])
+	if len(b) < 8+n {
+		return nil, ErrTruncated
+	}
+	p := &PDU{Type: PDUType(b[0])}
+	copy(p.Adv[:], b[2:8])
+	if n > 0 {
+		p.Payload = b[8 : 8+n]
+	}
+	return p, nil
+}

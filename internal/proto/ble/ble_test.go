@@ -1,0 +1,68 @@
+package ble
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripAdv(t *testing.T) {
+	p := &PDU{Type: PDUAdvInd, Adv: Address{1, 2, 3, 4, 5, 6}, Payload: []byte("august-lock")}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != PDUAdvInd || got.Adv != p.Adv || !bytes.Equal(got.Payload, p.Payload) {
+		t.Errorf("mismatch: %+v", got)
+	}
+	if !got.IsAdvertising() {
+		t.Error("IsAdvertising false")
+	}
+}
+
+func TestRoundTripData(t *testing.T) {
+	p := &PDU{Type: PDUData, Adv: Address{9, 9, 9, 9, 9, 9}, Payload: []byte{0xff}}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.IsAdvertising() {
+		t.Error("data PDU reported as advertising")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short header: %v", err)
+	}
+	p := &PDU{Type: PDUAdvInd, Payload: []byte("abc")}
+	raw := p.Encode()
+	if _, err := Decode(raw[:9]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short payload: %v", err)
+	}
+}
+
+func TestAddressString(t *testing.T) {
+	a := Address{0xde, 0xad, 0xbe, 0xef, 0x00, 0x01}
+	if a.String() != "de:ad:be:ef:00:01" {
+		t.Errorf("Address.String() = %q", a.String())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(adv [6]byte, payload []byte) bool {
+		if len(payload) > 255 {
+			payload = payload[:255]
+		}
+		p := &PDU{Type: PDUAdvNonConn, Adv: Address(adv), Payload: payload}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Adv == p.Adv && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,103 @@
+package ctp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripData(t *testing.T) {
+	d := &Data{
+		Pull:      true,
+		THL:       3,
+		ETX:       120,
+		Origin:    5,
+		SeqNo:     200,
+		CollectID: 1,
+		Payload:   []byte{0x11, 0x22},
+	}
+	got, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	gd, ok := got.(*Data)
+	if !ok {
+		t.Fatalf("decoded %T, want *Data", got)
+	}
+	if gd.THL != 3 || gd.ETX != 120 || gd.Origin != 5 || gd.SeqNo != 200 || !gd.Pull {
+		t.Errorf("data mismatch: %+v", gd)
+	}
+	if !bytes.Equal(gd.Payload, d.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestRoundTripBeacon(t *testing.T) {
+	b := &Beacon{Congestion: true, Parent: 2, ETX: 30}
+	got, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	gb, ok := got.(*Beacon)
+	if !ok {
+		t.Fatalf("decoded %T, want *Beacon", got)
+	}
+	if gb.Parent != 2 || gb.ETX != 30 || !gb.Congestion || gb.Pull {
+		t.Errorf("beacon mismatch: %+v", gb)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Decode([]byte{0x99}); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad AM: %v", err)
+	}
+	if _, err := Decode([]byte{0x71, 0, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short data: %v", err)
+	}
+	if _, err := Decode([]byte{0x70, 0}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short beacon: %v", err)
+	}
+}
+
+func TestIsCTP(t *testing.T) {
+	if !IsCTP((&Data{}).Encode()) || !IsCTP((&Beacon{}).Encode()) {
+		t.Error("IsCTP false for CTP frames")
+	}
+	if IsCTP(nil) || IsCTP([]byte{0x00}) {
+		t.Error("IsCTP true for non-CTP bytes")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	d := &Data{Origin: 4, SeqNo: 2, THL: 1, ETX: 10}
+	if d.String() != "ctp-data origin=4 seq=2 thl=1 etx=10" {
+		t.Errorf("Data.String() = %q", d.String())
+	}
+	b := &Beacon{Parent: 7, ETX: 55}
+	if b.String() != "ctp-beacon parent=7 etx=55" {
+		t.Errorf("Beacon.String() = %q", b.String())
+	}
+	if d.LayerName() != "ctp-data" || b.LayerName() != "ctp-beacon" {
+		t.Error("layer names")
+	}
+}
+
+func TestQuickDataRoundTrip(t *testing.T) {
+	prop := func(thl uint8, etx, origin uint16, seq uint8, payload []byte) bool {
+		d := &Data{THL: thl, ETX: etx, Origin: origin, SeqNo: seq, CollectID: 1, Payload: payload}
+		got, err := Decode(d.Encode())
+		if err != nil {
+			return false
+		}
+		gd, ok := got.(*Data)
+		return ok && gd.THL == thl && gd.ETX == etx && gd.Origin == origin &&
+			gd.SeqNo == seq && bytes.Equal(gd.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

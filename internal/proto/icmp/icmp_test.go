@@ -1,0 +1,64 @@
+package icmp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	m := &Message{Type: TypeEchoRequest, ID: 77, Seq: 3, Payload: []byte("ping-data")}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != TypeEchoRequest || got.ID != 77 || got.Seq != 3 {
+		t.Errorf("mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, m.Payload) {
+		t.Error("payload mismatch")
+	}
+	if !got.IsEchoRequest() || got.IsEchoReply() {
+		t.Error("type predicates")
+	}
+}
+
+func TestReplyPredicate(t *testing.T) {
+	m := &Message{Type: TypeEchoReply}
+	got, err := Decode(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.IsEchoReply() || got.IsEchoRequest() {
+		t.Error("reply predicates")
+	}
+}
+
+func TestChecksumRejection(t *testing.T) {
+	raw := (&Message{Type: TypeEchoRequest, ID: 1}).Encode()
+	raw[5] ^= 0xff
+	if _, err := Decode(raw); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(id, seq uint16, payload []byte) bool {
+		m := &Message{Type: TypeEchoReply, ID: id, Seq: seq, Payload: payload}
+		got, err := Decode(m.Encode())
+		if err != nil {
+			return false
+		}
+		return got.ID == id && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

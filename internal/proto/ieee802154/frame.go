@@ -1,0 +1,228 @@
+// Package ieee802154 implements encoding and decoding of IEEE 802.15.4
+// MAC frames: the link layer beneath ZigBee, 6LoWPAN and TinyOS/CTP
+// traffic that Kalis overhears on its 802.15.4 capture interface.
+//
+// The implementation covers the 2006 revision's data/ack/beacon/command
+// frame types with short (16-bit) and extended (64-bit) addressing, PAN
+// ID compression, and the ITU-T CRC-16 frame check sequence.
+package ieee802154
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// FrameType is the 802.15.4 frame type from the frame control field.
+type FrameType uint8
+
+// Frame types defined by IEEE 802.15.4-2006.
+const (
+	FrameBeacon  FrameType = 0
+	FrameData    FrameType = 1
+	FrameAck     FrameType = 2
+	FrameCommand FrameType = 3
+)
+
+// String returns the frame type name.
+func (t FrameType) String() string {
+	switch t {
+	case FrameBeacon:
+		return "beacon"
+	case FrameData:
+		return "data"
+	case FrameAck:
+		return "ack"
+	case FrameCommand:
+		return "command"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// AddrMode is the addressing mode for the source or destination field.
+type AddrMode uint8
+
+// Addressing modes defined by IEEE 802.15.4-2006.
+const (
+	AddrNone     AddrMode = 0 // address absent
+	AddrShort    AddrMode = 2 // 16-bit short address
+	AddrExtended AddrMode = 3 // 64-bit extended address
+)
+
+// Errors returned by Decode.
+var (
+	ErrTruncated = errors.New("ieee802154: truncated frame")
+	ErrFCS       = errors.New("ieee802154: frame check sequence mismatch")
+	ErrAddrMode  = errors.New("ieee802154: reserved addressing mode")
+)
+
+// Frame is a decoded IEEE 802.15.4 MAC frame.
+type Frame struct {
+	Type           FrameType
+	Security       bool
+	FramePending   bool
+	AckRequest     bool
+	PANIDCompress  bool
+	Seq            uint8
+	DstPAN, SrcPAN uint16
+	DstMode        AddrMode
+	SrcMode        AddrMode
+	DstShort       uint16
+	SrcShort       uint16
+	DstExt         uint64
+	SrcExt         uint64
+	Payload        []byte
+}
+
+// LayerName implements packet.Layer.
+func (f *Frame) LayerName() string { return "ieee802154" }
+
+// fcf packs the frame control field.
+func (f *Frame) fcf() uint16 {
+	v := uint16(f.Type) & 0x7
+	if f.Security {
+		v |= 1 << 3
+	}
+	if f.FramePending {
+		v |= 1 << 4
+	}
+	if f.AckRequest {
+		v |= 1 << 5
+	}
+	if f.PANIDCompress {
+		v |= 1 << 6
+	}
+	v |= uint16(f.DstMode&0x3) << 10
+	v |= uint16(f.SrcMode&0x3) << 14
+	return v
+}
+
+// Encode serialises the frame including the trailing 2-byte FCS.
+func (f *Frame) Encode() []byte {
+	buf := make([]byte, 0, 32+len(f.Payload))
+	var u16 [2]byte
+	binary.LittleEndian.PutUint16(u16[:], f.fcf())
+	buf = append(buf, u16[:]...)
+	buf = append(buf, f.Seq)
+	if f.DstMode != AddrNone {
+		binary.LittleEndian.PutUint16(u16[:], f.DstPAN)
+		buf = append(buf, u16[:]...)
+		buf = appendAddr(buf, f.DstMode, f.DstShort, f.DstExt)
+	}
+	if f.SrcMode != AddrNone {
+		if !f.PANIDCompress {
+			binary.LittleEndian.PutUint16(u16[:], f.SrcPAN)
+			buf = append(buf, u16[:]...)
+		}
+		buf = appendAddr(buf, f.SrcMode, f.SrcShort, f.SrcExt)
+	}
+	buf = append(buf, f.Payload...)
+	binary.LittleEndian.PutUint16(u16[:], CRC16(buf))
+	buf = append(buf, u16[:]...)
+	return buf
+}
+
+func appendAddr(buf []byte, mode AddrMode, short uint16, ext uint64) []byte {
+	switch mode {
+	case AddrShort:
+		var u16 [2]byte
+		binary.LittleEndian.PutUint16(u16[:], short)
+		return append(buf, u16[:]...)
+	case AddrExtended:
+		var u64 [8]byte
+		binary.LittleEndian.PutUint64(u64[:], ext)
+		return append(buf, u64[:]...)
+	default:
+		return buf
+	}
+}
+
+// Decode parses an IEEE 802.15.4 frame including FCS verification.
+func Decode(b []byte) (*Frame, error) {
+	if len(b) < 5 { // fcf + seq + fcs
+		return nil, ErrTruncated
+	}
+	body, fcsWant := b[:len(b)-2], binary.LittleEndian.Uint16(b[len(b)-2:])
+	if CRC16(body) != fcsWant {
+		return nil, ErrFCS
+	}
+	fcf := binary.LittleEndian.Uint16(body[0:2])
+	f := &Frame{
+		Type:          FrameType(fcf & 0x7),
+		Security:      fcf&(1<<3) != 0,
+		FramePending:  fcf&(1<<4) != 0,
+		AckRequest:    fcf&(1<<5) != 0,
+		PANIDCompress: fcf&(1<<6) != 0,
+		DstMode:       AddrMode((fcf >> 10) & 0x3),
+		SrcMode:       AddrMode((fcf >> 14) & 0x3),
+		Seq:           body[2],
+	}
+	if f.DstMode == 1 || f.SrcMode == 1 {
+		return nil, ErrAddrMode
+	}
+	rest := body[3:]
+	var err error
+	if f.DstMode != AddrNone {
+		if len(rest) < 2 {
+			return nil, ErrTruncated
+		}
+		f.DstPAN = binary.LittleEndian.Uint16(rest)
+		rest = rest[2:]
+		rest, f.DstShort, f.DstExt, err = readAddr(rest, f.DstMode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if f.SrcMode != AddrNone {
+		if !f.PANIDCompress {
+			if len(rest) < 2 {
+				return nil, ErrTruncated
+			}
+			f.SrcPAN = binary.LittleEndian.Uint16(rest)
+			rest = rest[2:]
+		} else {
+			f.SrcPAN = f.DstPAN
+		}
+		rest, f.SrcShort, f.SrcExt, err = readAddr(rest, f.SrcMode)
+		if err != nil {
+			return nil, err
+		}
+	}
+	f.Payload = rest
+	return f, nil
+}
+
+func readAddr(b []byte, mode AddrMode) (rest []byte, short uint16, ext uint64, err error) {
+	switch mode {
+	case AddrShort:
+		if len(b) < 2 {
+			return nil, 0, 0, ErrTruncated
+		}
+		return b[2:], binary.LittleEndian.Uint16(b), 0, nil
+	case AddrExtended:
+		if len(b) < 8 {
+			return nil, 0, 0, ErrTruncated
+		}
+		return b[8:], 0, binary.LittleEndian.Uint64(b), nil
+	default:
+		return b, 0, 0, nil
+	}
+}
+
+// CRC16 computes the ITU-T CRC-16 (polynomial 0x1021, LSB-first) used
+// as the 802.15.4 frame check sequence.
+func CRC16(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc ^= uint16(b)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = (crc >> 1) ^ 0x8408
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return crc
+}

@@ -1,0 +1,102 @@
+package sixlowpan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripPlain(t *testing.T) {
+	p := &Packet{NextHeader: 17, HopLimit: 64, Src: 5, Dst: 1, Payload: []byte("data")}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Src != 5 || got.Dst != 1 || got.HopLimit != 64 || got.NextHeader != 17 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, p.Payload) {
+		t.Error("payload mismatch")
+	}
+	if got.Mesh != nil || got.RPL != nil {
+		t.Error("unexpected mesh/RPL")
+	}
+}
+
+func TestRoundTripMesh(t *testing.T) {
+	p := &Packet{
+		Mesh:       &MeshHeader{HopsLeft: 5, Origin: 9, Dst: 1},
+		NextHeader: 17,
+		HopLimit:   60,
+		Src:        9,
+		Dst:        1,
+		Payload:    []byte{1},
+	}
+	got, err := Decode(p.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Mesh == nil || got.Mesh.HopsLeft != 5 || got.Mesh.Origin != 9 || got.Mesh.Dst != 1 {
+		t.Errorf("mesh mismatch: %+v", got.Mesh)
+	}
+}
+
+func TestRoundTripRPL(t *testing.T) {
+	for _, typ := range []RPLType{RPLDIS, RPLDIO, RPLDAO} {
+		p := &Packet{
+			NextHeader: 58,
+			HopLimit:   255,
+			Src:        3,
+			Dst:        0xffff,
+			RPL:        &RPLMessage{Type: typ, InstanceID: 1, Version: 2, Rank: 256, DODAGID: 1},
+		}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			t.Fatalf("%v: Decode: %v", typ, err)
+		}
+		if got.RPL == nil || got.RPL.Type != typ || got.RPL.Rank != 256 {
+			t.Errorf("%v: RPL mismatch: %+v", typ, got.RPL)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	if _, err := Decode([]byte{0x00, 1, 2, 3, 4, 5, 6}); !errors.Is(err, ErrDispatch) {
+		t.Errorf("bad dispatch: %v", err)
+	}
+	if _, err := Decode([]byte{0xC3, 1, 2, 3, 4, 5, 6, 7}); !errors.Is(err, ErrDispatch) {
+		t.Errorf("fragment: %v", err)
+	}
+	// Mesh header cut short.
+	if _, err := Decode([]byte{0x85, 0x00}); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short mesh: %v", err)
+	}
+}
+
+func TestRPLTypeString(t *testing.T) {
+	cases := map[RPLType]string{RPLDIS: "DIS", RPLDIO: "DIO", RPLDAO: "DAO", RPLType(9): "RPL(0x09)"}
+	for typ, want := range cases {
+		if got := typ.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", typ, got, want)
+		}
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(src, dst uint16, hop uint8, payload []byte) bool {
+		p := &Packet{NextHeader: 17, HopLimit: hop, Src: src, Dst: dst, Payload: payload}
+		got, err := Decode(p.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Src == src && got.Dst == dst && got.HopLimit == hop &&
+			bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+package stack
+
+import (
+	"net/netip"
+
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/ipv4"
+	"kalis/internal/proto/sixlowpan"
+	"kalis/internal/proto/tcp"
+	"kalis/internal/proto/udp"
+	"kalis/internal/proto/wifi"
+	"kalis/internal/proto/zigbee"
+)
+
+// The Build* helpers construct complete raw frames ready to transmit on
+// a simulated medium. They are used by the device behaviour models and
+// by the attack injectors; every frame they emit round-trips through
+// Decode.
+
+// mac154 builds the 802.15.4 data frame wrapper shared by all
+// 802.15.4-based builders.
+func mac154(src, dst uint16, seq uint8, payload []byte) []byte {
+	f := &ieee802154.Frame{
+		Type:          ieee802154.FrameData,
+		PANIDCompress: true,
+		Seq:           seq,
+		DstPAN:        0x1234,
+		DstMode:       ieee802154.AddrShort,
+		SrcMode:       ieee802154.AddrShort,
+		DstShort:      dst,
+		SrcShort:      src,
+		Payload:       payload,
+	}
+	return f.Encode()
+}
+
+// BuildCTPData builds an 802.15.4 frame carrying a CTP data message for
+// one hop: src/dst are the per-hop MAC addresses, origin/seqNo identify
+// the end-to-end packet, thl counts hops so far.
+func BuildCTPData(src, dst, origin uint16, seqNo, thl uint8, etx uint16, payload []byte) []byte {
+	d := &ctp.Data{THL: thl, ETX: etx, Origin: origin, SeqNo: seqNo, CollectID: 1, Payload: payload}
+	return mac154(src, dst, seqNo, d.Encode())
+}
+
+// BuildCTPBeacon builds an 802.15.4 broadcast frame carrying a CTP
+// routing beacon.
+func BuildCTPBeacon(src, parent uint16, etx uint16, seq uint8) []byte {
+	b := &ctp.Beacon{Parent: parent, ETX: etx}
+	return mac154(src, 0xffff, seq, b.Encode())
+}
+
+// BuildZigbeeData builds an 802.15.4 frame carrying a ZigBee NWK data
+// frame. macSrc is the per-hop transmitter; nwkSrc/nwkDst are the
+// end-to-end NWK addresses.
+func BuildZigbeeData(macSrc, macDst, nwkSrc, nwkDst uint16, seq uint8, payload []byte) []byte {
+	n := &zigbee.Frame{
+		Type:     zigbee.FrameData,
+		Protocol: 2,
+		Dst:      nwkDst,
+		Src:      nwkSrc,
+		Radius:   30,
+		Seq:      seq,
+		Payload:  payload,
+	}
+	return mac154(macSrc, macDst, seq, n.Encode())
+}
+
+// BuildZigbeeCommand builds an 802.15.4 frame carrying a ZigBee NWK
+// routing command.
+func BuildZigbeeCommand(macSrc, macDst, nwkSrc, nwkDst uint16, seq uint8, cmd zigbee.CommandID, payload []byte) []byte {
+	n := &zigbee.Frame{
+		Type:     zigbee.FrameCommand,
+		Protocol: 2,
+		Dst:      nwkDst,
+		Src:      nwkSrc,
+		Radius:   30,
+		Seq:      seq,
+		Command:  cmd,
+		Payload:  payload,
+	}
+	return mac154(macSrc, macDst, seq, n.Encode())
+}
+
+// BuildRPLDIO builds an 802.15.4 broadcast carrying a 6LoWPAN-framed
+// RPL DIO advertising the given rank.
+func BuildRPLDIO(src uint16, seq uint8, rank uint16, dodagID uint16) []byte {
+	p := &sixlowpan.Packet{
+		NextHeader: 58,
+		HopLimit:   64,
+		Src:        src,
+		Dst:        0xffff,
+		RPL:        &sixlowpan.RPLMessage{Type: sixlowpan.RPLDIO, InstanceID: 1, Version: 1, Rank: rank, DODAGID: dodagID},
+	}
+	return mac154(src, 0xffff, seq, p.Encode())
+}
+
+// BuildSixLowPANData builds an 802.15.4 frame carrying 6LoWPAN
+// application data, optionally with a mesh (forwarding) header.
+func BuildSixLowPANData(macSrc, macDst, origin, finalDst uint16, seq uint8, hopsLeft uint8, payload []byte) []byte {
+	p := &sixlowpan.Packet{
+		NextHeader: 17,
+		HopLimit:   64,
+		Src:        origin,
+		Dst:        finalDst,
+		Payload:    payload,
+	}
+	if hopsLeft > 0 {
+		p.Mesh = &sixlowpan.MeshHeader{HopsLeft: hopsLeft, Origin: origin, Dst: finalDst}
+	}
+	return mac154(macSrc, macDst, seq, p.Encode())
+}
+
+// macFromIP derives a stable locally-administered MAC from an IPv4
+// address so WiFi frames and IP headers stay consistent.
+func macFromIP(a netip.Addr) wifi.MAC {
+	b := a.As4()
+	return wifi.MAC{0x02, 0x00, b[0], b[1], b[2], b[3]}
+}
+
+// wifiData wraps an IP packet in an 802.11 data frame.
+func wifiData(src, dst netip.Addr, seq uint16, ipPayload []byte) []byte {
+	f := &wifi.Frame{
+		Type:    wifi.TypeData,
+		ToDS:    true,
+		Addr1:   macFromIP(dst),
+		Addr2:   macFromIP(src),
+		Addr3:   wifi.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01}, // BSSID
+		Seq:     seq,
+		Payload: ipPayload,
+	}
+	return f.Encode()
+}
+
+// BuildICMPEcho builds a WiFi frame carrying a payload-less ICMP echo
+// message.
+func BuildICMPEcho(src, dst netip.Addr, echoType uint8, id, seq uint16, ttl uint8) []byte {
+	return BuildICMPEchoPayload(src, dst, echoType, id, seq, ttl, nil)
+}
+
+// BuildICMPEchoPayload builds a WiFi frame carrying an ICMP echo
+// message with the given payload (real pings carry 56 bytes of
+// pattern data; see PingPayload).
+func BuildICMPEchoPayload(src, dst netip.Addr, echoType uint8, id, seq uint16, ttl uint8, payload []byte) []byte {
+	ip := EncodeICMPEchoIP(src, dst, echoType, id, seq, ttl, payload)
+	return wifiData(src, dst, seq, ip)
+}
+
+// PingPayload returns the standard 56-byte ping pattern payload.
+func PingPayload() []byte {
+	p := make([]byte, 56)
+	for i := range p {
+		p[i] = byte(0x20 + i%0x40)
+	}
+	return p
+}
+
+// EncodeICMPEchoIP returns the raw IPv4 packet (no link layer) for an
+// ICMP echo message — useful for framing the same IP packet as
+// transmitted by a different (forwarding) node.
+func EncodeICMPEchoIP(src, dst netip.Addr, echoType uint8, id, seq uint16, ttl uint8, payload []byte) []byte {
+	m := &icmp.Message{Type: echoType, ID: id, Seq: seq, Payload: payload}
+	ip := &ipv4.Header{TTL: ttl, Protocol: ipv4.ProtoICMP, Src: src, Dst: dst, ID: seq, Payload: m.Encode()}
+	return ip.Encode()
+}
+
+// BuildIPFrame wraps a raw IPv4 packet in an 802.11 data frame whose
+// transmitter address belongs to the given forwarding node — the frame
+// a sniffer sees when a router relays someone else's IP packet onto
+// the local network.
+func BuildIPFrame(transmitter, receiver netip.Addr, seq uint16, ipPacket []byte) []byte {
+	f := &wifi.Frame{
+		Type:    wifi.TypeData,
+		FromDS:  true,
+		Addr1:   macFromIP(receiver),
+		Addr2:   macFromIP(transmitter),
+		Addr3:   wifi.MAC{0x02, 0x00, 0x00, 0x00, 0x00, 0x01},
+		Seq:     seq,
+		Payload: ipPacket,
+	}
+	return f.Encode()
+}
+
+// BuildTCP builds a WiFi frame carrying a TCP segment.
+func BuildTCP(src, dst netip.Addr, srcPort, dstPort uint16, flags uint8, seq, ack uint32, ipID uint16, payload []byte) []byte {
+	seg := &tcp.Segment{SrcPort: srcPort, DstPort: dstPort, Seq: seq, Ack: ack, Flags: flags, Window: 65535, Payload: payload}
+	ip := &ipv4.Header{TTL: 64, Protocol: ipv4.ProtoTCP, Src: src, Dst: dst, ID: ipID, Payload: seg.Encode(src, dst)}
+	return wifiData(src, dst, ipID, ip.Encode())
+}
+
+// BuildUDP builds a WiFi frame carrying a UDP datagram.
+func BuildUDP(src, dst netip.Addr, srcPort, dstPort uint16, ipID uint16, payload []byte) []byte {
+	d := &udp.Datagram{SrcPort: srcPort, DstPort: dstPort, Payload: payload}
+	ip := &ipv4.Header{TTL: 64, Protocol: ipv4.ProtoUDP, Src: src, Dst: dst, ID: ipID, Payload: d.Encode()}
+	return wifiData(src, dst, ipID, ip.Encode())
+}
+
+// BuildWiFiMgmt builds an 802.11 management frame (beacon, assoc, ...).
+func BuildWiFiMgmt(subtype uint8, src, dst wifi.MAC, seq uint16, payload []byte) []byte {
+	f := &wifi.Frame{Type: wifi.TypeManagement, Subtype: subtype, Addr1: dst, Addr2: src, Addr3: src, Seq: seq, Payload: payload}
+	return f.Encode()
+}
+
+// BuildBLEAdv builds a BLE advertising PDU.
+func BuildBLEAdv(adv ble.Address, payload []byte) []byte {
+	p := &ble.PDU{Type: ble.PDUAdvInd, Adv: adv, Payload: payload}
+	return p.Encode()
+}
+
+// BuildBLEData builds a (simplified) BLE data-channel PDU.
+func BuildBLEData(adv ble.Address, payload []byte) []byte {
+	p := &ble.PDU{Type: ble.PDUData, Adv: adv, Payload: payload}
+	return p.Encode()
+}

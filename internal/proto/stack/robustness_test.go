@@ -1,0 +1,76 @@
+package stack
+
+import (
+	"math/rand"
+	"net/netip"
+	"testing"
+	"testing/quick"
+
+	"kalis/internal/packet"
+)
+
+// TestDecodeNeverPanics feeds random byte soup into every medium's
+// decoder: a passive IDS parses attacker-controlled bytes and must
+// fail gracefully, never crash.
+func TestDecodeNeverPanics(t *testing.T) {
+	mediums := []packet.Medium{
+		packet.MediumIEEE802154, packet.MediumWiFi,
+		packet.MediumBluetooth, packet.MediumWired,
+	}
+	prop := func(raw []byte, pick uint8) bool {
+		m := mediums[int(pick)%len(mediums)]
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Decode(%v, %d bytes) panicked: %v", m, len(raw), r)
+			}
+		}()
+		_, _ = Decode(m, raw)
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeTruncationsNeverPanic truncates valid frames at every
+// length: partial captures are routine on lossy radios.
+func TestDecodeTruncationsNeverPanic(t *testing.T) {
+	frames := map[packet.Medium][]byte{
+		packet.MediumIEEE802154: BuildCTPData(5, 3, 5, 1, 2, 100, []byte("payload")),
+		packet.MediumWiFi:       BuildUDP(netip.MustParseAddr("10.0.0.1"), netip.MustParseAddr("10.0.0.2"), 1, 2, 3, []byte("data")),
+		packet.MediumBluetooth:  BuildBLEAdv([6]byte{1, 2, 3, 4, 5, 6}, []byte{0x02}),
+	}
+	for m, raw := range frames {
+		for cut := 0; cut <= len(raw); cut++ {
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%v truncated at %d panicked: %v", m, cut, r)
+					}
+				}()
+				_, _ = Decode(m, raw[:cut])
+			}()
+		}
+	}
+}
+
+// TestDecodeBitflipsNeverPanic flips random bits in valid frames.
+func TestDecodeBitflipsNeverPanic(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	base := BuildZigbeeData(2, 1, 9, 1, 5, []byte("cmdpayload"))
+	for i := 0; i < 5000; i++ {
+		mut := make([]byte, len(base))
+		copy(mut, base)
+		for flips := 0; flips < 1+rng.Intn(4); flips++ {
+			mut[rng.Intn(len(mut))] ^= byte(1 << rng.Intn(8))
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("bitflipped frame panicked: %v", r)
+				}
+			}()
+			_, _ = Decode(packet.MediumIEEE802154, mut)
+		}()
+	}
+}

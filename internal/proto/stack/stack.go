@@ -1,0 +1,238 @@
+// Package stack assembles and disassembles complete frames for each
+// capture medium. It is the parsing core of Kalis' Communication
+// System: simulated devices use the Build* helpers to emit raw bytes
+// onto the simulated medium, and the promiscuous sniffer uses Decode to
+// turn overheard raw bytes back into a packet.Captured with a fully
+// decoded layer stack and traffic-kind classification.
+//
+// Identity conventions: Captured.Src/Dst carry the highest-layer
+// (end-to-end) addresses present in the frame, while
+// Captured.Transmitter carries the per-hop link-layer source — the node
+// that physically radiated this transmission, which is also the node
+// the observed RSSI belongs to.
+package stack
+
+import (
+	"fmt"
+	"net/netip"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/icmp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/ipv4"
+	"kalis/internal/proto/sixlowpan"
+	"kalis/internal/proto/tcp"
+	"kalis/internal/proto/udp"
+	"kalis/internal/proto/wifi"
+	"kalis/internal/proto/zigbee"
+)
+
+// ShortID renders an 802.15.4/ZigBee 16-bit short address as a NodeID.
+func ShortID(addr uint16) packet.NodeID {
+	if addr == 0xffff {
+		return packet.Broadcast
+	}
+	return packet.NodeID(fmt.Sprintf("%#04x", addr))
+}
+
+// IPID renders an IP address as a NodeID.
+func IPID(a netip.Addr) packet.NodeID { return packet.NodeID(a.String()) }
+
+// macIdentity maps a WiFi transmitter MAC back into the IP namespace
+// when it follows the locally-administered encoding used by macFromIP,
+// so that per-hop transmitters and end-to-end IP sources share one
+// identity space. A station transmitting its own traffic then has
+// Transmitter == Src, while relayed/forwarded traffic (e.g. a router
+// forwarding Internet-side frames) exposes Transmitter != Src — the
+// multi-hop evidence the Topology Discovery module looks for.
+func macIdentity(m wifi.MAC) packet.NodeID {
+	if m[0] == 0x02 && m[1] == 0x00 {
+		return packet.NodeID(netip.AddrFrom4([4]byte{m[2], m[3], m[4], m[5]}).String())
+	}
+	return packet.NodeID(m.String())
+}
+
+// Decode parses raw bytes captured on the given medium into the layer
+// stack, filling Src, Dst, Transmitter and Kind of the returned
+// Captured. Capture metadata (Time, RSSI) is left for the caller.
+func Decode(medium packet.Medium, raw []byte) (*packet.Captured, error) {
+	switch medium {
+	case packet.MediumIEEE802154:
+		return decode802154(raw)
+	case packet.MediumWiFi, packet.MediumWired:
+		return decodeWiFi(medium, raw)
+	case packet.MediumBluetooth:
+		return decodeBLE(raw)
+	default:
+		return nil, fmt.Errorf("stack: unsupported medium %v", medium)
+	}
+}
+
+func decode802154(raw []byte) (*packet.Captured, error) {
+	mac, err := ieee802154.Decode(raw)
+	if err != nil {
+		return nil, fmt.Errorf("802.15.4: %w", err)
+	}
+	c := &packet.Captured{
+		Medium:      packet.MediumIEEE802154,
+		Src:         ShortID(mac.SrcShort),
+		Dst:         ShortID(mac.DstShort),
+		Transmitter: ShortID(mac.SrcShort),
+		Kind:        packet.KindUnknown,
+		Layers:      []packet.Layer{mac},
+	}
+	if mac.Type != ieee802154.FrameData || len(mac.Payload) == 0 {
+		c.Payload = mac.Payload
+		return c, nil
+	}
+	// Link-layer security means the payload is ciphertext: opaque to a
+	// passive monitor, but the frame itself (addresses, RSSI, the
+	// security bit that Topology Discovery turns into the Encrypted
+	// feature) is still valuable.
+	if mac.Security {
+		c.Payload = mac.Payload
+		return c, nil
+	}
+	// CTP frames are identified by their AM dispatch byte.
+	if ctp.IsCTP(mac.Payload) {
+		msg, err := ctp.Decode(mac.Payload)
+		if err != nil {
+			return nil, err
+		}
+		switch m := msg.(type) {
+		case *ctp.Data:
+			c.Layers = append(c.Layers, m)
+			c.Kind = packet.KindCTPData
+			c.Src = ShortID(m.Origin) // end-to-end origin
+			c.Payload = m.Payload
+		case *ctp.Beacon:
+			c.Layers = append(c.Layers, m)
+			c.Kind = packet.KindCTPBeacon
+		}
+		return c, nil
+	}
+	// 6LoWPAN next (dispatch-based), then ZigBee NWK as the fallback.
+	if lp, err := sixlowpan.Decode(mac.Payload); err == nil {
+		c.Layers = append(c.Layers, lp)
+		c.Src, c.Dst = ShortID(lp.Src), ShortID(lp.Dst)
+		if lp.Mesh != nil {
+			c.Src, c.Dst = ShortID(lp.Mesh.Origin), ShortID(lp.Mesh.Dst)
+		}
+		if lp.RPL != nil {
+			c.Layers = append(c.Layers, lp.RPL)
+			c.Kind = packet.KindRPLControl
+		} else {
+			c.Kind = packet.KindSixLowPAN
+			c.Payload = lp.Payload
+		}
+		return c, nil
+	}
+	nwk, err := zigbee.Decode(mac.Payload)
+	if err != nil {
+		return nil, err
+	}
+	c.Layers = append(c.Layers, nwk)
+	c.Src, c.Dst = ShortID(nwk.Src), ShortID(nwk.Dst)
+	if nwk.IsRouting() {
+		c.Kind = packet.KindZigbeeRouting
+	} else {
+		c.Kind = packet.KindZigbeeData
+	}
+	c.Payload = nwk.Payload
+	return c, nil
+}
+
+func decodeWiFi(medium packet.Medium, raw []byte) (*packet.Captured, error) {
+	fr, err := wifi.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	c := &packet.Captured{
+		Medium:      medium,
+		Src:         packet.NodeID(fr.Addr2.String()),
+		Dst:         packet.NodeID(fr.Addr1.String()),
+		Transmitter: macIdentity(fr.Addr2),
+		Layers:      []packet.Layer{fr},
+	}
+	if fr.Type == wifi.TypeManagement {
+		c.Kind = packet.KindWiFiMgmt
+		c.Payload = fr.Payload
+		return c, nil
+	}
+	if fr.Type != wifi.TypeData || len(fr.Payload) == 0 {
+		c.Payload = fr.Payload
+		return c, nil
+	}
+	ip, err := ipv4.Decode(fr.Payload)
+	if err != nil {
+		return nil, err
+	}
+	c.Layers = append(c.Layers, ip)
+	c.Src, c.Dst = IPID(ip.Src), IPID(ip.Dst)
+	switch ip.Protocol {
+	case ipv4.ProtoICMP:
+		m, err := icmp.Decode(ip.Payload)
+		if err != nil {
+			return nil, err
+		}
+		c.Layers = append(c.Layers, m)
+		switch {
+		case m.IsEchoRequest():
+			c.Kind = packet.KindICMPEchoRequest
+		case m.IsEchoReply():
+			c.Kind = packet.KindICMPEchoReply
+		default:
+			c.Kind = packet.KindICMPOther
+		}
+		c.Payload = m.Payload
+	case ipv4.ProtoTCP:
+		seg, err := tcp.Decode(ip.Src, ip.Dst, ip.Payload)
+		if err != nil {
+			return nil, err
+		}
+		c.Layers = append(c.Layers, seg)
+		switch {
+		case seg.IsSYN():
+			c.Kind = packet.KindTCPSYN
+		case seg.IsACK() || seg.IsSYNACK():
+			c.Kind = packet.KindTCPACK
+		default:
+			c.Kind = packet.KindTCPOther
+		}
+		c.Payload = seg.Payload
+	case ipv4.ProtoUDP:
+		d, err := udp.Decode(ip.Payload)
+		if err != nil {
+			return nil, err
+		}
+		c.Layers = append(c.Layers, d)
+		c.Kind = packet.KindUDP
+		c.Payload = d.Payload
+	default:
+		c.Payload = ip.Payload
+	}
+	return c, nil
+}
+
+func decodeBLE(raw []byte) (*packet.Captured, error) {
+	pdu, err := ble.Decode(raw)
+	if err != nil {
+		return nil, err
+	}
+	c := &packet.Captured{
+		Medium:      packet.MediumBluetooth,
+		Src:         packet.NodeID(pdu.Adv.String()),
+		Dst:         packet.Broadcast,
+		Transmitter: packet.NodeID(pdu.Adv.String()),
+		Layers:      []packet.Layer{pdu},
+		Payload:     pdu.Payload,
+	}
+	if pdu.IsAdvertising() {
+		c.Kind = packet.KindBLEAdvertising
+	} else {
+		c.Kind = packet.KindBLEData
+	}
+	return c, nil
+}

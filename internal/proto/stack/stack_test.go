@@ -1,0 +1,225 @@
+package stack
+
+import (
+	"net/netip"
+	"testing"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/ble"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/sixlowpan"
+	"kalis/internal/proto/tcp"
+	"kalis/internal/proto/wifi"
+	"kalis/internal/proto/zigbee"
+)
+
+func mustDecode(t *testing.T, medium packet.Medium, raw []byte) *packet.Captured {
+	t.Helper()
+	c, err := Decode(medium, raw)
+	if err != nil {
+		t.Fatalf("Decode(%v): %v", medium, err)
+	}
+	return c
+}
+
+func TestCTPDataStack(t *testing.T) {
+	raw := BuildCTPData(5, 3, 7, 42, 2, 120, []byte("reading"))
+	c := mustDecode(t, packet.MediumIEEE802154, raw)
+	if c.Kind != packet.KindCTPData {
+		t.Errorf("Kind = %v, want CTPData", c.Kind)
+	}
+	if c.Src != ShortID(7) { // end-to-end origin
+		t.Errorf("Src = %s, want origin 7", c.Src)
+	}
+	if c.Transmitter != ShortID(5) { // per-hop transmitter
+		t.Errorf("Transmitter = %s, want 5", c.Transmitter)
+	}
+	d, ok := c.Layer("ctp-data").(*ctp.Data)
+	if !ok {
+		t.Fatal("missing ctp-data layer")
+	}
+	if d.THL != 2 || d.SeqNo != 42 {
+		t.Errorf("ctp fields: %+v", d)
+	}
+}
+
+func TestCTPBeaconStack(t *testing.T) {
+	raw := BuildCTPBeacon(4, 1, 35, 9)
+	c := mustDecode(t, packet.MediumIEEE802154, raw)
+	if c.Kind != packet.KindCTPBeacon {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	if c.Dst != packet.Broadcast {
+		t.Errorf("Dst = %s, want broadcast", c.Dst)
+	}
+}
+
+func TestZigbeeStack(t *testing.T) {
+	raw := BuildZigbeeData(2, 1, 9, 1, 5, []byte("cmd"))
+	c := mustDecode(t, packet.MediumIEEE802154, raw)
+	if c.Kind != packet.KindZigbeeData {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	if c.Src != ShortID(9) || c.Dst != ShortID(1) {
+		t.Errorf("NWK identities: %s -> %s", c.Src, c.Dst)
+	}
+	if c.Transmitter != ShortID(2) {
+		t.Errorf("Transmitter = %s", c.Transmitter)
+	}
+
+	rawCmd := BuildZigbeeCommand(2, 0xffff, 2, 0xfffc, 6, zigbee.CmdRouteRequest, nil)
+	c2 := mustDecode(t, packet.MediumIEEE802154, rawCmd)
+	if c2.Kind != packet.KindZigbeeRouting {
+		t.Errorf("command Kind = %v", c2.Kind)
+	}
+}
+
+func TestRPLStack(t *testing.T) {
+	raw := BuildRPLDIO(3, 1, 512, 1)
+	c := mustDecode(t, packet.MediumIEEE802154, raw)
+	if c.Kind != packet.KindRPLControl {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	m, ok := c.Layer("rpl").(*sixlowpan.RPLMessage)
+	if !ok {
+		t.Fatal("missing rpl layer")
+	}
+	if m.Rank != 512 {
+		t.Errorf("rank = %d", m.Rank)
+	}
+}
+
+func TestSixLowPANMeshStack(t *testing.T) {
+	raw := BuildSixLowPANData(4, 2, 9, 1, 3, 5, []byte("x"))
+	c := mustDecode(t, packet.MediumIEEE802154, raw)
+	if c.Kind != packet.KindSixLowPAN {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	if c.Src != ShortID(9) || c.Dst != ShortID(1) {
+		t.Errorf("mesh identities: %s -> %s", c.Src, c.Dst)
+	}
+	lp, ok := c.Layer("sixlowpan").(*sixlowpan.Packet)
+	if !ok || lp.Mesh == nil {
+		t.Fatal("missing mesh header")
+	}
+}
+
+func TestICMPStack(t *testing.T) {
+	src, dst := netip.MustParseAddr("192.168.1.66"), netip.MustParseAddr("192.168.1.10")
+	raw := BuildICMPEcho(src, dst, 0, 1, 7, 64)
+	c := mustDecode(t, packet.MediumWiFi, raw)
+	if c.Kind != packet.KindICMPEchoReply {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	if c.Src != IPID(src) || c.Dst != IPID(dst) {
+		t.Errorf("IP identities: %s -> %s", c.Src, c.Dst)
+	}
+	rawReq := BuildICMPEcho(src, dst, 8, 1, 8, 64)
+	if c2 := mustDecode(t, packet.MediumWiFi, rawReq); c2.Kind != packet.KindICMPEchoRequest {
+		t.Errorf("request Kind = %v", c2.Kind)
+	}
+}
+
+func TestTCPStack(t *testing.T) {
+	src, dst := netip.MustParseAddr("192.168.1.5"), netip.MustParseAddr("34.4.4.4")
+	cases := []struct {
+		flags uint8
+		want  packet.Kind
+	}{
+		{tcp.FlagSYN, packet.KindTCPSYN},
+		{tcp.FlagSYN | tcp.FlagACK, packet.KindTCPACK},
+		{tcp.FlagACK, packet.KindTCPACK},
+		{tcp.FlagFIN | tcp.FlagACK, packet.KindTCPOther},
+	}
+	for _, cse := range cases {
+		raw := BuildTCP(src, dst, 4000, 443, cse.flags, 1, 0, 10, nil)
+		c := mustDecode(t, packet.MediumWiFi, raw)
+		if c.Kind != cse.want {
+			t.Errorf("flags %s: Kind = %v, want %v", tcp.FlagString(cse.flags), c.Kind, cse.want)
+		}
+	}
+}
+
+func TestUDPStack(t *testing.T) {
+	src, dst := netip.MustParseAddr("192.168.1.20"), netip.MustParseAddr("192.168.1.255")
+	raw := BuildUDP(src, dst, 56700, 56700, 3, []byte("discover"))
+	c := mustDecode(t, packet.MediumWiFi, raw)
+	if c.Kind != packet.KindUDP {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+	if string(c.Payload) != "discover" {
+		t.Errorf("payload = %q", c.Payload)
+	}
+}
+
+func TestWiFiMgmtStack(t *testing.T) {
+	raw := BuildWiFiMgmt(wifi.SubtypeBeacon, wifi.MAC{1, 1, 1, 1, 1, 1}, wifi.BroadcastMAC, 1, nil)
+	c := mustDecode(t, packet.MediumWiFi, raw)
+	if c.Kind != packet.KindWiFiMgmt {
+		t.Errorf("Kind = %v", c.Kind)
+	}
+}
+
+func TestBLEStack(t *testing.T) {
+	adv := ble.Address{1, 2, 3, 4, 5, 6}
+	c := mustDecode(t, packet.MediumBluetooth, BuildBLEAdv(adv, []byte("lock")))
+	if c.Kind != packet.KindBLEAdvertising {
+		t.Errorf("adv Kind = %v", c.Kind)
+	}
+	if c.Src != packet.NodeID(adv.String()) {
+		t.Errorf("Src = %s", c.Src)
+	}
+	c2 := mustDecode(t, packet.MediumBluetooth, BuildBLEData(adv, []byte{1}))
+	if c2.Kind != packet.KindBLEData {
+		t.Errorf("data Kind = %v", c2.Kind)
+	}
+}
+
+func TestSecuredFrameIsOpaqueNotError(t *testing.T) {
+	f := &ieee802154.Frame{
+		Type:          ieee802154.FrameData,
+		Security:      true,
+		PANIDCompress: true,
+		DstPAN:        0x1234,
+		DstMode:       ieee802154.AddrShort,
+		SrcMode:       ieee802154.AddrShort,
+		DstShort:      1,
+		SrcShort:      2,
+		Payload:       []byte{0xde, 0xad, 0xbe}, // ciphertext
+	}
+	c := mustDecode(t, packet.MediumIEEE802154, f.Encode())
+	if c.Kind != packet.KindUnknown {
+		t.Errorf("Kind = %v, want Unknown (opaque)", c.Kind)
+	}
+	mac, ok := c.Layer("ieee802154").(*ieee802154.Frame)
+	if !ok || !mac.Security {
+		t.Error("security bit lost")
+	}
+	if c.Src != ShortID(2) || c.Dst != ShortID(1) {
+		t.Errorf("link identities lost: %s -> %s", c.Src, c.Dst)
+	}
+}
+
+func TestShortID(t *testing.T) {
+	if ShortID(0xffff) != packet.Broadcast {
+		t.Error("0xffff should map to broadcast")
+	}
+	if ShortID(5) != "0x0005" {
+		t.Errorf("ShortID(5) = %s", ShortID(5))
+	}
+}
+
+func TestDecodeUnsupportedMedium(t *testing.T) {
+	if _, err := Decode(packet.Medium(99), []byte{1, 2, 3}); err == nil {
+		t.Error("expected error for unsupported medium")
+	}
+}
+
+func TestDecodeGarbage(t *testing.T) {
+	for _, m := range []packet.Medium{packet.MediumIEEE802154, packet.MediumWiFi, packet.MediumBluetooth} {
+		if _, err := Decode(m, []byte{0x01}); err == nil {
+			t.Errorf("%v: expected error for garbage", m)
+		}
+	}
+}

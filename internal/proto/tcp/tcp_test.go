@@ -1,0 +1,95 @@
+package tcp
+
+import (
+	"bytes"
+	"errors"
+	"net/netip"
+	"testing"
+	"testing/quick"
+)
+
+var (
+	srcA = netip.MustParseAddr("192.168.1.5")
+	dstA = netip.MustParseAddr("52.2.3.4")
+)
+
+func TestRoundTrip(t *testing.T) {
+	s := &Segment{
+		SrcPort: 44321, DstPort: 443,
+		Seq: 1000, Ack: 2000,
+		Flags:  FlagSYN | FlagACK,
+		Window: 4096,
+	}
+	got, err := Decode(srcA, dstA, s.Encode(srcA, dstA))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.SrcPort != 44321 || got.DstPort != 443 || got.Seq != 1000 || got.Ack != 2000 {
+		t.Errorf("segment mismatch: %+v", got)
+	}
+	if !got.IsSYNACK() {
+		t.Error("IsSYNACK false")
+	}
+}
+
+func TestFlagPredicates(t *testing.T) {
+	cases := []struct {
+		flags            uint8
+		syn, synack, ack bool
+	}{
+		{FlagSYN, true, false, false},
+		{FlagSYN | FlagACK, false, true, false},
+		{FlagACK, false, false, true},
+		{FlagACK | FlagPSH, false, false, true},
+		{FlagACK | FlagFIN, false, false, false},
+		{FlagRST, false, false, false},
+	}
+	for _, c := range cases {
+		s := &Segment{Flags: c.flags}
+		if s.IsSYN() != c.syn || s.IsSYNACK() != c.synack || s.IsACK() != c.ack {
+			t.Errorf("flags %s: got (%v,%v,%v), want (%v,%v,%v)",
+				FlagString(c.flags), s.IsSYN(), s.IsSYNACK(), s.IsACK(), c.syn, c.synack, c.ack)
+		}
+	}
+}
+
+func TestFlagString(t *testing.T) {
+	if got := FlagString(FlagSYN | FlagACK); got != "SA" {
+		t.Errorf("FlagString = %q, want SA", got)
+	}
+	if got := FlagString(0); got != "." {
+		t.Errorf("FlagString(0) = %q, want .", got)
+	}
+}
+
+func TestChecksumBinding(t *testing.T) {
+	// A segment checksummed for one address pair must not verify for
+	// another (the pseudo-header binds addresses).
+	s := &Segment{SrcPort: 1, DstPort: 2, Flags: FlagSYN}
+	raw := s.Encode(srcA, dstA)
+	other := netip.MustParseAddr("10.9.9.9")
+	if _, err := Decode(other, dstA, raw); !errors.Is(err, ErrChecksum) {
+		t.Errorf("err = %v, want ErrChecksum", err)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := Decode(srcA, dstA, make([]byte, 10)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(sp, dp uint16, seq, ack uint32, payload []byte) bool {
+		s := &Segment{SrcPort: sp, DstPort: dp, Seq: seq, Ack: ack, Flags: FlagACK, Window: 100, Payload: payload}
+		got, err := Decode(srcA, dstA, s.Encode(srcA, dstA))
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && got.Seq == seq &&
+			got.Ack == ack && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,65 @@
+package udp
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	d := &Datagram{SrcPort: 56700, DstPort: 56700, Payload: []byte("lifx")}
+	got, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.SrcPort != 56700 || got.DstPort != 56700 || !bytes.Equal(got.Payload, d.Payload) {
+		t.Errorf("mismatch: %+v", got)
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	d := &Datagram{SrcPort: 1, DstPort: 2}
+	got, err := Decode(d.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if len(got.Payload) != 0 {
+		t.Errorf("payload = %v, want empty", got.Payload)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(make([]byte, 7)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("short: %v", err)
+	}
+	// Length field larger than buffer.
+	d := &Datagram{SrcPort: 1, DstPort: 2, Payload: []byte("abcdef")}
+	raw := d.Encode()
+	if _, err := Decode(raw[:10]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("bad length: %v", err)
+	}
+	// Length field below header size.
+	bad := make([]byte, 8)
+	bad[5] = 4
+	if _, err := Decode(bad); !errors.Is(err, ErrTruncated) {
+		t.Errorf("tiny length: %v", err)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(sp, dp uint16, payload []byte) bool {
+		if len(payload) > 60000 {
+			payload = payload[:60000]
+		}
+		d := &Datagram{SrcPort: sp, DstPort: dp, Payload: payload}
+		got, err := Decode(d.Encode())
+		if err != nil {
+			return false
+		}
+		return got.SrcPort == sp && got.DstPort == dp && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

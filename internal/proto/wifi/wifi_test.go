@@ -1,0 +1,79 @@
+package wifi
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripData(t *testing.T) {
+	f := &Frame{
+		Type:    TypeData,
+		ToDS:    true,
+		Addr1:   MAC{1, 2, 3, 4, 5, 6},
+		Addr2:   MAC{7, 8, 9, 10, 11, 12},
+		Addr3:   MAC{13, 14, 15, 16, 17, 18},
+		Seq:     123,
+		Payload: []byte("ip packet"),
+	}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != TypeData || !got.ToDS || got.FromDS {
+		t.Errorf("control mismatch: %+v", got)
+	}
+	if got.Addr1 != f.Addr1 || got.Addr2 != f.Addr2 || got.Addr3 != f.Addr3 {
+		t.Error("address mismatch")
+	}
+	if got.Seq != 123 {
+		t.Errorf("seq = %d", got.Seq)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Error("payload mismatch")
+	}
+}
+
+func TestRoundTripMgmt(t *testing.T) {
+	f := &Frame{Type: TypeManagement, Subtype: SubtypeBeacon, Addr1: BroadcastMAC, Addr2: MAC{1, 1, 1, 1, 1, 1}}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != TypeManagement || got.Subtype != SubtypeBeacon {
+		t.Errorf("mgmt mismatch: %+v", got)
+	}
+	if got.Addr1 != BroadcastMAC {
+		t.Error("broadcast address lost")
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	if _, err := Decode(make([]byte, 23)); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestMACString(t *testing.T) {
+	m := MAC{0xaa, 0xbb, 0xcc, 0x00, 0x11, 0x22}
+	if m.String() != "aa:bb:cc:00:11:22" {
+		t.Errorf("MAC.String() = %q", m.String())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(a1, a2, a3 [6]byte, seq uint16, payload []byte) bool {
+		seq &= 0x0fff // 12-bit sequence field
+		f := &Frame{Type: TypeData, Addr1: MAC(a1), Addr2: MAC(a2), Addr3: MAC(a3), Seq: seq, Payload: payload}
+		got, err := Decode(f.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Addr1 == f.Addr1 && got.Addr2 == f.Addr2 &&
+			got.Addr3 == f.Addr3 && got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

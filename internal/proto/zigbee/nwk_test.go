@@ -1,0 +1,114 @@
+package zigbee
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTripData(t *testing.T) {
+	f := &Frame{
+		Type:     FrameData,
+		Protocol: 2,
+		Dst:      0x0001,
+		Src:      0x0042,
+		Radius:   30,
+		Seq:      17,
+		Payload:  []byte("zigbee app data"),
+	}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.Type != FrameData || got.Dst != 1 || got.Src != 0x42 || got.Radius != 30 || got.Seq != 17 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if !bytes.Equal(got.Payload, f.Payload) {
+		t.Errorf("payload mismatch")
+	}
+	if got.IsRouting() {
+		t.Error("data frame reported as routing")
+	}
+}
+
+func TestRoundTripCommand(t *testing.T) {
+	f := &Frame{
+		Type:     FrameCommand,
+		Protocol: 2,
+		Dst:      0xfffc,
+		Src:      0x0007,
+		Radius:   1,
+		Seq:      3,
+		Command:  CmdRouteRequest,
+		Payload:  []byte{0x01, 0x02},
+	}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.IsRouting() || got.Command != CmdRouteRequest {
+		t.Errorf("command mismatch: %+v", got)
+	}
+}
+
+func TestRoundTripSourceRoute(t *testing.T) {
+	f := &Frame{
+		Type:        FrameData,
+		Protocol:    2,
+		SourceRoute: true,
+		Dst:         0x0001,
+		Src:         0x0099,
+		Radius:      10,
+		Seq:         8,
+		Relays:      []uint16{0x0002, 0x0003, 0x0004},
+		Payload:     []byte{0xaa},
+	}
+	got, err := Decode(f.Encode())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !got.SourceRoute || len(got.Relays) != 3 || got.Relays[1] != 3 {
+		t.Errorf("source route mismatch: %+v", got)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		if _, err := Decode(make([]byte, n)); !errors.Is(err, ErrTruncated) {
+			t.Errorf("len %d: err = %v, want ErrTruncated", n, err)
+		}
+	}
+}
+
+func TestTruncatedSourceRoute(t *testing.T) {
+	f := &Frame{Type: FrameData, SourceRoute: true, Relays: []uint16{1, 2, 3}}
+	raw := f.Encode()
+	if _, err := Decode(raw[:len(raw)-3]); !errors.Is(err, ErrTruncated) {
+		t.Errorf("err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestCommandStrings(t *testing.T) {
+	if CmdRouteRequest.String() != "route-request" {
+		t.Errorf("CmdRouteRequest = %q", CmdRouteRequest.String())
+	}
+	if CommandID(0xEE).String() != "command(0xee)" {
+		t.Errorf("unknown = %q", CommandID(0xEE).String())
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	prop := func(dst, src uint16, radius, seq uint8, payload []byte) bool {
+		f := &Frame{Type: FrameData, Protocol: 2, Dst: dst, Src: src, Radius: radius, Seq: seq, Payload: payload}
+		got, err := Decode(f.Encode())
+		if err != nil {
+			return false
+		}
+		return got.Dst == dst && got.Src == src && got.Radius == radius &&
+			got.Seq == seq && bytes.Equal(got.Payload, payload)
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,80 @@
+package siem
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+func sampleAlert() module.Alert {
+	return module.Alert{
+		Time:       t0,
+		Attack:     "icmp-flood",
+		Module:     "ICMPFloodModule",
+		Victim:     "192.168.1.10",
+		Suspects:   []packet.NodeID{"192.168.1.66"},
+		Confidence: 0.95,
+		Details:    "25 echo replies",
+	}
+}
+
+func TestExportAndRead(t *testing.T) {
+	var buf bytes.Buffer
+	exp := NewExporter("K1", &buf)
+	exp.HandleAlert(sampleAlert())
+	exp.HandleAlert(module.Alert{Time: t0.Add(time.Second), Attack: "sybil", Module: "SybilModule", Confidence: 0.8})
+
+	if exp.Count() != 2 || exp.Err() != nil {
+		t.Fatalf("count=%d err=%v", exp.Count(), exp.Err())
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != 2 {
+		t.Errorf("lines = %d", lines)
+	}
+	events, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 {
+		t.Fatalf("events = %d", len(events))
+	}
+	ev := events[0]
+	if ev.Sensor != "K1" || ev.Attack != "icmp-flood" || ev.Victim != "192.168.1.10" ||
+		len(ev.Suspects) != 1 || !ev.Timestamp.Equal(t0) {
+		t.Errorf("event = %+v", ev)
+	}
+}
+
+type failingWriter struct{}
+
+func (failingWriter) Write([]byte) (int, error) { return 0, errors.New("pipe broke") }
+
+func TestWriteErrorRetained(t *testing.T) {
+	exp := NewExporter("K1", failingWriter{})
+	exp.HandleAlert(sampleAlert())
+	if exp.Err() == nil {
+		t.Error("write error lost")
+	}
+	if exp.Count() != 0 {
+		t.Error("failed write counted")
+	}
+}
+
+func TestReadGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("{not json")); err == nil {
+		t.Error("garbage parsed")
+	}
+}
+
+func TestReadEmpty(t *testing.T) {
+	events, err := Read(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Errorf("events=%d err=%v", len(events), err)
+	}
+}

@@ -1,0 +1,300 @@
+// Package snortlike implements the evaluation's general-purpose
+// signature IDS baseline: a rule-driven network IDS speaking a faithful
+// subset of the Snort rule language, loaded with a community-style
+// ruleset plus custom rules for the evaluation scenarios (§VI-B: "we
+// also compare Kalis with Snort, using custom rules along with the
+// default community ruleset").
+//
+// Like the real tool in the paper's experiments, it understands only
+// IP traffic: frames on IEEE 802.15.4 or Bluetooth mediums are
+// invisible to it, which is why it scores zero on every ZigBee-based
+// scenario.
+package snortlike
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Action is the rule action.
+type Action int
+
+// Rule actions (subset).
+const (
+	ActionAlert Action = iota + 1
+	ActionLog
+	ActionPass
+)
+
+// Proto is the rule protocol.
+type Proto int
+
+// Rule protocols.
+const (
+	ProtoIP Proto = iota + 1
+	ProtoICMP
+	ProtoTCP
+	ProtoUDP
+)
+
+// TrackBy selects the threshold tracking key.
+type TrackBy int
+
+// Threshold tracking modes.
+const (
+	TrackBySrc TrackBy = iota + 1
+	TrackByDst
+)
+
+// Threshold is the rule's rate-limiting/thresholding directive.
+type Threshold struct {
+	// Type is "threshold", "limit" or "both".
+	Type    string
+	Track   TrackBy
+	Count   int
+	Seconds int
+}
+
+// Rule is one parsed rule.
+type Rule struct {
+	Action   Action
+	Proto    Proto
+	SrcPort  int // -1 = any
+	DstPort  int // -1 = any
+	Msg      string
+	SID      int
+	Rev      int
+	Class    string
+	ITypeSet bool
+	IType    int
+	ICodeSet bool
+	ICode    int
+	// Flags is the required TCP flag set in Snort notation ("S",
+	// "SA", ...); empty means no constraint.
+	Flags string
+	// Contents are payload substrings that must all be present.
+	Contents []string
+	// DsizeOp/Dsize constrain payload size: "", "<", ">", "=".
+	DsizeOp string
+	Dsize   int
+	// Threshold is nil when the rule fires on every match.
+	Threshold *Threshold
+}
+
+// ParseError reports a rule syntax error.
+type ParseError struct {
+	Rule string
+	Msg  string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("snortlike: %s (in rule %q)", e.Msg, e.Rule)
+}
+
+// ParseRule parses one rule line.
+func ParseRule(line string) (*Rule, error) {
+	line = strings.TrimSpace(line)
+	fail := func(msg string) (*Rule, error) { return nil, &ParseError{Rule: line, Msg: msg} }
+
+	open := strings.IndexByte(line, '(')
+	if open < 0 || !strings.HasSuffix(line, ")") {
+		return fail("missing option block")
+	}
+	header := strings.Fields(line[:open])
+	if len(header) != 7 {
+		return fail(fmt.Sprintf("header needs 7 fields, got %d", len(header)))
+	}
+	r := &Rule{SrcPort: -1, DstPort: -1, Rev: 1}
+	switch header[0] {
+	case "alert":
+		r.Action = ActionAlert
+	case "log":
+		r.Action = ActionLog
+	case "pass":
+		r.Action = ActionPass
+	default:
+		return fail("unknown action " + header[0])
+	}
+	switch header[1] {
+	case "ip":
+		r.Proto = ProtoIP
+	case "icmp":
+		r.Proto = ProtoICMP
+	case "tcp":
+		r.Proto = ProtoTCP
+	case "udp":
+		r.Proto = ProtoUDP
+	default:
+		return fail("unknown protocol " + header[1])
+	}
+	if header[4] != "->" && header[4] != "<>" {
+		return fail("bad direction " + header[4])
+	}
+	var err error
+	if r.SrcPort, err = parsePort(header[3]); err != nil {
+		return fail(err.Error())
+	}
+	if r.DstPort, err = parsePort(header[6]); err != nil {
+		return fail(err.Error())
+	}
+
+	opts := strings.TrimSuffix(line[open+1:], ")")
+	for _, opt := range splitOptions(opts) {
+		key, val := opt, ""
+		if i := strings.IndexByte(opt, ':'); i >= 0 {
+			key, val = strings.TrimSpace(opt[:i]), strings.TrimSpace(opt[i+1:])
+		}
+		switch key {
+		case "msg":
+			r.Msg = unquote(val)
+		case "sid":
+			if r.SID, err = strconv.Atoi(val); err != nil {
+				return fail("bad sid " + val)
+			}
+		case "rev":
+			if r.Rev, err = strconv.Atoi(val); err != nil {
+				return fail("bad rev " + val)
+			}
+		case "classtype":
+			r.Class = val
+		case "itype":
+			if r.IType, err = strconv.Atoi(val); err != nil {
+				return fail("bad itype " + val)
+			}
+			r.ITypeSet = true
+		case "icode":
+			if r.ICode, err = strconv.Atoi(val); err != nil {
+				return fail("bad icode " + val)
+			}
+			r.ICodeSet = true
+		case "flags":
+			r.Flags = val
+		case "content":
+			r.Contents = append(r.Contents, unquote(val))
+		case "dsize":
+			op := "="
+			rest := val
+			if strings.HasPrefix(val, "<") || strings.HasPrefix(val, ">") {
+				op, rest = val[:1], val[1:]
+			}
+			if r.Dsize, err = strconv.Atoi(strings.TrimSpace(rest)); err != nil {
+				return fail("bad dsize " + val)
+			}
+			r.DsizeOp = op
+		case "threshold":
+			th, err := parseThreshold(val)
+			if err != nil {
+				return fail(err.Error())
+			}
+			r.Threshold = th
+		case "":
+			// empty option (trailing ';')
+		default:
+			// Unknown options are tolerated (as Snort does for
+			// metadata-style options).
+		}
+	}
+	if r.SID == 0 {
+		return fail("missing sid")
+	}
+	return r, nil
+}
+
+func parsePort(s string) (int, error) {
+	if s == "any" {
+		return -1, nil
+	}
+	p, err := strconv.Atoi(s)
+	if err != nil || p < 0 || p > 65535 {
+		return 0, fmt.Errorf("bad port %q", s)
+	}
+	return p, nil
+}
+
+func parseThreshold(val string) (*Threshold, error) {
+	th := &Threshold{}
+	for _, part := range strings.Split(val, ",") {
+		fields := strings.Fields(strings.TrimSpace(part))
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("bad threshold part %q", part)
+		}
+		var err error
+		switch fields[0] {
+		case "type":
+			th.Type = fields[1]
+		case "track":
+			switch fields[1] {
+			case "by_src":
+				th.Track = TrackBySrc
+			case "by_dst":
+				th.Track = TrackByDst
+			default:
+				return nil, fmt.Errorf("bad track %q", fields[1])
+			}
+		case "count":
+			if th.Count, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("bad count %q", fields[1])
+			}
+		case "seconds":
+			if th.Seconds, err = strconv.Atoi(fields[1]); err != nil {
+				return nil, fmt.Errorf("bad seconds %q", fields[1])
+			}
+		default:
+			return nil, fmt.Errorf("unknown threshold key %q", fields[0])
+		}
+	}
+	if th.Count <= 0 || th.Seconds <= 0 || th.Track == 0 {
+		return nil, fmt.Errorf("incomplete threshold %q", val)
+	}
+	return th, nil
+}
+
+// splitOptions splits on ';' outside quotes.
+func splitOptions(s string) []string {
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			depth = !depth
+		case ';':
+			if !depth {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	if tail := strings.TrimSpace(s[start:]); tail != "" {
+		out = append(out, tail)
+	}
+	return out
+}
+
+func unquote(s string) string {
+	s = strings.TrimSpace(s)
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+// ParseRules parses a whole ruleset, skipping blank lines and '#'
+// comments. It fails on the first malformed rule.
+func ParseRules(src string) ([]*Rule, error) {
+	var rules []*Rule
+	for _, line := range strings.Split(src, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		r, err := ParseRule(line)
+		if err != nil {
+			return nil, err
+		}
+		rules = append(rules, r)
+	}
+	return rules, nil
+}

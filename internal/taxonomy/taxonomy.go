@@ -1,0 +1,250 @@
+// Package taxonomy encodes the paper's two IoT threat taxonomies:
+// the attack-pattern taxonomy by source/target (Table I) and the
+// feature/attack relationship taxonomy (Fig. 3) that grounds the
+// knowledge-driven model — which attacks are possible, impossible, or
+// detection-technique-dependent under each network/device feature.
+package taxonomy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"kalis/internal/attack"
+)
+
+// Entity is a row/column of the by-target taxonomy.
+type Entity int
+
+// Entities of the IoT ecosystem (§III-B1).
+const (
+	EntityInternet Entity = iota + 1
+	EntityInternetService
+	EntityHub
+	EntitySub
+	EntityRouter
+)
+
+// String returns the entity name.
+func (e Entity) String() string {
+	switch e {
+	case EntityInternet:
+		return "Internet"
+	case EntityInternetService:
+		return "Internet Service"
+	case EntityHub:
+		return "Hub"
+	case EntitySub:
+		return "Sub"
+	case EntityRouter:
+		return "Router"
+	default:
+		return fmt.Sprintf("entity(%d)", int(e))
+	}
+}
+
+// PatternClass is the paper's nomenclature for attack patterns.
+type PatternClass string
+
+// Attack-pattern classes (Table I). "Denial of Thing" (DoT) is the
+// paper's term for attacks aimed at disrupting the functionality of a
+// thing.
+const (
+	DenialOfService PatternClass = "Denial of Service"
+	RemoteDoT       PatternClass = "Remote Denial of Thing"
+	ControlDoT      PatternClass = "Control Denial of Thing"
+	DenialOfThing   PatternClass = "Denial of Thing"
+	DenialOfRouting PatternClass = "Denial of Routing"
+	PatternNone     PatternClass = "-"
+)
+
+// ByTarget returns the Table I matrix: ByTarget()[source][target].
+// Absent pairs are impossible (e.g. a sub lacks the communication
+// hardware to attack an Internet service directly).
+func ByTarget() map[Entity]map[Entity]PatternClass {
+	return map[Entity]map[Entity]PatternClass{
+		EntityInternet: {
+			EntityInternetService: DenialOfService,
+			EntityHub:             RemoteDoT,
+			EntitySub:             PatternNone,
+			EntityRouter:          PatternNone,
+		},
+		EntityHub: {
+			EntityInternetService: DenialOfService,
+			EntityHub:             ControlDoT,
+			EntitySub:             DenialOfThing,
+			EntityRouter:          DenialOfRouting,
+		},
+		EntitySub: {
+			EntityInternetService: PatternNone,
+			EntityHub:             PatternNone,
+			EntitySub:             DenialOfThing,
+			EntityRouter:          PatternNone,
+		},
+		EntityRouter: {
+			EntityInternetService: PatternNone,
+			EntityHub:             ControlDoT,
+			EntitySub:             PatternNone,
+			EntityRouter:          DenialOfRouting,
+		},
+	}
+}
+
+// Feature is a network/device feature of the Fig. 3 taxonomy.
+type Feature string
+
+// Features considered by the knowledge-driven model.
+const (
+	FeatureMultihop    Feature = "multi-hop topology"
+	FeatureSinglehop   Feature = "single-hop topology"
+	FeatureMobile      Feature = "mobile network"
+	FeatureStatic      Feature = "static network"
+	FeatureConstrained Feature = "constrained devices (802.15.4)"
+	FeatureIPNetwork   Feature = "IP network (WiFi/wired)"
+	FeatureEncrypted   Feature = "cryptographic protection"
+)
+
+// Relation classifies a (feature, attack) pair.
+type Relation int
+
+// Relations of the Fig. 3 matrix: dots (possible), crosses
+// (impossible) and circles (the detection technique depends on the
+// feature).
+const (
+	Possible Relation = iota + 1
+	Impossible
+	TechniqueDepends
+)
+
+// Symbol returns the figure's marker for the relation.
+func (r Relation) Symbol() string {
+	switch r {
+	case Possible:
+		return "●"
+	case Impossible:
+		return "✗"
+	case TechniqueDepends:
+		return "◯"
+	default:
+		return "?"
+	}
+}
+
+// Matrix is the feature × attack relationship table.
+type Matrix map[Feature]map[string]Relation
+
+// ByFeature returns the Fig. 3 relationships for the attacks Kalis
+// implements. Every entry is load-bearing: the detection modules'
+// Required predicates in internal/core/detection are its executable
+// form.
+func ByFeature() Matrix {
+	return Matrix{
+		FeatureSinglehop: {
+			attack.ICMPFlood:           Possible,
+			attack.Smurf:               Impossible, // §III-A1
+			attack.SYNFlood:            Possible,
+			attack.SelectiveForwarding: Impossible, // §III: needs relays
+			attack.Blackhole:           Impossible,
+			attack.Sinkhole:            Impossible,
+			attack.Wormhole:            Impossible,
+			attack.Replication:         Possible,
+			attack.Sybil:               TechniqueDepends,
+			attack.DataAlteration:      Possible,
+		},
+		FeatureMultihop: {
+			attack.ICMPFlood:           TechniqueDepends, // single-source check
+			attack.Smurf:               Possible,
+			attack.SYNFlood:            Possible,
+			attack.SelectiveForwarding: Possible,
+			attack.Blackhole:           Possible,
+			attack.Sinkhole:            Possible,
+			attack.Wormhole:            Possible,
+			attack.Replication:         Possible,
+			attack.Sybil:               TechniqueDepends,
+			attack.DataAlteration:      Possible,
+		},
+		FeatureStatic: {
+			attack.Replication: TechniqueDepends, // RSSI-stability technique
+			attack.Sybil:       Possible,
+		},
+		FeatureMobile: {
+			attack.Replication: TechniqueDepends, // sequence/velocity technique
+			attack.Sybil:       Possible,
+		},
+		FeatureConstrained: {
+			attack.SelectiveForwarding: Possible,
+			attack.Blackhole:           Possible,
+			attack.Sinkhole:            Possible,
+			attack.Wormhole:            Possible,
+			attack.Replication:         Possible,
+			attack.Sybil:               Possible,
+			attack.DataAlteration:      Possible,
+			attack.ICMPFlood:           Impossible, // no IP stack to flood
+			attack.SYNFlood:            Impossible,
+			attack.Smurf:               Impossible,
+		},
+		FeatureIPNetwork: {
+			attack.ICMPFlood: Possible,
+			attack.Smurf:     Possible,
+			attack.SYNFlood:  Possible,
+		},
+		FeatureEncrypted: {
+			attack.DataAlteration: Impossible, // prevention technique, §III-B2
+		},
+	}
+}
+
+// WriteTableI renders Table I.
+func WriteTableI(w io.Writer) {
+	targets := []Entity{EntityInternetService, EntityHub, EntitySub, EntityRouter}
+	sources := []Entity{EntityInternet, EntityHub, EntitySub, EntityRouter}
+	m := ByTarget()
+	fmt.Fprintf(w, "%-18s", "SOURCE \\ TARGET")
+	for _, t := range targets {
+		fmt.Fprintf(w, "| %-22s", t)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 18+4*25))
+	for _, s := range sources {
+		fmt.Fprintf(w, "%-18s", s)
+		for _, t := range targets {
+			cell := m[s][t]
+			if cell == "" {
+				cell = PatternNone
+			}
+			fmt.Fprintf(w, "| %-22s", cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFigure3 renders the feature/attack matrix.
+func WriteFigure3(w io.Writer) {
+	m := ByFeature()
+	features := make([]Feature, 0, len(m))
+	for f := range m {
+		features = append(features, f)
+	}
+	sort.Slice(features, func(i, j int) bool { return features[i] < features[j] })
+
+	fmt.Fprintf(w, "%-24s", "ATTACK \\ FEATURE")
+	for _, f := range features {
+		fmt.Fprintf(w, "| %-30s", f)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, strings.Repeat("-", 24+len(features)*33))
+	for _, a := range attack.All {
+		fmt.Fprintf(w, "%-24s", a)
+		for _, f := range features {
+			sym := " "
+			if rel, ok := m[f][a]; ok {
+				sym = rel.Symbol()
+			}
+			fmt.Fprintf(w, "| %-30s", sym)
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, "● possible   ✗ impossible   ◯ detection technique depends on the feature")
+}

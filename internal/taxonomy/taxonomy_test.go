@@ -1,0 +1,104 @@
+package taxonomy
+
+import (
+	"strings"
+	"testing"
+
+	"kalis/internal/attack"
+)
+
+func TestByTargetMatchesPaperTable(t *testing.T) {
+	m := ByTarget()
+	cases := []struct {
+		src, dst Entity
+		want     PatternClass
+	}{
+		{EntityInternet, EntityInternetService, DenialOfService},
+		{EntityInternet, EntityHub, RemoteDoT},
+		{EntityInternet, EntitySub, PatternNone},
+		{EntityHub, EntityHub, ControlDoT},
+		{EntityHub, EntitySub, DenialOfThing},
+		{EntityHub, EntityRouter, DenialOfRouting},
+		{EntitySub, EntitySub, DenialOfThing},
+		{EntitySub, EntityInternetService, PatternNone},
+		{EntityRouter, EntityHub, ControlDoT},
+		{EntityRouter, EntityRouter, DenialOfRouting},
+	}
+	for _, c := range cases {
+		if got := m[c.src][c.dst]; got != c.want {
+			t.Errorf("%s → %s = %q, want %q", c.src, c.dst, got, c.want)
+		}
+	}
+}
+
+func TestByFeatureKeyCells(t *testing.T) {
+	m := ByFeature()
+	// The cells the paper's text pins down explicitly.
+	cases := []struct {
+		f    Feature
+		a    string
+		want Relation
+	}{
+		{FeatureSinglehop, attack.Smurf, Impossible},               // §III-A1
+		{FeatureSinglehop, attack.SelectiveForwarding, Impossible}, // §III
+		{FeatureEncrypted, attack.DataAlteration, Impossible},      // §III-B2
+		{FeatureStatic, attack.Replication, TechniqueDepends},      // §VI-B2
+		{FeatureMobile, attack.Replication, TechniqueDepends},
+		{FeatureMultihop, attack.Sinkhole, Possible},
+	}
+	for _, c := range cases {
+		if got := m[c.f][c.a]; got != c.want {
+			t.Errorf("%s × %s = %v, want %v", c.f, c.a, got, c.want)
+		}
+	}
+}
+
+func TestEveryAttackCovered(t *testing.T) {
+	m := ByFeature()
+	for _, a := range attack.All {
+		found := false
+		for _, row := range m {
+			if _, ok := row[a]; ok {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("attack %s absent from the feature taxonomy", a)
+		}
+	}
+}
+
+func TestRelationSymbols(t *testing.T) {
+	if Possible.Symbol() != "●" || Impossible.Symbol() != "✗" || TechniqueDepends.Symbol() != "◯" {
+		t.Error("symbols")
+	}
+	if Relation(9).Symbol() != "?" {
+		t.Error("unknown symbol")
+	}
+}
+
+func TestWriters(t *testing.T) {
+	var sb strings.Builder
+	WriteTableI(&sb)
+	out := sb.String()
+	for _, want := range []string{"Denial of Service", "Remote Denial of Thing", "Denial of Routing"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table I missing %q", want)
+		}
+	}
+	sb.Reset()
+	WriteFigure3(&sb)
+	out = sb.String()
+	for _, want := range []string{"icmp-flood", "wormhole", "●", "✗", "◯"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 3 missing %q", want)
+		}
+	}
+}
+
+func TestEntityString(t *testing.T) {
+	if EntityHub.String() != "Hub" || Entity(99).String() != "entity(99)" {
+		t.Error("entity strings")
+	}
+}

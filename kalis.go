@@ -1,0 +1,283 @@
+// Package kalis is a knowledge-driven, self-adapting intrusion
+// detection system for the Internet of Things — a from-scratch Go
+// implementation of "Kalis — A System for Knowledge-driven Adaptable
+// Intrusion Detection for the Internet of Things" (ICDCS 2017).
+//
+// A Kalis node passively overhears heterogeneous IoT traffic (IEEE
+// 802.15.4/ZigBee/6LoWPAN/CTP, WiFi/IP, BLE), autonomously distills
+// knowledge about the monitored network's features (topology, traffic
+// statistics, mobility, mediums) into a Knowledge Base of "knowggets",
+// and uses that knowledge to dynamically activate exactly the
+// detection modules the environment calls for. Collective knowledge
+// management lets multiple Kalis nodes share selected knowggets over
+// an encrypted channel and detect distributed attacks (e.g. wormholes)
+// no single observer could classify.
+//
+// Quick start:
+//
+//	node, err := kalis.New(kalis.WithNodeID("K1"))
+//	if err != nil { ... }
+//	defer node.Close()
+//	node.OnAlert(func(a kalis.Alert) { fmt.Println("ALERT:", a.Attack, a.Suspects) })
+//	for capture := range captures { node.HandleCapture(capture) }
+//
+// See the examples/ directory for complete scenarios, and cmd/kalis-bench
+// for the reproduction of the paper's evaluation.
+package kalis
+
+import (
+	"fmt"
+	"io"
+
+	"kalis/internal/core"
+	"kalis/internal/core/collective"
+	"kalis/internal/core/firewall"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/core/response"
+	"kalis/internal/packet"
+	"kalis/internal/siem"
+	"kalis/internal/trace"
+)
+
+// Re-exported core types: these are the vocabulary of the public API.
+type (
+	// Alert is a detection event raised by a detection module.
+	Alert = module.Alert
+	// Knowgget is one piece of knowledge ⟨label, value, creator,
+	// entity⟩ in the Knowledge Base.
+	Knowgget = knowledge.Knowgget
+	// Captured is one overheard frame with its capture metadata and
+	// decoded protocol layers.
+	Captured = packet.Captured
+	// NodeID identifies a monitored network entity.
+	NodeID = packet.NodeID
+	// Module is the interface custom sensing/detection modules
+	// implement.
+	Module = module.Module
+	// ModuleContext carries the dependencies injected into an active
+	// module.
+	ModuleContext = module.Context
+	// Firewall is the smart-firewall deployment component.
+	Firewall = firewall.Firewall
+	// FirewallVerdict is a firewall filtering decision.
+	FirewallVerdict = firewall.Verdict
+	// Responder executes automatic response actions driven by alerts.
+	Responder = response.Responder
+	// ResponsePolicy maps attack classes to response actions.
+	ResponsePolicy = response.Policy
+)
+
+// DefaultResponsePolicy isolates on high-confidence alerts with the
+// given cap on how many entities may ever be isolated.
+func DefaultResponsePolicy(maxIsolations int) ResponsePolicy {
+	return response.DefaultPolicy(maxIsolations)
+}
+
+// Firewall verdicts.
+const (
+	FirewallAllow = firewall.Allow
+	FirewallDrop  = firewall.Drop
+)
+
+// Option configures a Node.
+type Option func(*core.Config)
+
+// WithNodeID sets the node identifier (the knowgget creator field)
+// used to distinguish this Kalis node from its peers. Default "K1".
+func WithNodeID(id string) Option {
+	return func(c *core.Config) { c.NodeID = id }
+}
+
+// WithConfig supplies a configuration file in the paper's Fig. 6
+// grammar: module activations with parameters, and a-priori static
+// knowggets.
+func WithConfig(text string) Option {
+	return func(c *core.Config) { c.ConfigText = text }
+}
+
+// WithWindowSize sets the Data Store sliding-window capacity in
+// packets.
+func WithWindowSize(n int) Option {
+	return func(c *core.Config) { c.WindowSize = n }
+}
+
+// WithAsyncEvents switches the event bus to asynchronous delivery
+// (each subscriber on its own goroutine); the default synchronous mode
+// is deterministic.
+func WithAsyncEvents() Option {
+	return func(c *core.Config) { c.Async = true }
+}
+
+// WithoutKnowledge disables knowledge-driven adaptation: all installed
+// modules stay active at all times and fall back to naive techniques.
+// This is the paper's "traditional IDS" baseline; it exists in the
+// public API for comparison studies.
+func WithoutKnowledge() Option {
+	return func(c *core.Config) { c.KnowledgeDriven = false }
+}
+
+// WithoutDefaultModules skips installing the built-in module library;
+// install modules explicitly with InstallModule (or via WithConfig).
+func WithoutDefaultModules() Option {
+	return func(c *core.Config) { c.InstallAll = false }
+}
+
+// Node is one Kalis IDS node.
+type Node struct {
+	inner *core.Kalis
+}
+
+// New builds a Kalis node. By default it is knowledge-driven, installs
+// the full built-in module library (three sensing modules and twelve
+// detection modules), and delivers events synchronously.
+func New(opts ...Option) (*Node, error) {
+	cfg := core.Config{
+		NodeID:          "K1",
+		KnowledgeDriven: true,
+		InstallAll:      true,
+	}
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	inner, err := core.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Node{inner: inner}, nil
+}
+
+// ID returns the node identifier.
+func (n *Node) ID() string { return n.inner.ID() }
+
+// HandleCapture feeds one overheard frame into the node. Wire it to a
+// live capture source or to trace replay.
+func (n *Node) HandleCapture(c *Captured) { n.inner.HandleCapture(c) }
+
+// OnAlert registers a consumer for detection events.
+func (n *Node) OnAlert(fn func(Alert)) { n.inner.OnAlert(fn) }
+
+// OnKnowledge registers a consumer for Knowledge Base changes.
+func (n *Node) OnKnowledge(fn func(Knowgget)) { n.inner.OnKnowledge(fn) }
+
+// Alerts returns every alert collected so far.
+func (n *Node) Alerts() []Alert { return n.inner.Alerts() }
+
+// ActiveModules returns the names of the currently active modules —
+// the observable face of knowledge-driven adaptation.
+func (n *Node) ActiveModules() []string { return n.inner.ActiveModules() }
+
+// Knowledge returns a snapshot of the Knowledge Base, sorted by key.
+func (n *Node) Knowledge() []Knowgget { return n.inner.KB().Snapshot() }
+
+// PutKnowledge stores an a-priori knowgget, as a configuration file's
+// knowggets section would.
+func (n *Node) PutKnowledge(label, entity, value string) {
+	n.inner.KB().PutStatic(label, entity, value)
+}
+
+// InstallModule instantiates a module from the registry by name and
+// installs it with the given parameters.
+func (n *Node) InstallModule(name string, params map[string]string) error {
+	return n.inner.Install(name, params)
+}
+
+// RegisterModule adds a custom module factory under the given name,
+// making it available to configuration files and InstallModule —
+// Kalis' extensibility mechanism ("new detection capabilities could be
+// added as soon as new communication interfaces were available").
+func (n *Node) RegisterModule(name string, factory func(params map[string]string) (Module, error)) {
+	n.inner.Registry().Register(name, factory)
+}
+
+// SetLog writes all observed traffic to w in the Kalis trace format.
+func (n *Node) SetLog(w io.Writer) { n.inner.SetLog(w) }
+
+// Recent returns up to count of the most recently observed frames,
+// oldest first — the Data Store's sliding window (§IV-B2), typically
+// pulled by an operator to analyze the traffic around an incident.
+// count <= 0 returns the whole window.
+func (n *Node) Recent(count int) []*Captured { return n.inner.Store().Recent(count) }
+
+// ReplayTrace feeds a recorded trace through the node, transparently
+// to the modules. It returns the number of frames replayed and skipped
+// (undecodable).
+func (n *Node) ReplayTrace(r io.Reader) (replayed, skipped int, err error) {
+	recs, err := trace.ReadAll(r)
+	if err != nil {
+		return 0, 0, fmt.Errorf("kalis: replay: %w", err)
+	}
+	skipped = trace.Replay(recs, func(c *packet.Captured) {
+		replayed++
+		n.HandleCapture(c)
+	})
+	return replayed, skipped, nil
+}
+
+// EnableCollectiveUDP turns on collective knowledge management over
+// UDP: the node beacons its presence to the given discovery addresses
+// and synchronizes collective knowggets with discovered peers, AES-GCM
+// encrypted with the pre-shared passphrase.
+func (n *Node) EnableCollectiveUDP(listenAddr string, discoveryAddrs []string, passphrase string) error {
+	t, err := collective.NewUDPTransport(listenAddr, discoveryAddrs)
+	if err != nil {
+		return err
+	}
+	return n.inner.EnableCollective(t, passphrase)
+}
+
+// CollectivePeers returns the discovered peer Kalis node IDs.
+func (n *Node) CollectivePeers() []string {
+	if c := n.inner.Collective(); c != nil {
+		return c.Peers()
+	}
+	return nil
+}
+
+// BeaconNow broadcasts one collective-discovery beacon immediately.
+func (n *Node) BeaconNow() {
+	if c := n.inner.Collective(); c != nil {
+		c.Beacon()
+	}
+}
+
+// NewFirewall creates a smart firewall fed by this node's alerts —
+// the §V smart-router deployment. Frames can then be filtered with
+// Firewall.Filter.
+func (n *Node) NewFirewall(minConfidence float64) *Firewall {
+	fw := firewall.New(0, minConfidence)
+	n.OnAlert(fw.HandleAlert)
+	return fw
+}
+
+// NewResponder creates an automatic-response executor fed by this
+// node's alerts (§III: "automatic response actions (such as
+// re-transmission of packets, and device isolation)"). Wire its
+// Isolate/Block hooks to the deployment before traffic flows.
+func (n *Node) NewResponder(policy ResponsePolicy) *Responder {
+	r := response.NewResponder(policy)
+	n.OnAlert(r.HandleAlert)
+	return r
+}
+
+// ExportAlerts streams this node's detection events to w as NDJSON for
+// SIEM ingestion ("Kalis ... can act as data source for multisource
+// security information management (SIEM) systems", §I). The returned
+// exporter reports the event count and any write error.
+func (n *Node) ExportAlerts(w io.Writer) *siem.Exporter {
+	exp := siem.NewExporter(n.ID(), w)
+	n.OnAlert(exp.HandleAlert)
+	return exp
+}
+
+// SuggestConfig distills the node's current knowledge into a fixed
+// configuration file in the Fig. 6 grammar — the paper's compile-time
+// deployment flow for constrained devices (§VIII). Feed the result to
+// a new node via WithConfig (together with WithoutDefaultModules) to
+// run exactly the module set this environment needs, skipping
+// discovery.
+func (n *Node) SuggestConfig() string { return n.inner.SuggestConfig() }
+
+// Close shuts the node down, draining the event bus and closing the
+// collective layer.
+func (n *Node) Close() error { return n.inner.Close() }

@@ -1,0 +1,101 @@
+package kalis
+
+// Scalability by locality (§IV-B4): "because of the locality of the
+// knowledge acquired by each Kalis node, different IDS nodes can load
+// different (and locally-optimal) sets of modules depending on their
+// surroundings, thus allowing the system to scale to arbitrarily large
+// networks just by means of adding new IDS nodes".
+
+import (
+	"net/netip"
+	"sort"
+	"testing"
+	"time"
+
+	"kalis/internal/devices"
+	"kalis/internal/netsim"
+)
+
+func TestLocalityDrivenModuleSets(t *testing.T) {
+	sim := netsim.New(31)
+
+	// Portion A: a WiFi smart home around (0,0).
+	snifA := sim.AddSniffer("A", netsim.Position{})
+	cloud := sim.AddNode(&netsim.Node{Name: "cloud", IP: netip.MustParseAddr("34.1.2.3"), Pos: netsim.Position{X: 6}})
+	devices.NewCloudPeer(cloud)
+	thermo := sim.AddNode(&netsim.Node{Name: "nest", IP: netip.MustParseAddr("192.168.1.11"), Pos: netsim.Position{X: 12}})
+	devices.NewThermostat(thermo, cloud.IP).Start(sim.Now().Add(time.Second))
+	bulb := sim.AddNode(&netsim.Node{Name: "bulb", IP: netip.MustParseAddr("192.168.1.12"), Pos: netsim.Position{X: 16}})
+	devices.NewBulb(bulb).Start(sim.Now().Add(2 * time.Second))
+
+	// Portion B: a multi-hop CTP WSN far away, around (500,0).
+	snifB := sim.AddSniffer("B", netsim.Position{X: 550, Y: 15})
+	for i := 0; i < 4; i++ {
+		addr := uint16(0x40 + i)
+		n := sim.AddNode(&netsim.Node{
+			Name:   "wsn-" + string(rune('a'+i)),
+			Addr16: addr,
+			Pos:    netsim.Position{X: 500 + float64(i)*20},
+		})
+		parent := addr - 1
+		if i == 0 {
+			parent = addr
+		}
+		m := devices.NewMote(n, parent, i == 0)
+		m.Start(sim.Now().Add(time.Second))
+	}
+
+	nodeA, err := New(WithNodeID("KA"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeA.Close()
+	nodeB, err := New(WithNodeID("KB"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nodeB.Close()
+	snifA.Subscribe(nodeA.HandleCapture)
+	snifB.Subscribe(nodeB.HandleCapture)
+
+	sim.RunFor(3 * time.Minute)
+
+	setA := detectionSet(nodeA)
+	setB := detectionSet(nodeB)
+	t.Logf("node A (smart home): %v", setA)
+	t.Logf("node B (WSN):        %v", setB)
+
+	// Locally-optimal and different: A runs the IP-side detectors, B
+	// the WSN-side ones; neither wastes modules on the other's world.
+	for _, want := range []string{"ICMPFloodModule", "SYNFloodModule"} {
+		if !setA[want] {
+			t.Errorf("node A missing %s", want)
+		}
+		if setB[want] {
+			t.Errorf("node B wastes %s on a non-IP portion", want)
+		}
+	}
+	for _, want := range []string{"SelectiveForwardingModule", "BlackholeModule", "SinkholeModule"} {
+		if !setB[want] {
+			t.Errorf("node B missing %s", want)
+		}
+		if setA[want] {
+			t.Errorf("node A wastes %s on a single-hop IP portion", want)
+		}
+	}
+}
+
+func detectionSet(n *Node) map[string]bool {
+	sensing := map[string]bool{
+		"TopologyDiscoveryModule": true, "TrafficStatsModule": true, "MobilityAwarenessModule": true,
+	}
+	out := map[string]bool{}
+	names := n.ActiveModules()
+	sort.Strings(names)
+	for _, name := range names {
+		if !sensing[name] {
+			out[name] = true
+		}
+	}
+	return out
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments examples clean
+.PHONY: all build test race bench vet fmt experiments examples telemetry-demo clean
 
 all: build test
 
@@ -33,6 +33,11 @@ examples:
 	$(GO) run ./examples/smarthome
 	$(GO) run ./examples/wsn
 	$(GO) run ./examples/collaborative
+
+# Run a node with the runtime-telemetry admin endpoint enabled and
+# perform one HTTP scrape of /metrics against it.
+telemetry-demo:
+	$(GO) run ./examples/telemetry
 
 clean:
 	$(GO) clean ./...

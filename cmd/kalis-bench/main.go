@@ -17,6 +17,7 @@ import (
 
 	"kalis/internal/eval"
 	"kalis/internal/taxonomy"
+	"kalis/internal/telemetry"
 )
 
 func main() {
@@ -28,15 +29,31 @@ func main() {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|delivery|all")
-		episodes = flag.Int("episodes", 0, "symptom instances per scenario (0 = paper default of 50)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		rules    = flag.Int("snort-rules", 0, "snort-like community ruleset size (0 = default 3000)")
+		exp           = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|delivery|all")
+		episodes      = flag.Int("episodes", 0, "symptom instances per scenario (0 = paper default of 50)")
+		seed          = flag.Int64("seed", 1, "simulation seed")
+		rules         = flag.Int("snort-rules", 0, "snort-like community ruleset size (0 = default 3000)")
+		telemetryAddr = flag.String("telemetry", "", "serve process-wide runtime metrics and pprof on this address while the experiments run")
 	)
 	flag.Parse()
 
 	opts := eval.Options{Seed: *seed, Episodes: *episodes, SnortCommunityRules: *rules}
 	out := os.Stdout
+
+	if *telemetryAddr != "" {
+		// Experiments build many short-lived nodes internally, so the
+		// bench endpoint exposes process-wide runtime metrics (heap,
+		// goroutines, GC) plus pprof — the knobs needed to profile an
+		// experiment run; per-node packet metrics live on cmd/kalis.
+		reg := telemetry.NewRegistry()
+		telemetry.RegisterRuntimeMetrics(reg)
+		srv, err := telemetry.ServeAdmin(*telemetryAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(out, "telemetry: serving http://%s/metrics\n", srv.Addr())
+	}
 
 	want := func(name string) bool { return *exp == name || *exp == "all" }
 	ran := false

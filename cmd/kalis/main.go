@@ -1,21 +1,26 @@
 // Command kalis runs a Kalis IDS node against one of the built-in
 // simulated IoT scenarios, or replays a recorded trace file through
 // it, printing knowledge discoveries, module activations, and alerts
-// as they happen.
+// as they happen. With -telemetry the node serves its runtime metrics
+// (Prometheus exposition, JSON snapshot, pprof) on an HTTP admin
+// endpoint, and keeps it up after the run until interrupted so the
+// final state can be scraped.
 //
 // Usage:
 //
-//	kalis -scenario icmp-flood -episodes 5
-//	kalis -scenario selective-forwarding -verbose
-//	kalis -trace capture.ktrc
-//	kalis -scenario smurf -config my.kalis.conf
+//	kalis -scenario icmp-flood/single-hop -episodes 5
+//	kalis -scenario selective-forwarding/wsn -verbose
+//	kalis -trace capture.ktrc -telemetry 127.0.0.1:9090
+//	kalis -scenario smurf/multi-hop -config my.kalis.conf
 //	kalis -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strings"
 
 	"kalis"
@@ -23,28 +28,38 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "kalis:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
+// telemetryHook, when set (by tests), runs after traffic has flowed
+// and before the admin endpoint shuts down, with the endpoint's bound
+// address.
+var telemetryHook func(addr string)
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("kalis", flag.ContinueOnError)
+	fs.SetOutput(stdout)
 	var (
-		scenario   = flag.String("scenario", "", "built-in scenario to simulate (see -list)")
-		traceFile  = flag.String("trace", "", "replay a recorded .ktrc trace instead of simulating")
-		configFile = flag.String("config", "", "Kalis configuration file (Fig. 6 grammar)")
-		episodes   = flag.Int("episodes", 5, "attack episodes to simulate")
-		seed       = flag.Int64("seed", 1, "simulation seed")
-		verbose    = flag.Bool("verbose", false, "print knowledge discoveries and module activations")
-		trad       = flag.Bool("traditional", false, "run as the traditional-IDS baseline (no knowledge)")
-		list       = flag.Bool("list", false, "list built-in scenarios and exit")
+		scenario      = fs.String("scenario", "", "built-in scenario to simulate (see -list)")
+		traceFile     = fs.String("trace", "", "replay a recorded .ktrc trace instead of simulating")
+		configFile    = fs.String("config", "", "Kalis configuration file (Fig. 6 grammar)")
+		episodes      = fs.Int("episodes", 5, "attack episodes to simulate")
+		seed          = fs.Int64("seed", 1, "simulation seed")
+		verbose       = fs.Bool("verbose", false, "print knowledge discoveries and module activations")
+		trad          = fs.Bool("traditional", false, "run as the traditional-IDS baseline (no knowledge)")
+		list          = fs.Bool("list", false, "list built-in scenarios and exit")
+		telemetryAddr = fs.String("telemetry", "", "serve the runtime-telemetry admin endpoint on this address (e.g. 127.0.0.1:9090)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
 		for _, sc := range eval.AllScenarios() {
-			fmt.Printf("  %-28s attack=%s medium=%s\n", sc.Name, sc.Attack, sc.Medium)
+			fmt.Fprintf(stdout, "  %-28s attack=%s medium=%s\n", sc.Name, sc.Attack, sc.Medium)
 		}
 		return nil
 	}
@@ -66,10 +81,22 @@ func run() error {
 	}
 	defer node.Close()
 
+	if *telemetryAddr != "" {
+		srv, err := node.ServeTelemetry(*telemetryAddr)
+		if err != nil {
+			return err
+		}
+		defer srv.Close()
+		fmt.Fprintf(stdout, "telemetry: serving http://%s/metrics\n", srv.Addr())
+		if telemetryHook != nil {
+			defer telemetryHook(srv.Addr())
+		}
+	}
+
 	alerts := 0
 	node.OnAlert(func(a kalis.Alert) {
 		alerts++
-		fmt.Printf("%s ALERT %-20s victim=%-14s suspects=%v conf=%.2f — %s\n",
+		fmt.Fprintf(stdout, "%s ALERT %-20s victim=%-14s suspects=%v conf=%.2f — %s\n",
 			a.Time.Format("15:04:05.000"), a.Attack, a.Victim, a.Suspects, a.Confidence, a.Details)
 	})
 	if *verbose {
@@ -81,7 +108,7 @@ func run() error {
 			if kg.Entity != "" {
 				entity = "@" + kg.Entity
 			}
-			fmt.Printf("              KNOWLEDGE %s$%s%s = %q\n", kg.Creator, kg.Label, entity, kg.Value)
+			fmt.Fprintf(stdout, "              KNOWLEDGE %s$%s%s = %q\n", kg.Creator, kg.Label, entity, kg.Value)
 		})
 	}
 
@@ -96,7 +123,7 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("replayed %d frames (%d skipped), %d alerts\n", replayed, skipped, alerts)
+		fmt.Fprintf(stdout, "replayed %d frames (%d skipped), %d alerts\n", replayed, skipped, alerts)
 
 	case *scenario != "":
 		sc, ok := eval.ScenarioByName(*scenario)
@@ -105,13 +132,24 @@ func run() error {
 		}
 		run := sc.Build(*seed, *episodes)
 		run.Sniffer.Subscribe(node.HandleCapture)
-		fmt.Printf("simulating %s with %d attack episodes...\n", sc.Name, *episodes)
+		fmt.Fprintf(stdout, "simulating %s with %d attack episodes...\n", sc.Name, *episodes)
 		run.Sim.Run(run.End)
-		fmt.Printf("\ncaptured %d frames, raised %d alerts\n", run.Sniffer.Captures, alerts)
-		fmt.Printf("active modules at end: %s\n", strings.Join(node.ActiveModules(), ", "))
+		fmt.Fprintf(stdout, "\ncaptured %d frames, raised %d alerts\n", run.Sniffer.Captures, alerts)
+		fmt.Fprintf(stdout, "active modules at end: %s\n", strings.Join(node.ActiveModules(), ", "))
 
 	default:
 		return fmt.Errorf("pass -scenario, -trace, or -list")
+	}
+
+	// Scenario runs finish in milliseconds; if the operator asked for
+	// the admin endpoint, hold it open so it can actually be scraped.
+	// Tests drive the endpoint through telemetryHook instead.
+	if *telemetryAddr != "" && telemetryHook == nil {
+		fmt.Fprintf(stdout, "telemetry: endpoint stays up — Ctrl-C to exit\n")
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		signal.Stop(ch)
 	}
 	return nil
 }

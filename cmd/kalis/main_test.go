@@ -1,0 +1,126 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-list"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"icmp-flood", "sinkhole/wsn", "attack=", "medium="} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("-list output missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+func TestRunNoArgs(t *testing.T) {
+	var sb strings.Builder
+	err := run(nil, &sb)
+	if err == nil || !strings.Contains(err.Error(), "-scenario") {
+		t.Errorf("err = %v, want usage error", err)
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	err := run([]string{"-scenario", "no-such-attack"}, &sb)
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Errorf("err = %v, want unknown-scenario error", err)
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-no-such-flag"}, &sb); err == nil {
+		t.Error("bad flag must return an error")
+	}
+}
+
+func TestRunScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := run([]string{"-scenario", "icmp-flood", "-episodes", "3"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "captured") || !strings.Contains(out, "ALERT") {
+		t.Errorf("scenario run output:\n%s", out)
+	}
+}
+
+// TestRunScenarioWithTelemetry drives the full startup-shutdown path
+// with -telemetry and scrapes the live admin endpoint after traffic
+// replay: packet and module-latency metrics must be non-zero.
+func TestRunScenarioWithTelemetry(t *testing.T) {
+	var scraped, scrapedJSON string
+	telemetryHook = func(addr string) {
+		scraped = get(t, "http://"+addr+"/metrics")
+		scrapedJSON = get(t, "http://"+addr+"/metrics.json")
+	}
+	defer func() { telemetryHook = nil }()
+
+	var sb strings.Builder
+	err := run([]string{"-scenario", "icmp-flood", "-episodes", "3", "-telemetry", "127.0.0.1:0"}, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "telemetry: serving http://") {
+		t.Errorf("missing telemetry banner:\n%s", sb.String())
+	}
+
+	packets := promValue(t, scraped, "kalis_packets_total")
+	if packets == "" || packets == "0" {
+		t.Errorf("kalis_packets_total = %q, want non-zero; scrape:\n%s", packets, scraped)
+	}
+	if !regexp.MustCompile(`kalis_module_packet_seconds_count\{module="[^"]+"\} [1-9]`).
+		MatchString(scraped) {
+		t.Errorf("no non-zero module-latency metric in scrape:\n%s", scraped)
+	}
+	if !strings.Contains(scraped, `kalis_alerts_total{attack="icmp-flood"}`) {
+		t.Errorf("no icmp-flood alert counter in scrape:\n%s", scraped)
+	}
+
+	var snap map[string]struct {
+		Type  string      `json:"type"`
+		Value interface{} `json:"value"`
+	}
+	if err := json.Unmarshal([]byte(scrapedJSON), &snap); err != nil {
+		t.Fatalf("/metrics.json: %v\n%s", err, scrapedJSON)
+	}
+	if v, ok := snap["kalis_packets_total"]; !ok || v.Type != "counter" {
+		t.Errorf("JSON snapshot missing kalis_packets_total: %+v", snap)
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// promValue extracts the sample value of an unlabeled metric from a
+// Prometheus text exposition.
+func promValue(t *testing.T, exposition, name string) string {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).
+		FindStringSubmatch(exposition)
+	if m == nil {
+		return ""
+	}
+	return m[1]
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"kalis/internal/core/knowledge"
+	"kalis/internal/telemetry"
 )
 
 // message is the wire format exchanged between Kalis nodes (inside the
@@ -49,8 +50,30 @@ type Node struct {
 	// Stats.
 	sent, received, rejected int
 
+	met Metrics
+
 	stop chan struct{}
 	done chan struct{}
+}
+
+// Metrics are the collective layer's optional telemetry hooks;
+// zero-value fields are skipped (all telemetry types are nil-safe).
+type Metrics struct {
+	// SyncSent counts knowgget updates pushed to peers.
+	SyncSent *telemetry.Counter
+	// SyncReceived counts creator-verified updates accepted from peers.
+	SyncReceived *telemetry.Counter
+	// SyncRejected counts updates refused (creator mismatch, replays).
+	SyncRejected *telemetry.Counter
+	// Peers tracks the number of discovered peer Kalis nodes.
+	Peers *telemetry.Gauge
+}
+
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (n *Node) SetMetrics(met Metrics) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.met = met
 }
 
 // NewNode creates a collective-knowledge manager. The pre-shared
@@ -148,6 +171,7 @@ func (n *Node) push(k knowledge.Knowgget) {
 		addrs = append(addrs, addr)
 	}
 	n.sent += len(addrs)
+	n.met.SyncSent.Add(uint64(len(addrs)))
 	n.mu.Unlock()
 	if len(addrs) == 0 {
 		return
@@ -176,6 +200,7 @@ func (n *Node) receive(fromAddr string, data []byte) {
 		n.mu.Lock()
 		_, known := n.peers[msg.NodeID]
 		n.peers[msg.NodeID] = fromAddr
+		n.met.Peers.Set(int64(len(n.peers)))
 		n.mu.Unlock()
 		if !known {
 			n.kb.PutInt("Peers", len(n.Peers()))
@@ -191,8 +216,10 @@ func (n *Node) receive(fromAddr string, data []byte) {
 			n.mu.Lock()
 			if accepted {
 				n.received++
+				n.met.SyncReceived.Inc()
 			} else {
 				n.rejected++
+				n.met.SyncRejected.Inc()
 			}
 			n.mu.Unlock()
 		}

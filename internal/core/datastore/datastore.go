@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"kalis/internal/packet"
+	"kalis/internal/telemetry"
 	"kalis/internal/trace"
 )
 
@@ -25,6 +26,23 @@ type Store struct {
 	size   int                // number of valid entries
 	total  uint64             // packets ever appended
 	logger *trace.Writer
+	met    StoreMetrics
+}
+
+// StoreMetrics are the store's optional telemetry hooks; zero-value
+// fields are skipped (all telemetry types are nil-safe).
+type StoreMetrics struct {
+	// Occupancy tracks the number of packets in the sliding window.
+	Occupancy *telemetry.Gauge
+	// Appended counts packets ever appended.
+	Appended *telemetry.Counter
+}
+
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (s *Store) SetMetrics(met StoreMetrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.met = met
 }
 
 // New creates a Store with the given sliding-window capacity (packets).
@@ -56,6 +74,8 @@ func (s *Store) Append(c *packet.Captured) error {
 		s.size++
 	}
 	s.total++
+	s.met.Occupancy.Set(int64(s.size))
+	s.met.Appended.Inc()
 	if s.logger != nil {
 		raw := rawOf(c)
 		if raw == nil {

@@ -6,13 +6,21 @@
 // The bus has two delivery modes. Synchronous delivery invokes
 // subscribers inline in subscription order — deterministic, used by
 // tests and the evaluation harness. Asynchronous delivery hands each
-// subscriber its own goroutine and queue, reproducing the paper's "all
-// the components in Kalis run independently" architecture; Close
-// drains and joins every worker (no fire-and-forget goroutines).
+// subscriber its own goroutine and bounded queue (AsyncQueueCap),
+// reproducing the paper's "all the components in Kalis run
+// independently" architecture; Close drains and joins every worker (no
+// fire-and-forget goroutines). When an async subscriber's queue is
+// full the event is dropped and counted — a passive IDS must never
+// exert backpressure on the capture path — and the drop is surfaced
+// through Drops and the telemetry counters instead of silently
+// blocking the publisher.
 package event
 
 import (
 	"sync"
+	"sync/atomic"
+
+	"kalis/internal/telemetry"
 )
 
 // Topic names used by Kalis.
@@ -22,14 +30,32 @@ const (
 	TopicDetection = "detection"
 )
 
+// AsyncQueueCap is the per-subscriber queue capacity in asynchronous
+// delivery mode. A subscriber lagging more than AsyncQueueCap events
+// behind the publishers loses the overflow (counted in Drops and the
+// kalis_bus_drops_total telemetry); size it against the expected burst
+// length at capture rate.
+const AsyncQueueCap = 1024
+
 // Handler consumes a published event payload.
 type Handler func(payload interface{})
+
+// Metrics are the bus' optional telemetry hooks; zero-value fields are
+// skipped (all telemetry types are nil-safe).
+type Metrics struct {
+	// Publishes counts Publish calls per topic.
+	Publishes *telemetry.CounterVec
+	// Drops counts events lost per topic to full async queues.
+	Drops *telemetry.CounterVec
+}
 
 // Bus routes events from publishers to subscribers by topic.
 type Bus struct {
 	mu    sync.RWMutex
 	async bool
 	subs  map[string][]*subscriber
+	met   Metrics
+	drops atomic.Uint64
 	// wg tracks worker goroutines; pubWG tracks in-flight Publish
 	// calls so Close never closes a queue a publisher is sending on.
 	wg     sync.WaitGroup
@@ -49,6 +75,32 @@ func NewBus(async bool) *Bus {
 	return &Bus{async: async, subs: make(map[string][]*subscriber)}
 }
 
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (b *Bus) SetMetrics(m Metrics) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.met = m
+}
+
+// Drops returns the number of events lost to full async queues.
+func (b *Bus) Drops() uint64 { return b.drops.Load() }
+
+// QueueDepth returns the total number of events queued across all
+// async subscribers (always 0 in synchronous mode).
+func (b *Bus) QueueDepth() int {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	depth := 0
+	for _, subs := range b.subs {
+		for _, s := range subs {
+			if s.ch != nil {
+				depth += len(s.ch)
+			}
+		}
+	}
+	return depth
+}
+
 // Subscribe registers a handler for a topic.
 func (b *Bus) Subscribe(topic string, fn Handler) {
 	b.mu.Lock()
@@ -58,7 +110,7 @@ func (b *Bus) Subscribe(topic string, fn Handler) {
 	}
 	sub := &subscriber{fn: fn}
 	if b.async {
-		sub.ch = make(chan interface{}, 1024)
+		sub.ch = make(chan interface{}, AsyncQueueCap)
 		b.wg.Add(1)
 		go func() {
 			defer b.wg.Done()
@@ -72,7 +124,8 @@ func (b *Bus) Subscribe(topic string, fn Handler) {
 
 // Publish delivers payload to every subscriber of topic. Handlers may
 // publish further events re-entrantly (no lock is held during
-// delivery).
+// delivery). In async mode a subscriber whose queue is full loses the
+// event (counted, never blocking the publisher).
 func (b *Bus) Publish(topic string, payload interface{}) {
 	b.mu.RLock()
 	if b.closed {
@@ -83,12 +136,19 @@ func (b *Bus) Publish(topic string, payload interface{}) {
 	// (which takes the write lock first) always waits for this send.
 	b.pubWG.Add(1)
 	subs := b.subs[topic]
+	met := b.met
 	b.mu.RUnlock()
 	defer b.pubWG.Done()
 
+	met.Publishes.With(topic).Inc()
 	for _, s := range subs {
 		if s.ch != nil {
-			s.ch <- payload
+			select {
+			case s.ch <- payload:
+			default:
+				b.drops.Add(1)
+				met.Drops.With(topic).Inc()
+			}
 		} else {
 			s.fn(payload)
 		}

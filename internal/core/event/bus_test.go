@@ -2,7 +2,10 @@ package event
 
 import (
 	"sync"
+	"sync/atomic"
 	"testing"
+
+	"kalis/internal/telemetry"
 )
 
 func TestSyncDeliveryOrder(t *testing.T) {
@@ -117,6 +120,63 @@ func TestReentrantPublish(t *testing.T) {
 	b.Publish(TopicPacket, 1)
 	if len(got) != 2 || got[0] != "packet" || got[1] != "detection" {
 		t.Errorf("got %v", got)
+	}
+	b.Close()
+}
+
+func TestAsyncFullQueueDropsAndCounts(t *testing.T) {
+	b := NewBus(true)
+	reg := telemetry.NewRegistry()
+	drops := reg.CounterVec("kalis_bus_drops_total", "topic", "Drops.")
+	b.SetMetrics(Metrics{
+		Publishes: reg.CounterVec("kalis_bus_publishes_total", "topic", "Publishes."),
+		Drops:     drops,
+	})
+
+	block := make(chan struct{})
+	var handled atomic.Uint64
+	b.Subscribe(TopicPacket, func(interface{}) {
+		<-block
+		handled.Add(1)
+	})
+
+	// The worker dequeues at most one event (then blocks in the
+	// handler), so publishing AsyncQueueCap+1+extra events overflows
+	// the queue by at least extra.
+	const extra = 10
+	for i := 0; i < AsyncQueueCap+1+extra; i++ {
+		b.Publish(TopicPacket, i) // must never block
+	}
+	if got := b.Drops(); got < extra {
+		t.Errorf("Drops() = %d, want >= %d", got, extra)
+	}
+	if depth := b.QueueDepth(); depth != AsyncQueueCap {
+		t.Errorf("QueueDepth() = %d, want %d", depth, AsyncQueueCap)
+	}
+	close(block)
+	b.Close()
+	if got, want := handled.Load()+b.Drops(), uint64(AsyncQueueCap+1+extra); got != want {
+		t.Errorf("handled+dropped = %d, want %d", got, want)
+	}
+	if got := drops.With(TopicPacket).Value(); got != b.Drops() {
+		t.Errorf("telemetry drops = %d, bus drops = %d", got, b.Drops())
+	}
+}
+
+func TestPublishMetrics(t *testing.T) {
+	b := NewBus(false)
+	reg := telemetry.NewRegistry()
+	pubs := reg.CounterVec("kalis_bus_publishes_total", "topic", "Publishes.")
+	b.SetMetrics(Metrics{Publishes: pubs})
+	b.Subscribe(TopicPacket, func(interface{}) {})
+	b.Publish(TopicPacket, 1)
+	b.Publish(TopicPacket, 2)
+	b.Publish(TopicDetection, 3) // counted even with no subscribers
+	if got := pubs.With(TopicPacket).Value(); got != 2 {
+		t.Errorf("packet publishes = %d, want 2", got)
+	}
+	if got := pubs.With(TopicDetection).Value(); got != 1 {
+		t.Errorf("detection publishes = %d, want 1", got)
 	}
 	b.Close()
 }

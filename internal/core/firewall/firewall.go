@@ -12,6 +12,7 @@ import (
 
 	"kalis/internal/core/module"
 	"kalis/internal/packet"
+	"kalis/internal/telemetry"
 )
 
 // Verdict is a filtering decision.
@@ -36,6 +37,18 @@ type Firewall struct {
 	blocked map[packet.NodeID]time.Time // suspect → expiry (zero = forever)
 	dropped uint64
 	passed  uint64
+	met     Metrics
+}
+
+// Metrics are the firewall's optional telemetry hooks; zero-value
+// fields are skipped (all telemetry types are nil-safe).
+type Metrics struct {
+	// Passed counts frames allowed through the filter.
+	Passed *telemetry.Counter
+	// Dropped counts frames blocked by the filter.
+	Dropped *telemetry.Counter
+	// BlockList tracks the number of currently blocked suspects.
+	BlockList *telemetry.Gauge
 }
 
 // New creates a firewall blocking suspects for blockFor (0 = forever)
@@ -46,6 +59,13 @@ func New(blockFor time.Duration, minConfidence float64) *Firewall {
 		MinConfidence: minConfidence,
 		blocked:       make(map[packet.NodeID]time.Time),
 	}
+}
+
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (f *Firewall) SetMetrics(met Metrics) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.met = met
 }
 
 // HandleAlert installs blocks for an alert's suspects; wire it to
@@ -63,6 +83,7 @@ func (f *Firewall) HandleAlert(a module.Alert) {
 		}
 		f.blocked[s] = expiry
 	}
+	f.met.BlockList.Set(int64(len(f.blocked)))
 }
 
 // Filter decides whether a frame may pass the router: frames sourced
@@ -77,12 +98,15 @@ func (f *Firewall) Filter(c *packet.Captured) Verdict {
 		}
 		if !expiry.IsZero() && c.Time.After(expiry) {
 			delete(f.blocked, id)
+			f.met.BlockList.Set(int64(len(f.blocked)))
 			continue
 		}
 		f.dropped++
+		f.met.Dropped.Inc()
 		return Drop
 	}
 	f.passed++
+	f.met.Passed.Inc()
 	return Allow
 }
 
@@ -91,6 +115,7 @@ func (f *Firewall) Unblock(id packet.NodeID) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	delete(f.blocked, id)
+	f.met.BlockList.Set(int64(len(f.blocked)))
 }
 
 // Blocked returns the currently blocked identities, sorted.

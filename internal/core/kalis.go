@@ -20,6 +20,7 @@ import (
 	"kalis/internal/core/module"
 	"kalis/internal/core/sensing"
 	"kalis/internal/packet"
+	"kalis/internal/telemetry"
 )
 
 // Config configures a Kalis node.
@@ -56,6 +57,7 @@ type Kalis struct {
 	manager  *module.Manager
 	bus      *event.Bus
 	coll     *collective.Node
+	tel      *telemetry.Registry
 }
 
 // New builds a Kalis node.
@@ -70,6 +72,8 @@ func New(cfg Config) (*Kalis, error) {
 	detection.Register(registry)
 	manager := module.NewManager(kb, store, cfg.KnowledgeDriven)
 	bus := event.NewBus(cfg.Async)
+	tel := telemetry.NewRegistry()
+	wireTelemetry(tel, bus, manager, store)
 
 	k := &Kalis{
 		id:       cfg.NodeID,
@@ -78,13 +82,19 @@ func New(cfg Config) (*Kalis, error) {
 		registry: registry,
 		manager:  manager,
 		bus:      bus,
+		tel:      tel,
 	}
 	bus.Subscribe(event.TopicPacket, func(payload interface{}) {
 		if c, ok := payload.(*packet.Captured); ok {
 			manager.HandlePacket(c)
 		}
 	})
-	manager.OnAlert(func(a module.Alert) { bus.Publish(event.TopicDetection, a) })
+	alerts := tel.CounterVec("kalis_alerts_total", "attack",
+		"Detection alerts raised, by canonical attack name.")
+	manager.OnAlert(func(a module.Alert) {
+		alerts.With(a.Attack).Inc()
+		bus.Publish(event.TopicDetection, a)
+	})
 	kb.SubscribeAll(func(kg knowledge.Knowgget) { bus.Publish(event.TopicKnowledge, kg) })
 
 	installed := make(map[string]bool)
@@ -120,8 +130,46 @@ func New(cfg Config) (*Kalis, error) {
 	return k, nil
 }
 
+// wireTelemetry registers the node's runtime metrics and installs the
+// hooks into every instrumented component. Metric names are documented
+// in the "Runtime telemetry" section of README.md.
+func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Manager, store *datastore.Store) {
+	bus.SetMetrics(event.Metrics{
+		Publishes: tel.CounterVec("kalis_bus_publishes_total", "topic",
+			"Events published on the bus, by topic."),
+		Drops: tel.CounterVec("kalis_bus_drops_total", "topic",
+			"Events lost to full async subscriber queues, by topic."),
+	})
+	tel.GaugeFunc("kalis_bus_queue_depth",
+		"Events queued across async subscribers (0 in sync mode).",
+		func() float64 { return float64(bus.QueueDepth()) })
+	manager.SetMetrics(module.ManagerMetrics{
+		Packets: tel.Counter("kalis_packets_total",
+			"Packets dispatched to the module pipeline."),
+		ActiveModules: tel.Gauge("kalis_modules_active",
+			"Currently active modules (knowledge-driven adaptation)."),
+		PacketLatency: tel.HistogramVec("kalis_module_packet_seconds", "module",
+			"Per-module packet-handling latency.", nil),
+	})
+	store.SetMetrics(datastore.StoreMetrics{
+		Occupancy: tel.Gauge("kalis_store_window_occupancy",
+			"Packets currently held in the Data Store sliding window."),
+		Appended: tel.Counter("kalis_store_appended_total",
+			"Packets ever appended to the Data Store."),
+	})
+	tel.GaugeFunc("kalis_store_window_capacity",
+		"Data Store sliding-window capacity in packets.",
+		func() float64 { return float64(store.Capacity()) })
+	telemetry.RegisterRuntimeMetrics(tel)
+}
+
 // ID returns the node identifier.
 func (k *Kalis) ID() string { return k.id }
+
+// Telemetry returns the node's runtime-metrics registry, always
+// populated: instrumentation is cheap enough to stay on (see
+// BenchmarkTelemetryHotPath in internal/telemetry).
+func (k *Kalis) Telemetry() *telemetry.Registry { return k.tel }
 
 // KB returns the node's Knowledge Base.
 func (k *Kalis) KB() *knowledge.Base { return k.kb }
@@ -186,6 +234,16 @@ func (k *Kalis) EnableCollective(t collective.Transport, passphrase string) erro
 	if err != nil {
 		return err
 	}
+	n.SetMetrics(collective.Metrics{
+		SyncSent: k.tel.Counter("kalis_collective_sync_sent_total",
+			"Knowgget updates pushed to peer Kalis nodes."),
+		SyncReceived: k.tel.Counter("kalis_collective_sync_received_total",
+			"Creator-verified knowgget updates accepted from peers."),
+		SyncRejected: k.tel.Counter("kalis_collective_sync_rejected_total",
+			"Knowgget updates refused (creator mismatch)."),
+		Peers: k.tel.Gauge("kalis_collective_peers",
+			"Discovered peer Kalis nodes."),
+	})
 	k.coll = n
 	return nil
 }

@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"regexp"
+	"strings"
 	"testing"
 	"time"
 
@@ -221,5 +223,44 @@ func TestDefaultNodeID(t *testing.T) {
 	defer k.Close()
 	if k.ID() != "K1" {
 		t.Errorf("ID = %q", k.ID())
+	}
+}
+
+func TestTelemetryWiredThroughPipeline(t *testing.T) {
+	k, err := New(Config{NodeID: "K1", KnowledgeDriven: true, InstallAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer k.Close()
+	for i := 0; i < 20; i++ {
+		at := t0.Add(time.Duration(i) * time.Second)
+		k.HandleCapture(mkCap(t, packet.MediumIEEE802154,
+			stack.BuildCTPBeacon(2, 1, 10, uint8(i)), at, -60))
+	}
+
+	var sb strings.Builder
+	if err := k.Telemetry().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "kalis_packets_total 20") {
+		t.Errorf("packets counter missing/wrong:\n%s", out)
+	}
+	if !strings.Contains(out, `kalis_bus_publishes_total{topic="packet"} 20`) {
+		t.Errorf("bus publish counter missing/wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "kalis_store_window_occupancy 20") {
+		t.Errorf("window occupancy missing/wrong:\n%s", out)
+	}
+	if active := k.Telemetry().Snapshot()["kalis_modules_active"]; active.Value.(int64) !=
+		int64(len(k.ActiveModules())) {
+		t.Errorf("kalis_modules_active = %v, ActiveModules = %d",
+			active.Value, len(k.ActiveModules()))
+	}
+	// Sensing modules ran on every packet, so their latency histograms
+	// must have observations.
+	if !regexp.MustCompile(`kalis_module_packet_seconds_count\{module="TopologyDiscoveryModule"\} 20`).
+		MatchString(out) {
+		t.Errorf("module latency histogram missing:\n%s", out)
 	}
 }

@@ -2,10 +2,12 @@ package module
 
 import (
 	"sync"
+	"time"
 
 	"kalis/internal/core/datastore"
 	"kalis/internal/core/knowledge"
 	"kalis/internal/packet"
+	"kalis/internal/telemetry"
 )
 
 // AlertFunc consumes alerts collected by the manager.
@@ -39,6 +41,21 @@ type Manager struct {
 	packets     uint64
 	invocations uint64
 	activations uint64
+
+	met ManagerMetrics
+}
+
+// ManagerMetrics are the manager's optional telemetry hooks; zero-value
+// fields are skipped (all telemetry types are nil-safe).
+type ManagerMetrics struct {
+	// Packets counts packets dispatched to the module pipeline.
+	Packets *telemetry.Counter
+	// ActiveModules tracks the number of currently active modules —
+	// the observable face of knowledge-driven adaptation.
+	ActiveModules *telemetry.Gauge
+	// PacketLatency observes per-module HandlePacket wall time, by
+	// module name. When nil, the manager skips the clock reads too.
+	PacketLatency *telemetry.HistogramVec
 }
 
 // NewManager creates a manager bound to a Knowledge Base and Data
@@ -56,6 +73,13 @@ func NewManager(kb *knowledge.Base, store *datastore.Store, knowledgeDriven bool
 
 // KnowledgeDriven reports whether adaptive activation is enabled.
 func (m *Manager) KnowledgeDriven() bool { return m.knowledgeDriven }
+
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (m *Manager) SetMetrics(met ManagerMetrics) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.met = met
+}
 
 // OnAlert registers a consumer for every alert raised by any module.
 func (m *Manager) OnAlert(fn AlertFunc) {
@@ -92,6 +116,11 @@ func (m *Manager) reevaluate(mod Module) {
 	m.active[mod.Name()] = want
 	params := m.params[mod.Name()]
 	m.activations++
+	if want {
+		m.met.ActiveModules.Inc()
+	} else {
+		m.met.ActiveModules.Dec()
+	}
 	m.mu.Unlock()
 
 	if want {
@@ -132,10 +161,20 @@ func (m *Manager) HandlePacket(c *packet.Captured) {
 		}
 	}
 	m.invocations += uint64(len(mods))
+	latency := m.met.PacketLatency
+	m.met.Packets.Inc()
 	m.mu.Unlock()
 
+	if latency == nil {
+		for _, mod := range mods {
+			mod.HandlePacket(c)
+		}
+		return
+	}
 	for _, mod := range mods {
+		start := time.Now()
 		mod.HandlePacket(c)
+		latency.With(mod.Name()).Observe(time.Since(start))
 	}
 }
 

@@ -1,0 +1,59 @@
+package telemetry
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkTelemetryHotPath measures the cost of the always-on
+// instrumentation on the packet path: each op must stay well under
+// 50 ns and allocate nothing, so telemetry never needs a kill switch.
+func BenchmarkTelemetryHotPath(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("c", "")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	v := r.CounterVec("v", "topic", "")
+	hv := r.HistogramVec("hv", "module", "", nil)
+
+	b.Run("Counter.Inc", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			c.Inc()
+		}
+	})
+	b.Run("Counter.Inc-parallel", func(b *testing.B) {
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				c.Inc()
+			}
+		})
+	})
+	b.Run("Gauge.Set", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			g.Set(int64(i))
+		}
+	})
+	b.Run("Histogram.Observe", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			h.Observe(time.Duration(i%1000) * time.Microsecond)
+		}
+	})
+	b.Run("CounterVec.With.Inc", func(b *testing.B) {
+		b.ReportAllocs()
+		v.With("packet")
+		for i := 0; i < b.N; i++ {
+			v.With("packet").Inc()
+		}
+	})
+	b.Run("HistogramVec.With.Observe", func(b *testing.B) {
+		b.ReportAllocs()
+		hv.With("mod")
+		for i := 0; i < b.N; i++ {
+			hv.With("mod").Observe(time.Microsecond)
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler returns an http.Handler serving the Prometheus text
+// exposition of this registry.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+}
+
+// JSONHandler returns an http.Handler serving the JSON snapshot of
+// this registry.
+func (r *Registry) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		_ = r.WriteJSON(w)
+	})
+}
+
+// NewAdminMux builds the admin endpoint: Prometheus exposition on
+// /metrics, JSON snapshot on /metrics.json, liveness on /healthz, and
+// the net/http/pprof profiling handlers under /debug/pprof/.
+func NewAdminMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", r.Handler())
+	mux.Handle("/metrics.json", r.JSONHandler())
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "kalis telemetry admin endpoint\n\n"+
+			"  /metrics       Prometheus text exposition\n"+
+			"  /metrics.json  JSON snapshot\n"+
+			"  /healthz       liveness probe\n"+
+			"  /debug/pprof/  Go profiling\n")
+	})
+	return mux
+}
+
+// AdminServer is a running admin endpoint.
+type AdminServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// ServeAdmin starts the admin endpoint on addr (e.g. "127.0.0.1:9090",
+// or port :0 to pick a free port — read the chosen one back with Addr).
+// It returns once the listener is bound; serving continues in a
+// background goroutine until Close.
+func ServeAdmin(addr string, r *Registry) (*AdminServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &AdminServer{
+		ln:   ln,
+		srv:  &http.Server{Handler: NewAdminMux(r)},
+		done: make(chan struct{}),
+	}
+	go func() {
+		defer close(s.done)
+		_ = s.srv.Serve(ln) // returns http.ErrServerClosed on Close
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *AdminServer) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the endpoint and waits for the serve goroutine to exit.
+func (s *AdminServer) Close() error {
+	err := s.srv.Close()
+	<-s.done
+	return err
+}

@@ -1,0 +1,76 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func scrape(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read %s: %v", url, err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestAdminMux(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("kalis_packets_total", "Packets.").Add(99)
+	srv := httptest.NewServer(NewAdminMux(r))
+	defer srv.Close()
+
+	if code, body := scrape(t, srv.URL+"/metrics"); code != 200 ||
+		!strings.Contains(body, "kalis_packets_total 99") {
+		t.Errorf("/metrics: code %d body:\n%s", code, body)
+	}
+
+	code, body := scrape(t, srv.URL+"/metrics.json")
+	if code != 200 {
+		t.Fatalf("/metrics.json: code %d", code)
+	}
+	var snap map[string]MetricSnapshot
+	if err := json.Unmarshal([]byte(body), &snap); err != nil {
+		t.Fatalf("/metrics.json not valid JSON: %v\n%s", err, body)
+	}
+	if snap["kalis_packets_total"].Type != "counter" {
+		t.Errorf("snapshot = %+v", snap)
+	}
+
+	if code, body := scrape(t, srv.URL+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	if code, body := scrape(t, srv.URL+"/debug/pprof/"); code != 200 ||
+		!strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d body:\n%s", code, body)
+	}
+	if code, _ := scrape(t, srv.URL+"/nope"); code != 404 {
+		t.Errorf("/nope: code %d, want 404", code)
+	}
+}
+
+func TestServeAdmin(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	srv, err := ServeAdmin("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if code, body := scrape(t, "http://"+srv.Addr()+"/metrics"); code != 200 ||
+		!strings.Contains(body, "go_goroutines") {
+		t.Errorf("scrape: code %d body:\n%s", code, body)
+	}
+	if err := srv.Close(); err != nil && err != http.ErrServerClosed {
+		t.Errorf("close: %v", err)
+	}
+}

@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// memStatsCache rate-limits runtime.ReadMemStats (which briefly stops
+// the world) so a scrape of several memstats-derived gauges pays for
+// one read, and rapid scrapes at most one per second.
+type memStatsCache struct {
+	mu   sync.Mutex
+	at   time.Time
+	stat runtime.MemStats
+}
+
+func (c *memStatsCache) get() *runtime.MemStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if now := time.Now(); now.Sub(c.at) > time.Second {
+		runtime.ReadMemStats(&c.stat)
+		c.at = now
+	}
+	return &c.stat
+}
+
+// RegisterRuntimeMetrics adds process-wide Go runtime gauges
+// (goroutines, heap, GC) to the registry — the runtime counterpart of
+// the paper's RAM-overhead measurements (§VI-B). Values are read lazily
+// at scrape time.
+func RegisterRuntimeMetrics(r *Registry) {
+	cache := &memStatsCache{}
+	r.GaugeFunc("go_goroutines", "Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	r.GaugeFunc("go_memstats_heap_alloc_bytes", "Bytes of allocated heap objects.",
+		func() float64 { return float64(cache.get().HeapAlloc) })
+	r.GaugeFunc("go_memstats_heap_objects", "Number of allocated heap objects.",
+		func() float64 { return float64(cache.get().HeapObjects) })
+	r.GaugeFunc("go_memstats_alloc_bytes_total", "Cumulative bytes allocated on the heap.",
+		func() float64 { return float64(cache.get().TotalAlloc) })
+	r.GaugeFunc("go_gc_cycles_total", "Completed GC cycles.",
+		func() float64 { return float64(cache.get().NumGC) })
+	r.GaugeFunc("go_gc_pause_seconds_total", "Cumulative GC stop-the-world pause.",
+		func() float64 { return float64(cache.get().PauseTotalNs) / 1e9 })
+}

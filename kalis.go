@@ -28,6 +28,7 @@ package kalis
 import (
 	"fmt"
 	"io"
+	"net/http"
 
 	"kalis/internal/core"
 	"kalis/internal/core/collective"
@@ -37,6 +38,7 @@ import (
 	"kalis/internal/core/response"
 	"kalis/internal/packet"
 	"kalis/internal/siem"
+	"kalis/internal/telemetry"
 	"kalis/internal/trace"
 )
 
@@ -246,6 +248,12 @@ func (n *Node) BeaconNow() {
 // Firewall.Filter.
 func (n *Node) NewFirewall(minConfidence float64) *Firewall {
 	fw := firewall.New(0, minConfidence)
+	tel := n.inner.Telemetry()
+	fw.SetMetrics(firewall.Metrics{
+		Passed:    tel.Counter("kalis_firewall_passed_total", "Frames allowed through the smart firewall."),
+		Dropped:   tel.Counter("kalis_firewall_dropped_total", "Frames blocked by the smart firewall."),
+		BlockList: tel.Gauge("kalis_firewall_blocklist", "Suspects currently on the firewall block list."),
+	})
 	n.OnAlert(fw.HandleAlert)
 	return fw
 }
@@ -268,6 +276,27 @@ func (n *Node) ExportAlerts(w io.Writer) *siem.Exporter {
 	exp := siem.NewExporter(n.ID(), w)
 	n.OnAlert(exp.HandleAlert)
 	return exp
+}
+
+// Telemetry returns the node's always-on runtime-metrics registry
+// (packet counters, per-module latency histograms, queue depths, ...).
+// It is distinct from internal/metrics, which scores offline
+// experiments after a replay finishes.
+func (n *Node) Telemetry() *telemetry.Registry { return n.inner.Telemetry() }
+
+// TelemetryHandler returns the admin endpoint for this node:
+// Prometheus exposition on /metrics, a JSON snapshot on /metrics.json,
+// liveness on /healthz, and Go profiling under /debug/pprof/. Mount it
+// on any HTTP server, or use ServeTelemetry to start a dedicated one.
+func (n *Node) TelemetryHandler() http.Handler {
+	return telemetry.NewAdminMux(n.inner.Telemetry())
+}
+
+// ServeTelemetry starts the admin endpoint on addr (port :0 picks a
+// free port; read it back with Addr on the returned server). Close the
+// returned server to stop it.
+func (n *Node) ServeTelemetry(addr string) (*telemetry.AdminServer, error) {
+	return telemetry.ServeAdmin(addr, n.inner.Telemetry())
 }
 
 // SuggestConfig distills the node's current knowledge into a fixed

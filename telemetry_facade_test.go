@@ -1,0 +1,62 @@
+package kalis
+
+// Tests for the facade's runtime-telemetry surface: the registry
+// accessor, the admin handler mounted under httptest, and the firewall
+// metric wiring.
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+func TestTelemetryHandlerScrape(t *testing.T) {
+	node, err := New(WithNodeID("K1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+	fw := node.NewFirewall(0.5)
+	driveBlackhole(t, node)
+	if len(node.Alerts()) == 0 {
+		t.Fatal("scenario raised no alerts")
+	}
+	// Route one frame from the blackhole suspect through the firewall.
+	c := capOf(t, packet.MediumIEEE802154, stack.BuildCTPData(2, 1, 2, 1, 1, 20, []byte{0x01}), tEpoch, -50)
+	if fw.Filter(c) != FirewallDrop {
+		t.Error("suspect frame not dropped")
+	}
+
+	srv := httptest.NewServer(node.TelemetryHandler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(body)
+	for _, want := range []string{
+		`kalis_alerts_total{attack="blackhole"}`,
+		"kalis_firewall_dropped_total 1",
+		"kalis_firewall_blocklist 1",
+		"kalis_packets_total",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+
+	snap := node.Telemetry().Snapshot()
+	if v := snap["kalis_packets_total"].Value.(uint64); v == 0 {
+		t.Error("kalis_packets_total = 0 after traffic")
+	}
+}

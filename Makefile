@@ -2,9 +2,9 @@
 
 GO ?= go
 
-.PHONY: all build test race bench vet fmt experiments examples telemetry-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint experiments examples telemetry-demo clean
 
-all: build test
+all: build test lint
 
 build:
 	$(GO) build ./...
@@ -12,14 +12,28 @@ build:
 test:
 	$(GO) test ./...
 
+# The whole tree under the race detector, matching CI. The simulator
+# suites push this well past the default bench budget, hence -timeout.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 10m ./...
 
 bench:
 	$(GO) test -bench=. -benchmem
 
+# Compare the hot-path benchmarks against bench_baseline.json; fails on
+# a >25% ns/op regression. Re-record with:
+#   go run ./cmd/benchdiff -update -benchtime 0.5s
+benchdiff:
+	$(GO) run ./cmd/benchdiff -benchtime 0.5s
+
 vet:
 	$(GO) vet ./...
+
+# Kalis-specific static analysis (see DESIGN.md "Static analysis &
+# invariants"): simulated-clock discipline, named bus topics, hot-path
+# allocation/formatting bans, panic policy, discarded errors.
+lint:
+	$(GO) run ./cmd/kalislint ./...
 
 fmt:
 	gofmt -l -w .

@@ -1,0 +1,228 @@
+// Command benchdiff guards the hot-path performance budget: it re-runs
+// the benchmarks recorded in bench_baseline.json and fails when any of
+// them regressed by more than the configured threshold in ns/op.
+//
+// Each baseline suite names a package and an anchored -bench regex;
+// benchdiff executes `go test -run ^$ -bench <regex> -count N` for the
+// suite and keeps the minimum ns/op per benchmark across the N runs —
+// the minimum is the least noisy estimator of the true cost, since
+// scheduling jitter only ever adds time.
+//
+// Usage:
+//
+//	go run ./cmd/benchdiff                # compare against the baseline
+//	go run ./cmd/benchdiff -update        # re-measure and rewrite it
+//	go run ./cmd/benchdiff -threshold 0.1 # tighten the gate
+//
+// Exit status: 0 when every benchmark is within budget, 1 on
+// regression or missing benchmark, 2 on operational errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// baseline is the on-disk format of bench_baseline.json.
+type baseline struct {
+	// Count is how many times each suite is run; the per-benchmark
+	// minimum across runs is compared.
+	Count int `json:"count"`
+	// Threshold is the tolerated fractional ns/op increase (0.25 =
+	// +25%) before the gate fails.
+	Threshold float64 `json:"threshold"`
+	Suites    []suite `json:"suites"`
+}
+
+type suite struct {
+	// Package is the go test target, e.g. "./internal/telemetry".
+	Package string `json:"package"`
+	// Bench is the anchored regex handed to -bench.
+	Bench string `json:"bench"`
+	// NsPerOp maps canonical benchmark names (sub-benchmarks
+	// included, GOMAXPROCS suffix stripped) to the recorded minimum.
+	NsPerOp map[string]float64 `json:"ns_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath = flag.String("baseline", "bench_baseline.json", "baseline file")
+		update       = flag.Bool("update", false, "re-measure and rewrite the baseline instead of comparing")
+		count        = flag.Int("count", 0, "override the baseline run count")
+		threshold    = flag.Float64("threshold", 0, "override the baseline regression threshold")
+		benchtime    = flag.String("benchtime", "", "forwarded to go test -benchtime")
+	)
+	flag.Parse()
+
+	base, err := loadBaseline(*baselinePath)
+	if err != nil {
+		fatalf("benchdiff: %v", err)
+	}
+	if *count > 0 {
+		base.Count = *count
+	}
+	if *threshold > 0 {
+		base.Threshold = *threshold
+	}
+
+	failed := false
+	for i := range base.Suites {
+		s := &base.Suites[i]
+		measured, err := runSuite(s, base.Count, *benchtime)
+		if err != nil {
+			fatalf("benchdiff: %s: %v", s.Package, err)
+		}
+		if *update {
+			s.NsPerOp = measured
+			continue
+		}
+		if !compareSuite(s, measured, base.Threshold) {
+			failed = true
+		}
+	}
+
+	if *update {
+		if err := writeBaseline(*baselinePath, base); err != nil {
+			fatalf("benchdiff: %v", err)
+		}
+		fmt.Printf("wrote %s\n", *baselinePath)
+		return
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: all benchmarks within %+.0f%% of baseline\n", base.Threshold*100)
+}
+
+func loadBaseline(path string) (*baseline, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b baseline
+	if err := json.Unmarshal(raw, &b); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if b.Count <= 0 {
+		b.Count = 5
+	}
+	if b.Threshold <= 0 {
+		b.Threshold = 0.25
+	}
+	return &b, nil
+}
+
+func writeBaseline(path string, b *baseline) error {
+	out, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// runSuite executes the suite's benchmarks Count times and returns the
+// per-benchmark minimum ns/op.
+func runSuite(s *suite, count int, benchtime string) (map[string]float64, error) {
+	args := []string{"test", "-run", "^$", "-bench", s.Bench, "-count", strconv.Itoa(count)}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, s.Package)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	measured := parseBenchOutput(string(out))
+	if len(measured) == 0 {
+		return nil, fmt.Errorf("no benchmark results for -bench %s (output: %q)", s.Bench, string(out))
+	}
+	return measured, nil
+}
+
+// procSuffix is the trailing -GOMAXPROCS the bench framework appends to
+// every benchmark name.
+var procSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseBenchOutput extracts minimum ns/op per benchmark from `go test
+// -bench` output lines of the form:
+//
+//	BenchmarkName/sub-8   12345   92.36 ns/op   0 B/op
+func parseBenchOutput(out string) map[string]float64 {
+	min := make(map[string]float64)
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		idx := -1
+		for i, f := range fields {
+			if f == "ns/op" {
+				idx = i
+				break
+			}
+		}
+		if idx < 2 {
+			continue
+		}
+		v, err := strconv.ParseFloat(fields[idx-1], 64)
+		if err != nil {
+			continue
+		}
+		name := procSuffix.ReplaceAllString(fields[0], "")
+		if prev, ok := min[name]; !ok || v < prev {
+			min[name] = v
+		}
+	}
+	return min
+}
+
+// compareSuite reports the per-benchmark verdicts and returns false if
+// any baseline benchmark regressed beyond threshold or disappeared.
+func compareSuite(s *suite, measured map[string]float64, threshold float64) bool {
+	ok := true
+	names := make([]string, 0, len(s.NsPerOp))
+	for name := range s.NsPerOp {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		base := s.NsPerOp[name]
+		got, found := measured[name]
+		switch {
+		case !found:
+			fmt.Printf("MISSING  %-55s baseline %10.2f ns/op, benchmark no longer runs\n", name, base)
+			ok = false
+		case base > 0 && got > base*(1+threshold):
+			fmt.Printf("REGRESS  %-55s %10.2f -> %10.2f ns/op (%+.1f%%, budget %+.0f%%)\n",
+				name, base, got, (got/base-1)*100, threshold*100)
+			ok = false
+		default:
+			delta := 0.0
+			if base > 0 {
+				delta = (got/base - 1) * 100
+			}
+			fmt.Printf("ok       %-55s %10.2f -> %10.2f ns/op (%+.1f%%)\n", name, base, got, delta)
+		}
+	}
+	for name := range measured {
+		if _, known := s.NsPerOp[name]; !known {
+			fmt.Printf("NEW      %-55s %10.2f ns/op (not in baseline; run -update to record)\n",
+				name, measured[name])
+		}
+	}
+	return ok
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

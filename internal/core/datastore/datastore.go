@@ -83,6 +83,7 @@ func (s *Store) Append(c *packet.Captured) error {
 		}
 		rec := &trace.Record{Time: c.Time, Medium: c.Medium, RSSI: c.RSSI, Raw: raw, Truth: c.Truth}
 		if err := s.logger.Write(rec); err != nil {
+			//lint:ignore hotpath disk-log failure branch; logging is off in passive deployments and the wrap is the error report itself
 			return fmt.Errorf("datastore: log: %w", err)
 		}
 	}

@@ -12,6 +12,7 @@ import (
 	"kalis/internal/packet"
 	"kalis/internal/proto/ctp"
 	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/stack"
 	"kalis/internal/proto/zigbee"
 )
 
@@ -117,7 +118,7 @@ func seqTrustworthy(cap *packet.Captured) bool {
 		return cap.Src == cap.Transmitter
 	}
 	if n, ok := cap.Layer("zigbee").(*zigbee.Frame); ok {
-		return packet.NodeID(fmt.Sprintf("%#04x", n.Src)) == cap.Transmitter
+		return stack.ShortID(n.Src) == cap.Transmitter
 	}
 	return true
 }

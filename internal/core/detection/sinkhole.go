@@ -130,19 +130,13 @@ func (d *Sinkhole) HandlePacket(c *packet.Captured) {
 		return
 	}
 
-	suspicious := false
-	var reason string
-	switch {
-	case cost <= float64(d.rootBand):
-		suspicious = true
-		reason = fmt.Sprintf("non-root advertises root-band cost %.0f", cost)
-	case n >= d.minObservations && d.baseline[id] > 0 && cost < d.baseline[id]*d.dropFactor:
-		suspicious = true
-		reason = fmt.Sprintf("advertised cost fell from %.0f to %.0f", d.baseline[id], cost)
-	}
+	inRootBand := cost <= float64(d.rootBand)
+	fellBelow := !inRootBand &&
+		n >= d.minObservations && d.baseline[id] > 0 && cost < d.baseline[id]*d.dropFactor
+	prev := d.baseline[id]
 
 	d.count[id] = n + 1
-	if !suspicious {
+	if !inRootBand && !fellBelow {
 		// Update the baseline only with sane advertisements.
 		if d.baseline[id] == 0 {
 			d.baseline[id] = cost
@@ -155,6 +149,16 @@ func (d *Sinkhole) HandlePacket(c *packet.Captured) {
 		return
 	}
 	d.suppress[id] = c.Time.Add(d.cooldown)
+	// Reason formatting happens only past the cooldown gate: at most
+	// once per suspect per cooldown window, never per packet.
+	var reason string
+	if inRootBand {
+		//lint:ignore hotpath cooldown-gated alert emission, at most one format per suspect per window
+		reason = fmt.Sprintf("non-root advertises root-band cost %.0f", cost)
+	} else {
+		//lint:ignore hotpath cooldown-gated alert emission, at most one format per suspect per window
+		reason = fmt.Sprintf("advertised cost fell from %.0f to %.0f", prev, cost)
+	}
 	d.ctx.Emit(module.Alert{
 		Time:       c.Time,
 		Attack:     attack.Sinkhole,

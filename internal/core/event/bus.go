@@ -55,12 +55,23 @@ type Bus struct {
 	async bool
 	subs  map[string][]*subscriber
 	met   Metrics
+	// tmet holds the per-topic telemetry child handles, resolved off
+	// the hot path (at SetMetrics/Subscribe time): Publish must never
+	// pay a Vec.With lookup per packet.
+	tmet  map[string]*topicMetrics
 	drops atomic.Uint64
 	// wg tracks worker goroutines; pubWG tracks in-flight Publish
 	// calls so Close never closes a queue a publisher is sending on.
 	wg     sync.WaitGroup
 	pubWG  sync.WaitGroup
 	closed bool
+}
+
+// topicMetrics are one topic's pre-resolved counters (nil-safe, like
+// all telemetry types).
+type topicMetrics struct {
+	pub  *telemetry.Counter
+	drop *telemetry.Counter
 }
 
 type subscriber struct {
@@ -72,7 +83,11 @@ type subscriber struct {
 // dedicated worker goroutine and events are delivered concurrently;
 // with async false delivery is inline and deterministic.
 func NewBus(async bool) *Bus {
-	return &Bus{async: async, subs: make(map[string][]*subscriber)}
+	b := &Bus{async: async, subs: make(map[string][]*subscriber), tmet: make(map[string]*topicMetrics)}
+	for _, topic := range []string{TopicPacket, TopicKnowledge, TopicDetection} {
+		b.resolveTopicLocked(topic)
+	}
+	return b
 }
 
 // SetMetrics installs telemetry hooks. Call it before traffic flows.
@@ -80,6 +95,24 @@ func (b *Bus) SetMetrics(m Metrics) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.met = m
+	// Re-resolve every known topic against the new hooks.
+	for topic := range b.tmet {
+		delete(b.tmet, topic)
+		b.resolveTopicLocked(topic)
+	}
+}
+
+// resolveTopicLocked caches the topic's telemetry children; the write
+// lock must be held. It runs at wiring time (NewBus, SetMetrics,
+// Subscribe) and at most once per unknown topic from Publish.
+func (b *Bus) resolveTopicLocked(topic string) *topicMetrics {
+	if tm, ok := b.tmet[topic]; ok {
+		return tm
+	}
+	//lint:ignore hotpath one-time per-topic child resolution, amortized across all publishes
+	tm := &topicMetrics{pub: b.met.Publishes.With(topic), drop: b.met.Drops.With(topic)}
+	b.tmet[topic] = tm
+	return tm
 }
 
 // Drops returns the number of events lost to full async queues.
@@ -108,6 +141,7 @@ func (b *Bus) Subscribe(topic string, fn Handler) {
 	if b.closed {
 		return
 	}
+	b.resolveTopicLocked(topic)
 	sub := &subscriber{fn: fn}
 	if b.async {
 		sub.ch = make(chan interface{}, AsyncQueueCap)
@@ -136,18 +170,25 @@ func (b *Bus) Publish(topic string, payload interface{}) {
 	// (which takes the write lock first) always waits for this send.
 	b.pubWG.Add(1)
 	subs := b.subs[topic]
-	met := b.met
+	tm := b.tmet[topic]
 	b.mu.RUnlock()
 	defer b.pubWG.Done()
 
-	met.Publishes.With(topic).Inc()
+	if tm == nil {
+		// First publish on a topic nobody subscribed or pre-wired:
+		// resolve once under the write lock, then never again.
+		b.mu.Lock()
+		tm = b.resolveTopicLocked(topic)
+		b.mu.Unlock()
+	}
+	tm.pub.Inc()
 	for _, s := range subs {
 		if s.ch != nil {
 			select {
 			case s.ch <- payload:
 			default:
 				b.drops.Add(1)
-				met.Drops.With(topic).Inc()
+				tm.drop.Inc()
 			}
 		} else {
 			s.fn(payload)

@@ -1,6 +1,7 @@
 package event
 
 import (
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -179,4 +180,66 @@ func TestPublishMetrics(t *testing.T) {
 		t.Errorf("detection publishes = %d, want 1", got)
 	}
 	b.Close()
+}
+
+// TestAsyncCloseAccounting races concurrent publishers against Close and
+// proves the shutdown contract of the async drop-and-count path: every
+// accepted Publish (counted by the publishes telemetry) is either
+// delivered to the handler or counted in Drops — never silently lost —
+// and no event reaches a handler after Close has returned.
+func TestAsyncCloseAccounting(t *testing.T) {
+	b := NewBus(true)
+	reg := telemetry.NewRegistry()
+	pubs := reg.CounterVec("kalis_bus_publishes_total", "topic", "Publishes.")
+	b.SetMetrics(Metrics{
+		Publishes: pubs,
+		Drops:     reg.CounterVec("kalis_bus_drops_total", "topic", "Drops."),
+	})
+
+	var delivered atomic.Uint64
+	var closed atomic.Bool
+	stall := make(chan struct{})
+	b.Subscribe(TopicPacket, func(interface{}) {
+		<-stall // first delivery parks the worker, so the queue backs up
+		if closed.Load() {
+			t.Error("event delivered after Close returned")
+		}
+		delivered.Add(1)
+	})
+
+	const publishers = 4
+	const perPublisher = 2 * AsyncQueueCap
+	var issued atomic.Uint64
+	var wg sync.WaitGroup
+	for p := 0; p < publishers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perPublisher; i++ {
+				b.Publish(TopicPacket, i)
+				issued.Add(1)
+			}
+		}()
+	}
+	// Let the stalled worker's queue overflow before racing Close
+	// against the still-running publishers.
+	for issued.Load() < 2*AsyncQueueCap {
+		runtime.Gosched()
+	}
+	close(stall)
+	b.Close()
+	closed.Store(true)
+	wg.Wait() // publishers finishing after Close must be silent no-ops
+
+	accepted := pubs.With(TopicPacket).Value()
+	if accepted == 0 {
+		t.Fatal("no publish was accepted before Close")
+	}
+	if b.Drops() == 0 {
+		t.Fatal("expected drops: the stalled worker saw more than AsyncQueueCap accepted publishes")
+	}
+	if got := delivered.Load() + b.Drops(); got != accepted {
+		t.Fatalf("delivered %d + dropped %d = %d, want accepted %d (a publish was lost)",
+			delivered.Load(), b.Drops(), got, accepted)
+	}
 }

@@ -36,6 +36,15 @@ type Manager struct {
 	alertFns        []AlertFunc
 	alerts          []Alert
 
+	// snap is the immutable active-module snapshot HandlePacket
+	// iterates: rebuilt under mu whenever activation or metrics
+	// change, so the per-packet path neither allocates nor resolves
+	// telemetry children.
+	snap []activeEntry
+	// timed reports whether per-module latency observation is wired
+	// (when false HandlePacket skips the clock reads too).
+	timed bool
+
 	// Work accounting, the basis of the CPU-usage comparison: every
 	// (packet, active module) pair costs one invocation.
 	packets     uint64
@@ -43,6 +52,13 @@ type Manager struct {
 	activations uint64
 
 	met ManagerMetrics
+}
+
+// activeEntry pairs an active module with its pre-resolved latency
+// histogram child (nil when latency observation is not wired).
+type activeEntry struct {
+	mod Module
+	lat *telemetry.Histogram
 }
 
 // ManagerMetrics are the manager's optional telemetry hooks; zero-value
@@ -79,6 +95,26 @@ func (m *Manager) SetMetrics(met ManagerMetrics) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.met = met
+	m.rebuildSnapLocked()
+}
+
+// rebuildSnapLocked recomputes the active-module snapshot, resolving
+// each module's latency histogram child once — off the packet path.
+// Callers must hold m.mu.
+func (m *Manager) rebuildSnapLocked() {
+	m.timed = m.met.PacketLatency != nil
+	snap := make([]activeEntry, 0, len(m.modules))
+	for _, mod := range m.modules {
+		if !m.active[mod.Name()] {
+			continue
+		}
+		e := activeEntry{mod: mod}
+		if m.timed {
+			e.lat = m.met.PacketLatency.With(mod.Name())
+		}
+		snap = append(snap, e)
+	}
+	m.snap = snap
 }
 
 // OnAlert registers a consumer for every alert raised by any module.
@@ -121,6 +157,7 @@ func (m *Manager) reevaluate(mod Module) {
 	} else {
 		m.met.ActiveModules.Dec()
 	}
+	m.rebuildSnapLocked()
 	m.mu.Unlock()
 
 	if want {
@@ -148,33 +185,33 @@ func (m *Manager) emit(a Alert) {
 }
 
 // HandlePacket records the capture in the Data Store and routes it to
-// every active module.
+// every active module. The snapshot is immutable, so the per-packet
+// work is one lock round-trip and the module invocations themselves —
+// no allocation, no telemetry child lookups.
 func (m *Manager) HandlePacket(c *packet.Captured) {
+	// Data Store append errors surface only when disk logging is
+	// enabled; the window append itself cannot fail. A passive IDS
+	// keeps observing either way.
 	_ = m.store.Append(c)
 
 	m.mu.Lock()
 	m.packets++
-	mods := make([]Module, 0, len(m.modules))
-	for _, mod := range m.modules {
-		if m.active[mod.Name()] {
-			mods = append(mods, mod)
-		}
-	}
-	m.invocations += uint64(len(mods))
-	latency := m.met.PacketLatency
+	snap := m.snap
+	timed := m.timed
+	m.invocations += uint64(len(snap))
 	m.met.Packets.Inc()
 	m.mu.Unlock()
 
-	if latency == nil {
-		for _, mod := range mods {
-			mod.HandlePacket(c)
+	if !timed {
+		for _, e := range snap {
+			e.mod.HandlePacket(c)
 		}
 		return
 	}
-	for _, mod := range mods {
+	for _, e := range snap {
 		start := time.Now()
-		mod.HandlePacket(c)
-		latency.With(mod.Name()).Observe(time.Since(start))
+		e.mod.HandlePacket(c)
+		e.lat.Observe(time.Since(start))
 	}
 }
 

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrCheck is errcheck-lite: inside internal/core and internal/proto an
+// error returned by a call must not be silently discarded by using the
+// call as a bare statement (or launching it with go). Assigning to the
+// blank identifier (`_ = f()`) remains legal — it is a visible,
+// greppable statement of intent — and deferred cleanup calls
+// (`defer f.Close()`) follow the standard idiom. Writes to
+// strings.Builder and bytes.Buffer (directly or through fmt.Fprint*)
+// are excluded: their error results are documented to always be nil.
+type ErrCheck struct {
+	Scope ScopeFunc
+}
+
+// Name implements Analyzer.
+func (*ErrCheck) Name() string { return "errcheck" }
+
+// Doc implements Analyzer.
+func (*ErrCheck) Doc() string {
+	return "no silently discarded error returns in internal/core and internal/proto"
+}
+
+// Run implements Analyzer.
+func (a *ErrCheck) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range scopedPackages(t, a.Scope) {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				var call *ast.CallExpr
+				switch st := n.(type) {
+				case *ast.ExprStmt:
+					call, _ = st.X.(*ast.CallExpr)
+				case *ast.GoStmt:
+					call = st.Call
+				}
+				if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call) {
+					return true
+				}
+				out = append(out, Finding{
+					Pos:  t.Fset.Position(call.Pos()),
+					Rule: a.Name(),
+					Message: "error return discarded; handle it or assign it to _ " +
+						"to make the discard explicit",
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// neverFails reports whether the call's error result is statically
+// known to be nil: methods on strings.Builder/bytes.Buffer, and
+// fmt.Fprint* writing into one of those.
+func neverFails(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeOf(info, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return isInfallibleWriter(recv.Type())
+	}
+	switch fn.FullName() {
+	case "fmt.Fprintf", "fmt.Fprint", "fmt.Fprintln":
+		if len(call.Args) > 0 {
+			if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil {
+				return isInfallibleWriter(tv.Type)
+			}
+		}
+	}
+	return false
+}
+
+// isInfallibleWriter reports whether typ is (a pointer to)
+// strings.Builder or bytes.Buffer.
+func isInfallibleWriter(typ types.Type) bool {
+	if ptr, ok := typ.(*types.Pointer); ok {
+		typ = ptr.Elem()
+	}
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	full := obj.Pkg().Path() + "." + obj.Name()
+	return full == "strings.Builder" || full == "bytes.Buffer"
+}
+
+// returnsError reports whether any result of the call is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	switch typ := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < typ.Len(); i++ {
+			if isErrorType(typ.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(typ)
+	}
+}

@@ -1,0 +1,228 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotPath guards the per-packet budget behind the paper's §VI-B
+// overhead results. The packet path — every method named HandlePacket
+// or HandleCapture in RootScope, plus its statically resolvable callees
+// within WalkScope — must not:
+//
+//   - format with fmt.Sprintf/fmt.Errorf (allocation and reflection per
+//     packet). Formatting inside a module.Alert composite literal is
+//     exempt: alert construction is the cold, cooldown-gated branch.
+//   - perform a blocking channel send (a send outside a select with a
+//     default case). A passive IDS must never exert backpressure on the
+//     capture path.
+//   - resolve telemetry vector children via CounterVec.With or
+//     HistogramVec.With. With on a hot path is a per-packet map lookup;
+//     the telemetry package hands out pre-resolvable child handles —
+//     cache them when wiring, off the packet path.
+//
+// The traversal is static and conservative: calls through interfaces
+// and function values are not followed (their concrete HandlePacket
+// implementations are roots of their own).
+type HotPath struct {
+	RootScope ScopeFunc
+	WalkScope ScopeFunc
+}
+
+// rootMethodNames seed the packet-path traversal.
+var rootMethodNames = map[string]bool{"HandlePacket": true, "HandleCapture": true}
+
+// vecWithMethods are the telemetry child lookups banned on the path.
+var vecWithMethods = map[string]bool{
+	"(*kalis/internal/telemetry.CounterVec).With":   true,
+	"(*kalis/internal/telemetry.HistogramVec).With": true,
+}
+
+// Name implements Analyzer.
+func (*HotPath) Name() string { return "hotpath" }
+
+// Doc implements Analyzer.
+func (*HotPath) Doc() string {
+	return "no fmt formatting, blocking sends, or telemetry Vec.With lookups on the packet path"
+}
+
+// funcNode is one function body known to the traversal.
+type funcNode struct {
+	decl *ast.FuncDecl
+	pkg  *Package
+}
+
+// Run implements Analyzer.
+func (a *HotPath) Run(t *Target) []Finding {
+	// Index every function declared in the walk or root scope.
+	index := make(map[*types.Func]*funcNode)
+	var roots []*types.Func
+	for _, pkg := range t.Packages {
+		inWalk, inRoot := a.WalkScope(pkg.Path), a.RootScope(pkg.Path)
+		if !inWalk && !inRoot {
+			continue
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				index[fn] = &funcNode{decl: fd, pkg: pkg}
+				if inRoot && fd.Recv != nil && rootMethodNames[fd.Name.Name] {
+					roots = append(roots, fn)
+				}
+			}
+		}
+	}
+
+	// Breadth-first walk of the static call graph from the roots,
+	// remembering one sample root per reached function for reporting.
+	via := make(map[*types.Func]*types.Func)
+	queue := make([]*types.Func, 0, len(roots))
+	for _, r := range roots {
+		if _, seen := via[r]; !seen {
+			via[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		node := index[fn]
+		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeOf(node.pkg.Info, call)
+			if callee == nil {
+				return true
+			}
+			if _, known := index[callee]; known {
+				if _, seen := via[callee]; !seen {
+					via[callee] = via[fn]
+					queue = append(queue, callee)
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	for fn, root := range via {
+		out = append(out, a.checkFunc(t, index[fn], fn, root)...)
+	}
+	return out
+}
+
+// checkFunc reports the banned constructs inside one packet-path
+// function body.
+func (a *HotPath) checkFunc(t *Target, node *funcNode, fn, root *types.Func) []Finding {
+	info := node.pkg.Info
+	suffix := " (on the packet path via " + root.FullName() + ")"
+
+	// Alert composite literals are the exempt cold branch.
+	var alertRanges [][2]int // [start, end) offsets by Pos
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		if tv, ok := info.Types[cl]; ok && isModuleAlert(tv.Type) {
+			alertRanges = append(alertRanges, [2]int{int(cl.Pos()), int(cl.End())})
+		}
+		return true
+	})
+	inAlert := func(n ast.Node) bool {
+		p := int(n.Pos())
+		for _, r := range alertRanges {
+			if p >= r[0] && p < r[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Sends appearing as the comm clause of a select with a default
+	// case are non-blocking by construction.
+	nonBlocking := make(map[*ast.SendStmt]bool)
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if cc, ok := cl.(*ast.CommClause); ok {
+				if send, ok := cc.Comm.(*ast.SendStmt); ok {
+					nonBlocking[send] = true
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if !nonBlocking[n] {
+				out = append(out, Finding{
+					Pos:  t.Fset.Position(n.Pos()),
+					Rule: a.Name(),
+					Message: "blocking channel send" + suffix +
+						"; use a select with a default (drop-and-count) so the capture path never stalls",
+				})
+			}
+		case *ast.CallExpr:
+			callee := calleeOf(info, n)
+			if callee == nil {
+				return true
+			}
+			switch full := callee.FullName(); {
+			case full == "fmt.Sprintf" || full == "fmt.Errorf":
+				if !inAlert(n) {
+					out = append(out, Finding{
+						Pos:  t.Fset.Position(n.Pos()),
+						Rule: a.Name(),
+						Message: "call to " + full + suffix +
+							"; per-packet formatting allocates — move it off the path or into the alert literal",
+					})
+				}
+			case vecWithMethods[full]:
+				out = append(out, Finding{
+					Pos:  t.Fset.Position(n.Pos()),
+					Rule: a.Name(),
+					Message: "telemetry " + callee.Name() + " lookup" + suffix +
+						"; pre-resolve the child handle off the hot path and cache it",
+				})
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isModuleAlert reports whether typ is kalis/internal/core/module.Alert.
+func isModuleAlert(typ types.Type) bool {
+	named, ok := typ.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "kalis/internal/core/module" && obj.Name() == "Alert"
+}

@@ -1,0 +1,240 @@
+// Package lint is kalislint: a self-contained static-analysis suite
+// (standard library go/parser, go/ast and go/types only) that turns the
+// repository's prose invariants into merge-blocking checks. The paper's
+// §VI-B overhead results hold only if the packet path never blocks or
+// formats per packet and the simulator stays deterministic; each
+// analyzer enforces one such invariant:
+//
+//   - simclock: no time.Now/time.Sleep in simulated components — time
+//     comes from the sim clock or the capture timestamp.
+//   - bustopic: event.Bus topics must be named constants, keeping
+//     telemetry label cardinality bounded.
+//   - hotpath: the packet path (HandlePacket/HandleCapture methods and
+//     their transitive callees within internal/core) must not format
+//     with fmt, block on channel sends, or do per-packet telemetry
+//     Vec.With lookups.
+//   - nopanic: no panic outside init-time registration in internal/.
+//   - errcheck: no silently discarded error returns in internal/core
+//     and internal/proto.
+//
+// A finding is suppressed by an explanatory comment on the offending
+// line or the line above it:
+//
+//	//lint:ignore <rule>[,<rule>...] <reason>
+//
+// The reason is mandatory; a directive without one is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation.
+type Finding struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+// String renders the finding in the canonical file:line: [rule] message
+// form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Analyzer is one invariant checker.
+type Analyzer interface {
+	// Name is the rule name used in reports and //lint:ignore comments.
+	Name() string
+	// Doc is a one-line description of the invariant.
+	Doc() string
+	// Run reports every violation found in the target.
+	Run(t *Target) []Finding
+}
+
+// ScopeFunc restricts an analyzer to a subset of the module's packages
+// (by import path).
+type ScopeFunc func(pkgPath string) bool
+
+// PathScope scopes to the given import paths and their subtrees.
+func PathScope(paths ...string) ScopeFunc {
+	return func(p string) bool {
+		for _, pre := range paths {
+			if p == pre || strings.HasPrefix(p, pre+"/") {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// AllPackages scopes to the whole module.
+func AllPackages(string) bool { return true }
+
+// DefaultAnalyzers returns the production rule set with the scopes the
+// repository's invariants call for.
+func DefaultAnalyzers() []Analyzer {
+	return []Analyzer{
+		&SimClock{Scope: PathScope(
+			"kalis/internal/devices",
+			"kalis/internal/netsim",
+			"kalis/internal/attacks",
+			"kalis/internal/core/detection",
+			"kalis/internal/core/sensing",
+		)},
+		&BusTopic{Scope: AllPackages},
+		&HotPath{
+			RootScope: PathScope("kalis/internal/core"),
+			WalkScope: PathScope("kalis/internal/core"),
+		},
+		&NoPanic{Scope: PathScope("kalis/internal")},
+		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/proto")},
+	}
+}
+
+// FixtureAnalyzers returns every rule scoped to the given packages, for
+// linting self-contained fixture packages where each rule must apply
+// regardless of the fixture's location.
+func FixtureAnalyzers(scope ScopeFunc) []Analyzer {
+	return []Analyzer{
+		&SimClock{Scope: scope},
+		&BusTopic{Scope: scope},
+		&HotPath{RootScope: scope, WalkScope: scope},
+		&NoPanic{Scope: scope},
+		&ErrCheck{Scope: scope},
+	}
+}
+
+// Run executes the analyzers against the target, applies //lint:ignore
+// suppressions, and returns the surviving findings sorted by position.
+// Malformed suppression directives are reported as rule "lint".
+func Run(t *Target, analyzers []Analyzer) []Finding {
+	sup := collectSuppressions(t)
+	var out []Finding
+	for _, a := range analyzers {
+		for _, f := range a.Run(t) {
+			if !sup.suppresses(f) {
+				out = append(out, f)
+			}
+		}
+	}
+	out = append(out, sup.malformed...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+	return out
+}
+
+// suppressions indexes //lint:ignore directives by file and line.
+type suppressions struct {
+	// byFileLine maps filename -> line -> rules ignored on that line.
+	byFileLine map[string]map[int]map[string]bool
+	malformed  []Finding
+}
+
+func (s *suppressions) suppresses(f Finding) bool {
+	lines := s.byFileLine[f.Pos.Filename]
+	if lines == nil {
+		return false
+	}
+	rules := lines[f.Pos.Line]
+	return rules != nil && (rules[f.Rule] || rules["*"])
+}
+
+// collectSuppressions scans every file's comments for //lint:ignore
+// directives. A directive applies to findings on its own line and on
+// the line immediately below it (the usual "comment above the
+// statement" placement).
+func collectSuppressions(t *Target) *suppressions {
+	s := &suppressions{byFileLine: make(map[string]map[int]map[string]bool)}
+	for _, pkg := range t.Packages {
+		for _, file := range pkg.Files {
+			for _, cg := range file.Comments {
+				for _, c := range cg.List {
+					text, ok := strings.CutPrefix(c.Text, "//lint:ignore")
+					if !ok {
+						continue
+					}
+					pos := t.Fset.Position(c.Pos())
+					fields := strings.Fields(text)
+					if len(fields) < 2 {
+						s.malformed = append(s.malformed, Finding{
+							Pos:  pos,
+							Rule: "lint",
+							Message: "malformed //lint:ignore directive: " +
+								"need \"//lint:ignore <rule>[,<rule>...] <reason>\"",
+						})
+						continue
+					}
+					end := t.Fset.Position(c.End())
+					lines := s.byFileLine[pos.Filename]
+					if lines == nil {
+						lines = make(map[int]map[string]bool)
+						s.byFileLine[pos.Filename] = lines
+					}
+					for _, rule := range strings.Split(fields[0], ",") {
+						rule = strings.TrimSpace(rule)
+						if rule == "" {
+							continue
+						}
+						for line := pos.Line; line <= end.Line+1; line++ {
+							if lines[line] == nil {
+								lines[line] = make(map[string]bool)
+							}
+							lines[line][rule] = true
+						}
+					}
+				}
+			}
+		}
+	}
+	return s
+}
+
+// calleeOf resolves the *types.Func a call expression statically
+// invokes, or nil for calls through function values, interfaces and
+// built-ins.
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// scopedPackages yields the target's packages selected by scope.
+func scopedPackages(t *Target, scope ScopeFunc) []*Package {
+	var out []*Package
+	for _, pkg := range t.Packages {
+		if scope(pkg.Path) {
+			out = append(out, pkg)
+		}
+	}
+	return out
+}
+
+// isErrorType reports whether typ is the built-in error interface.
+func isErrorType(typ types.Type) bool {
+	return types.Identical(typ, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,61 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// NoPanic forbids panic outside init-time registration: a passive IDS
+// node must degrade, count and keep observing rather than crash while
+// traffic flows. panic is tolerated only inside func init (wiring-time
+// programming-error guards); every other deliberate use needs a
+// //lint:ignore nopanic with its justification.
+type NoPanic struct {
+	Scope ScopeFunc
+}
+
+// Name implements Analyzer.
+func (*NoPanic) Name() string { return "nopanic" }
+
+// Doc implements Analyzer.
+func (*NoPanic) Doc() string {
+	return "no panic outside init-time registration in internal/"
+}
+
+// Run implements Analyzer.
+func (a *NoPanic) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range scopedPackages(t, a.Scope) {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				if fd.Recv == nil && fd.Name.Name == "init" {
+					continue // init-time registration may panic
+				}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+						out = append(out, Finding{
+							Pos:  t.Fset.Position(call.Pos()),
+							Rule: a.Name(),
+							Message: "panic outside init-time registration; " +
+								"return an error or degrade gracefully (a passive IDS must keep observing)",
+						})
+					}
+					return true
+				})
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,53 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// SimClock enforces simulator determinism: components that run under
+// simulated time (devices, netsim, attack scripts, detection/sensing
+// modules) must never read the wall clock or sleep — virtual time comes
+// from netsim.Sim.Now and the packet capture timestamp
+// (packet.Captured.Time). A stray time.Now makes replayed experiments
+// nondeterministic and breaks the paper's reproducibility claims.
+type SimClock struct {
+	Scope ScopeFunc
+}
+
+// Name implements Analyzer.
+func (*SimClock) Name() string { return "simclock" }
+
+// Doc implements Analyzer.
+func (*SimClock) Doc() string {
+	return "no time.Now/time.Sleep in simulated components; use the sim clock or packet timestamp"
+}
+
+// Run implements Analyzer.
+func (a *SimClock) Run(t *Target) []Finding {
+	var out []Finding
+	for _, pkg := range scopedPackages(t, a.Scope) {
+		for _, file := range pkg.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeOf(pkg.Info, call)
+				if fn == nil {
+					return true
+				}
+				switch fn.FullName() {
+				case "time.Now", "time.Sleep":
+					out = append(out, Finding{
+						Pos:  t.Fset.Position(call.Pos()),
+						Rule: a.Name(),
+						Message: "call to " + fn.FullName() + " in a simulated component; " +
+							"take time from the sim clock (netsim.Sim.Now) or the capture timestamp (Captured.Time)",
+					})
+				}
+				return true
+			})
+		}
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package bad violates bustopic: event-bus topics passed as string
+// literals instead of named constants.
+package bad
+
+import "kalis/internal/core/event"
+
+// Wire subscribes and publishes with inline literals.
+func Wire(b *event.Bus) {
+	b.Subscribe("packet", func(interface{}) {}) // want bustopic
+	b.Publish("pack"+"et", nil)                 // want bustopic
+}

@@ -1,0 +1,12 @@
+// Package bad carries a malformed suppression: the reason is
+// mandatory, and a directive without one neither suppresses nor
+// passes.
+package bad
+
+import "time"
+
+// Wait tries to excuse its wall-clock read without saying why.
+func Wait() time.Time {
+	//lint:ignore simclock
+	return time.Now() // want simclock
+}

@@ -1,0 +1,15 @@
+// Package bad violates errcheck: error returns silently discarded.
+package bad
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func workValue() (int, error) { return 0, errors.New("boom") }
+
+// Run drops every error on the floor.
+func Run() {
+	work()      // want errcheck
+	go work()   // want errcheck
+	workValue() // want errcheck
+}

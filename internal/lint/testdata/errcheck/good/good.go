@@ -1,0 +1,20 @@
+// Package good handles or visibly discards every error return.
+package good
+
+import "errors"
+
+func work() error { return errors.New("boom") }
+
+func cleanup() error { return nil }
+
+// Run demonstrates the accepted forms.
+func Run() error {
+	if err := work(); err != nil {
+		return err
+	}
+	// Blank assignment is a visible, greppable statement of intent.
+	_ = work()
+	// Deferred cleanup follows the standard idiom.
+	defer cleanup()
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package bad violates hotpath: per-packet formatting, a blocking
+// send, and a telemetry Vec.With lookup on the packet path.
+package bad
+
+import (
+	"fmt"
+
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+// Detector mimics a detection module's packet handler.
+type Detector struct {
+	seen *telemetry.CounterVec
+	out  chan string
+}
+
+// HandlePacket is a packet-path root by name.
+func (d *Detector) HandlePacket(c *packet.Captured) {
+	d.seen.With(c.Medium.String()).Inc() // want hotpath
+	d.out <- string(c.Src)               // want hotpath
+	d.describe(c)
+}
+
+// describe is reached transitively from HandlePacket.
+func (d *Detector) describe(c *packet.Captured) {
+	_ = fmt.Sprintf("packet from %s", c.Src) // want hotpath
+}

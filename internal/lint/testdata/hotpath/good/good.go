@@ -1,0 +1,44 @@
+// Package good stays within the per-packet budget: pre-resolved
+// telemetry handles, drop-and-count sends, and formatting only inside
+// the cold alert literal.
+package good
+
+import (
+	"fmt"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+// Detector mimics a well-behaved detection module.
+type Detector struct {
+	// seen is a child handle resolved once at wiring time.
+	seen *telemetry.Counter
+	out  chan module.Alert
+}
+
+// NewDetector pre-resolves the telemetry child off the packet path.
+func NewDetector(vec *telemetry.CounterVec, out chan module.Alert) *Detector {
+	return &Detector{seen: vec.With("fixture"), out: out}
+}
+
+// HandlePacket is a packet-path root by name.
+func (d *Detector) HandlePacket(c *packet.Captured) {
+	d.seen.Inc()
+	a := module.Alert{
+		Module: "fixture",
+		// Alert construction is the cold, rare branch: formatting
+		// inside the Alert literal is exempt by design.
+		Details: fmt.Sprintf("burst from %s", c.Src),
+	}
+	select {
+	case d.out <- a:
+	default: // drop-and-count: never stall the capture path
+	}
+}
+
+// Describe formats freely: it is not reachable from the packet path.
+func Describe(c *packet.Captured) string {
+	return fmt.Sprintf("%s -> %s", c.Src, c.Dst)
+}

@@ -1,0 +1,11 @@
+// Package bad violates nopanic: a runtime code path that crashes the
+// node instead of degrading.
+package bad
+
+// Halve refuses odd input the hard way.
+func Halve(v int) int {
+	if v%2 != 0 {
+		panic("odd input") // want nopanic
+	}
+	return v / 2
+}

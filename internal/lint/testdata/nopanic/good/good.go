@@ -1,0 +1,30 @@
+// Package good confines panic to init-time registration and justifies
+// the one deliberate runtime exception.
+package good
+
+import "errors"
+
+var registry = make(map[string]func())
+
+func init() {
+	if registry == nil {
+		panic("nopanic fixture: init-time guards may panic")
+	}
+}
+
+// Halve reports odd input as an error instead of crashing.
+func Halve(v int) (int, error) {
+	if v%2 != 0 {
+		return 0, errors.New("odd input")
+	}
+	return v / 2, nil
+}
+
+// MustHalve documents its deliberate panic with a suppression.
+func MustHalve(v int) int {
+	if v%2 != 0 {
+		//lint:ignore nopanic fixture: demonstrates a justified suppression
+		panic("odd input")
+	}
+	return v / 2
+}

@@ -1,0 +1,17 @@
+// Package bad violates simclock: simulated components must not read
+// the wall clock or sleep.
+package bad
+
+import "time"
+
+// Poll busy-waits on real time — nondeterministic under simulation.
+func Poll() time.Time {
+	time.Sleep(time.Millisecond) // want simclock
+	return time.Now()            // want simclock
+}
+
+// Justified shows a suppressed occurrence: no finding is reported.
+func Justified() time.Time {
+	//lint:ignore simclock fixture: demonstrates a justified suppression
+	return time.Now()
+}

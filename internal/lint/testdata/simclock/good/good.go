@@ -1,0 +1,14 @@
+// Package good takes time from the capture envelope, as simulated
+// components must.
+package good
+
+import (
+	"time"
+
+	"kalis/internal/packet"
+)
+
+// Age measures a packet's age against the caller-provided virtual now.
+func Age(c *packet.Captured, now time.Time) time.Duration {
+	return now.Sub(c.Time)
+}

@@ -85,6 +85,7 @@ func (s *Sim) SetRadio(r RadioModel) { s.radio = r }
 // an error surfaced by panic, since it indicates a broken scenario.
 func (s *Sim) At(t time.Time, fn func()) {
 	if t.Before(s.now) {
+		//lint:ignore nopanic broken scenario construction is a programming error, not a runtime condition
 		panic(fmt.Sprintf("netsim: scheduling %v before now %v", t, s.now))
 	}
 	s.seq++
@@ -129,6 +130,7 @@ func (s *Sim) RunFor(d time.Duration) { s.Run(s.now.Add(d)) }
 // AddNode registers a node. Names must be unique.
 func (s *Sim) AddNode(n *Node) *Node {
 	if _, dup := s.nodes[n.Name]; dup {
+		//lint:ignore nopanic duplicate node names are a scenario-construction bug, caught at build time of the topology
 		panic("netsim: duplicate node " + n.Name)
 	}
 	n.sim = s

@@ -29,12 +29,19 @@ import (
 	"kalis/internal/proto/zigbee"
 )
 
-// ShortID renders an 802.15.4/ZigBee 16-bit short address as a NodeID.
+// ShortID renders an 802.15.4/ZigBee 16-bit short address as a NodeID
+// in the canonical "0x%04x" form. It runs per decoded layer on the
+// capture path, so the hex digits are assembled by hand instead of
+// going through fmt's reflection machinery.
 func ShortID(addr uint16) packet.NodeID {
 	if addr == 0xffff {
 		return packet.Broadcast
 	}
-	return packet.NodeID(fmt.Sprintf("%#04x", addr))
+	const digits = "0123456789abcdef"
+	b := [6]byte{'0', 'x',
+		digits[addr>>12&0xf], digits[addr>>8&0xf],
+		digits[addr>>4&0xf], digits[addr&0xf]}
+	return packet.NodeID(b[:])
 }
 
 // IPID renders an IP address as a NodeID.

@@ -209,6 +209,7 @@ func (r *Registry) register(e *entry) interface{} {
 	defer r.mu.Unlock()
 	if prev, ok := r.entries[e.name]; ok {
 		if prev.kind != e.kind || prev.label != e.label {
+			//lint:ignore nopanic metric kind clashes are wiring-time programming errors; registration happens before traffic flows
 			panic(fmt.Sprintf("telemetry: %s re-registered as %s/%q (was %s/%q)",
 				e.name, e.kind, e.label, prev.kind, prev.label))
 		}

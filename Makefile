@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint experiments examples telemetry-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint chaos fuzz-short experiments examples telemetry-demo clean
 
 all: build test lint
 
@@ -28,6 +28,19 @@ benchdiff:
 
 vet:
 	$(GO) vet ./...
+
+# Fault-scenario suite under the race detector: the scripted chaos
+# drill (partition + module panic + knowledge burst, see chaos_test.go)
+# plus the fault-injection, supervision and collective-resilience
+# packages.
+chaos:
+	$(GO) test -race -timeout 5m -run TestChaosScenario -v .
+	$(GO) test -race -timeout 5m ./internal/fault/ ./internal/core/module/ ./internal/core/collective/
+
+# Short native-fuzz pass over the collective receive path (truncated /
+# corrupted / replayed datagrams must never panic or taint the KB).
+fuzz-short:
+	$(GO) test -fuzz=FuzzNodeReceive -fuzztime=30s -run '^$$' ./internal/core/collective/
 
 # Kalis-specific static analysis (see DESIGN.md "Static analysis &
 # invariants"): simulated-clock discipline, named bus topics, hot-path

@@ -45,15 +45,33 @@ type Node struct {
 	aead      cipher.AEAD
 
 	mu    sync.Mutex
-	peers map[string]string // Kalis node ID → transport address
+	peers map[string]*peerInfo // Kalis node ID → liveness record
+
+	// Resilience knobs (see resilience.go). now and sleep are
+	// injectable so simulations and tests run on a virtual clock.
+	now          func() time.Time
+	sleep        func(time.Duration)
+	peerTTL      time.Duration
+	maxPeers     int
+	retries      int
+	retryBackoff time.Duration
 
 	// Stats.
-	sent, received, rejected int
+	sent, received, rejected      int
+	evictions, retried, malformed int
 
 	met Metrics
 
 	stop chan struct{}
 	done chan struct{}
+}
+
+// peerInfo is one discovered peer's record: its transport address and
+// when it was last heard from (beacon or update), driving TTL
+// eviction.
+type peerInfo struct {
+	addr     string
+	lastSeen time.Time
 }
 
 // Metrics are the collective layer's optional telemetry hooks;
@@ -67,6 +85,14 @@ type Metrics struct {
 	SyncRejected *telemetry.Counter
 	// Peers tracks the number of discovered peer Kalis nodes.
 	Peers *telemetry.Gauge
+	// Evictions counts peers evicted for silence (TTL) or to respect
+	// the peer-table bound.
+	Evictions *telemetry.Counter
+	// SendRetries counts retransmissions after transient Send failures.
+	SendRetries *telemetry.Counter
+	// Malformed counts datagrams that failed to decrypt or parse —
+	// counted, never fatal.
+	Malformed *telemetry.Counter
 }
 
 // SetMetrics installs telemetry hooks. Call it before traffic flows.
@@ -89,16 +115,31 @@ func NewNode(kb *knowledge.Base, t Transport, passphrase string) (*Node, error) 
 	if err != nil {
 		return nil, fmt.Errorf("collective: gcm: %w", err)
 	}
-	n := &Node{kb: kb, transport: t, aead: aead, peers: make(map[string]string)}
+	n := &Node{
+		kb:        kb,
+		transport: t,
+		aead:      aead,
+		peers:     make(map[string]*peerInfo),
+		now:       time.Now,
+		sleep:     time.Sleep,
+		// Resilience defaults (see resilience.go): evict peers silent
+		// for 5 minutes, bound the table at 256 peers, retry transient
+		// sends twice with 50ms backoff.
+		peerTTL:      5 * time.Minute,
+		maxPeers:     256,
+		retries:      2,
+		retryBackoff: 50 * time.Millisecond,
+	}
 	t.SetHandler(n.receive)
 	kb.SetSync(n.push)
 	return n, nil
 }
 
-// Beacon broadcasts one discovery advertisement. Call it periodically
-// (a real deployment uses RunBeacon; simulations drive it from the
-// virtual clock).
+// Beacon broadcasts one discovery advertisement and sweeps the peer
+// table for silent peers. Call it periodically (a real deployment uses
+// RunBeacon; simulations drive it from the virtual clock).
 func (n *Node) Beacon() {
+	n.sweep()
 	data, err := n.seal(&message{Type: msgBeacon, NodeID: n.kb.LocalID()})
 	if err != nil {
 		return
@@ -167,8 +208,8 @@ func (n *Node) Stats() (sent, received, rejected int) {
 func (n *Node) push(k knowledge.Knowgget) {
 	n.mu.Lock()
 	addrs := make([]string, 0, len(n.peers))
-	for _, addr := range n.peers {
-		addrs = append(addrs, addr)
+	for _, p := range n.peers {
+		addrs = append(addrs, p.addr)
 	}
 	n.sent += len(addrs)
 	n.met.SyncSent.Add(uint64(len(addrs)))
@@ -185,21 +226,31 @@ func (n *Node) push(k knowledge.Knowgget) {
 		return
 	}
 	for _, addr := range addrs {
-		_ = n.transport.Send(addr, data)
+		n.sendReliable(addr, data)
 	}
 }
 
-// receive handles one datagram from the transport.
+// receive handles one datagram from the transport. Malformed or
+// corrupt envelopes (failed decrypt, bad JSON) are counted and
+// discarded — a hostile or lossy network must never crash the
+// collective layer.
 func (n *Node) receive(fromAddr string, data []byte) {
 	msg, err := n.open(data)
-	if err != nil || msg.NodeID == n.kb.LocalID() {
+	if err != nil {
+		n.mu.Lock()
+		n.malformed++
+		n.met.Malformed.Inc()
+		n.mu.Unlock()
+		return
+	}
+	if msg.NodeID == n.kb.LocalID() {
 		return
 	}
 	switch msg.Type {
 	case msgBeacon:
 		n.mu.Lock()
 		_, known := n.peers[msg.NodeID]
-		n.peers[msg.NodeID] = fromAddr
+		n.admitLocked(msg.NodeID, fromAddr)
 		n.met.Peers.Set(int64(len(n.peers)))
 		n.mu.Unlock()
 		if !known {
@@ -207,6 +258,7 @@ func (n *Node) receive(fromAddr string, data []byte) {
 			n.syncTo(fromAddr)
 		}
 	case msgUpdate:
+		n.touch(msg.NodeID, fromAddr)
 		for _, wk := range msg.Knowggets {
 			k := knowledge.Knowgget{Label: wk.Label, Value: wk.Value, Creator: wk.Creator, Entity: wk.Entity}
 			// AcceptRemote runs outside n.mu: it fires Knowledge Base
@@ -242,7 +294,7 @@ func (n *Node) syncTo(addr string) {
 	if err != nil {
 		return
 	}
-	_ = n.transport.Send(addr, data)
+	n.sendReliable(addr, data)
 }
 
 // seal encrypts a message with AES-GCM (random nonce prepended).

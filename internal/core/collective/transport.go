@@ -35,6 +35,25 @@ type Transport interface {
 // ErrClosed is returned when sending on a closed transport.
 var ErrClosed = errors.New("collective: transport closed")
 
+// PermanentError marks a Send failure that retrying cannot fix (bad
+// peer address, unknown endpoint); the retry policy gives up on these
+// immediately instead of burning its backoff budget.
+type PermanentError struct {
+	Err error
+}
+
+func (e *PermanentError) Error() string { return e.Err.Error() }
+
+// Unwrap exposes the underlying cause to errors.Is/As.
+func (e *PermanentError) Unwrap() error { return e.Err }
+
+// IsPermanent reports whether err is a Send failure not worth
+// retrying: an explicit PermanentError or a closed transport.
+func IsPermanent(err error) bool {
+	var pe *PermanentError
+	return errors.As(err, &pe) || errors.Is(err, ErrClosed)
+}
+
 // --- in-memory transport ---
 
 // Hub connects in-memory transports; delivery is synchronous and in
@@ -92,7 +111,7 @@ func (t *MemTransport) Send(addr string, data []byte) error {
 	dst := t.hub.endpoints[addr]
 	t.hub.mu.Unlock()
 	if dst == nil {
-		return fmt.Errorf("collective: no endpoint %q", addr)
+		return &PermanentError{Err: fmt.Errorf("collective: no endpoint %q", addr)}
 	}
 	dst.deliver(t.addr, data)
 	return nil
@@ -154,6 +173,10 @@ type UDPTransport struct {
 	handler Handler
 	closed  bool
 	done    chan struct{}
+	// addrCache holds resolved peer addresses: beacons deliver a
+	// stable ip:port string per peer, so resolving it once per peer —
+	// not once per datagram — takes the resolver off the sync path.
+	addrCache map[string]*net.UDPAddr
 }
 
 var _ Transport = (*UDPTransport)(nil)
@@ -173,6 +196,7 @@ func NewUDPTransport(listenAddr string, broadcasts []string) (*UDPTransport, err
 		conn:       conn,
 		broadcasts: append([]string(nil), broadcasts...),
 		done:       make(chan struct{}),
+		addrCache:  make(map[string]*net.UDPAddr),
 	}
 	go t.readLoop()
 	return t, nil
@@ -195,20 +219,32 @@ func (t *UDPTransport) SetBroadcasts(addrs []string) {
 	t.broadcasts = append([]string(nil), addrs...)
 }
 
-// Send implements Transport.
+// Send implements Transport. Resolved peer addresses are cached (one
+// resolve per peer, not per datagram); resolve failures are permanent,
+// socket write failures transient — the collective retry policy keys
+// off that distinction via IsPermanent.
 func (t *UDPTransport) Send(addr string, data []byte) error {
 	t.mu.Lock()
-	closed := t.closed
-	t.mu.Unlock()
-	if closed {
+	if t.closed {
+		t.mu.Unlock()
 		return ErrClosed
 	}
-	dst, err := net.ResolveUDPAddr("udp", addr)
-	if err != nil {
-		return fmt.Errorf("collective: resolve %q: %w", addr, err)
+	dst := t.addrCache[addr]
+	t.mu.Unlock()
+	if dst == nil {
+		var err error
+		dst, err = net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return &PermanentError{Err: fmt.Errorf("collective: resolve %q: %w", addr, err)}
+		}
+		t.mu.Lock()
+		t.addrCache[addr] = dst
+		t.mu.Unlock()
 	}
-	_, err = t.conn.WriteToUDP(data, dst)
-	return err
+	if _, err := t.conn.WriteToUDP(data, dst); err != nil {
+		return fmt.Errorf("collective: send to %q: %w", addr, err)
+	}
+	return nil
 }
 
 // Broadcast implements Transport.

@@ -40,6 +40,45 @@ const AsyncQueueCap = 1024
 // Handler consumes a published event payload.
 type Handler func(payload interface{})
 
+// OverflowPolicy selects what an async topic does when a subscriber
+// queue fills (§V's independence requirement meets bounded memory).
+type OverflowPolicy int
+
+const (
+	// DropNewest drops the incoming event when the queue is full — the
+	// default: a passive IDS must never exert backpressure on the
+	// capture path. Right for the high-rate packet topic.
+	DropNewest OverflowPolicy = iota
+	// CoalesceByKey keeps at most one in-flight event per key: a newer
+	// event replaces the queued one with the same key instead of
+	// growing the queue. Right for the knowledge topic, where only the
+	// latest value of a knowgget matters.
+	CoalesceByKey
+	// Block applies backpressure: the publisher waits for queue space,
+	// so no event is ever lost. Right for the low-rate detection topic,
+	// where a dropped alert is a missed detection. Crossing the
+	// high-watermark is counted so saturation is visible before it
+	// stalls the pipeline.
+	Block
+)
+
+// TopicPolicy configures one topic's overflow behaviour. Install with
+// SetTopicPolicy before Subscribe: the policy binds to subscribers as
+// they register.
+type TopicPolicy struct {
+	Policy OverflowPolicy
+	// Key extracts the coalescing key from a payload (CoalesceByKey
+	// only). Payloads with an empty key are never coalesced.
+	Key func(payload interface{}) string
+	// HighWatermark is the queue depth at which a Block-policy topic
+	// counts a watermark crossing (0 defaults to half the queue cap).
+	HighWatermark int
+	// OnWatermark, when set, is invoked (on the publisher goroutine)
+	// each time a Block-policy send finds the queue at or above the
+	// high watermark.
+	OnWatermark func(depth int)
+}
+
 // Metrics are the bus' optional telemetry hooks; zero-value fields are
 // skipped (all telemetry types are nil-safe).
 type Metrics struct {
@@ -47,6 +86,12 @@ type Metrics struct {
 	Publishes *telemetry.CounterVec
 	// Drops counts events lost per topic to full async queues.
 	Drops *telemetry.CounterVec
+	// Coalesced counts events absorbed per topic by CoalesceByKey
+	// (replaced by a newer event with the same key — not lost).
+	Coalesced *telemetry.CounterVec
+	// Watermarks counts high-watermark crossings per Block-policy
+	// topic.
+	Watermarks *telemetry.CounterVec
 }
 
 // Bus routes events from publishers to subscribers by topic.
@@ -54,6 +99,7 @@ type Bus struct {
 	mu    sync.RWMutex
 	async bool
 	subs  map[string][]*subscriber
+	pols  map[string]TopicPolicy
 	met   Metrics
 	// tmet holds the per-topic telemetry child handles, resolved off
 	// the hot path (at SetMetrics/Subscribe time): Publish must never
@@ -72,22 +118,49 @@ type Bus struct {
 type topicMetrics struct {
 	pub  *telemetry.Counter
 	drop *telemetry.Counter
+	coal *telemetry.Counter
+	wm   *telemetry.Counter
 }
 
 type subscriber struct {
 	fn Handler
 	ch chan interface{}
+	// block selects the lossless plain send over select/default drop
+	// (Block policy); hwm and onWM are its watermark config.
+	block bool
+	hwm   int
+	onWM  func(int)
+	// key extracts the coalescing key; cq is the coalescing queue that
+	// replaces ch under the CoalesceByKey policy.
+	key func(interface{}) string
+	cq  *coalesceQueue
 }
 
 // NewBus creates a bus. With async true each subscriber gets a
 // dedicated worker goroutine and events are delivered concurrently;
 // with async false delivery is inline and deterministic.
 func NewBus(async bool) *Bus {
-	b := &Bus{async: async, subs: make(map[string][]*subscriber), tmet: make(map[string]*topicMetrics)}
+	b := &Bus{
+		async: async,
+		subs:  make(map[string][]*subscriber),
+		pols:  make(map[string]TopicPolicy),
+		tmet:  make(map[string]*topicMetrics),
+	}
 	for _, topic := range []string{TopicPacket, TopicKnowledge, TopicDetection} {
 		b.resolveTopicLocked(topic)
 	}
 	return b
+}
+
+// SetTopicPolicy installs an overflow policy for one topic. Call it
+// before Subscribe: the policy binds to subscribers as they register
+// (existing subscribers keep the policy they were created with). Only
+// async buses queue, so policies are inert in synchronous mode (inline
+// delivery is already lossless).
+func (b *Bus) SetTopicPolicy(topic string, p TopicPolicy) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.pols[topic] = p
 }
 
 // SetMetrics installs telemetry hooks. Call it before traffic flows.
@@ -111,6 +184,8 @@ func (b *Bus) resolveTopicLocked(topic string) *topicMetrics {
 	}
 	//lint:ignore hotpath one-time per-topic child resolution, amortized across all publishes
 	tm := &topicMetrics{pub: b.met.Publishes.With(topic), drop: b.met.Drops.With(topic)}
+	//lint:ignore hotpath one-time per-topic child resolution, amortized across all publishes
+	tm.coal, tm.wm = b.met.Coalesced.With(topic), b.met.Watermarks.With(topic)
 	b.tmet[topic] = tm
 	return tm
 }
@@ -129,6 +204,9 @@ func (b *Bus) QueueDepth() int {
 			if s.ch != nil {
 				depth += len(s.ch)
 			}
+			if s.cq != nil {
+				depth += s.cq.depth()
+			}
 		}
 	}
 	return depth
@@ -144,14 +222,40 @@ func (b *Bus) Subscribe(topic string, fn Handler) {
 	b.resolveTopicLocked(topic)
 	sub := &subscriber{fn: fn}
 	if b.async {
-		sub.ch = make(chan interface{}, AsyncQueueCap)
-		b.wg.Add(1)
-		go func() {
-			defer b.wg.Done()
-			for p := range sub.ch {
-				sub.fn(p)
+		pol := b.pols[topic]
+		switch pol.Policy {
+		case CoalesceByKey:
+			sub.key = pol.Key
+			sub.cq = newCoalesceQueue()
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				for {
+					p, ok := sub.cq.next()
+					if !ok {
+						return
+					}
+					sub.fn(p)
+				}
+			}()
+		case Block:
+			sub.block = true
+			sub.hwm = pol.HighWatermark
+			if sub.hwm <= 0 {
+				sub.hwm = AsyncQueueCap / 2
 			}
-		}()
+			sub.onWM = pol.OnWatermark
+			fallthrough
+		default:
+			sub.ch = make(chan interface{}, AsyncQueueCap)
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				for p := range sub.ch {
+					sub.fn(p)
+				}
+			}()
+		}
 	}
 	b.subs[topic] = append(b.subs[topic], sub)
 }
@@ -183,15 +287,35 @@ func (b *Bus) Publish(topic string, payload interface{}) {
 	}
 	tm.pub.Inc()
 	for _, s := range subs {
-		if s.ch != nil {
+		switch {
+		case s.cq != nil:
+			key := ""
+			if s.key != nil {
+				key = s.key(payload)
+			}
+			if s.cq.put(key, payload) {
+				tm.coal.Inc()
+			}
+		case s.ch == nil:
+			s.fn(payload)
+		case s.block:
+			if len(s.ch) >= s.hwm {
+				tm.wm.Inc()
+				if s.onWM != nil {
+					s.onWM(len(s.ch))
+				}
+			}
+			// Lossless by construction: the worker drains this queue
+			// until Close, so the send always completes.
+			//lint:ignore hotpath Block policy: backpressure is the point (lossless detection topic)
+			s.ch <- payload
+		default:
 			select {
 			case s.ch <- payload:
 			default:
 				b.drops.Add(1)
 				tm.drop.Inc()
 			}
-		} else {
-			s.fn(payload)
 		}
 	}
 }
@@ -206,10 +330,14 @@ func (b *Bus) Close() {
 	}
 	b.closed = true
 	var chans []chan interface{}
+	var queues []*coalesceQueue
 	for _, subs := range b.subs {
 		for _, s := range subs {
 			if s.ch != nil {
 				chans = append(chans, s.ch)
+			}
+			if s.cq != nil {
+				queues = append(queues, s.cq)
 			}
 		}
 	}
@@ -217,6 +345,9 @@ func (b *Bus) Close() {
 	b.pubWG.Wait() // no publisher is mid-send past this point
 	for _, ch := range chans {
 		close(ch)
+	}
+	for _, q := range queues {
+		q.close()
 	}
 	b.wg.Wait()
 }

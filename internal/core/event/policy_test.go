@@ -1,0 +1,194 @@
+package event
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"kalis/internal/telemetry"
+)
+
+// wirePolicyMetrics attaches a fresh registry and returns it for
+// scrape assertions.
+func wirePolicyMetrics(b *Bus) *telemetry.Registry {
+	tel := telemetry.NewRegistry()
+	b.SetMetrics(Metrics{
+		Publishes:  tel.CounterVec("kalis_bus_publishes_total", "topic", "t"),
+		Drops:      tel.CounterVec("kalis_bus_drops_total", "topic", "t"),
+		Coalesced:  tel.CounterVec("kalis_bus_coalesced_total", "topic", "t"),
+		Watermarks: tel.CounterVec("kalis_bus_watermark_total", "topic", "t"),
+	})
+	return tel
+}
+
+func vecChild(tel *telemetry.Registry, name, child string) string {
+	v := tel.Snapshot()[name].Value
+	m, ok := v.(map[string]interface{})
+	if !ok {
+		return fmt.Sprint(v)
+	}
+	return fmt.Sprint(m[child])
+}
+
+type keyed struct {
+	key string
+	val int
+}
+
+func TestCoalesceByKeyKeepsLatestPerKey(t *testing.T) {
+	b := NewBus(true)
+	tel := wirePolicyMetrics(b)
+	b.SetTopicPolicy(TopicKnowledge, TopicPolicy{
+		Policy: CoalesceByKey,
+		Key:    func(p interface{}) string { return p.(keyed).key },
+	})
+
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var got []keyed
+	b.Subscribe(TopicKnowledge, func(p interface{}) {
+		e := p.(keyed)
+		if e.key == "init" {
+			close(started)
+			<-gate
+			return
+		}
+		mu.Lock()
+		got = append(got, e)
+		mu.Unlock()
+	})
+
+	// Park the worker inside the init handler so the k-events below
+	// provably queue behind it.
+	b.Publish(TopicKnowledge, keyed{key: "init"})
+	<-started
+	for v := 1; v <= 4; v++ {
+		b.Publish(TopicKnowledge, keyed{key: "k", val: v})
+	}
+	b.Publish(TopicKnowledge, keyed{key: "other", val: 9})
+	close(gate)
+	b.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0] != (keyed{key: "k", val: 4}) || got[1] != (keyed{key: "other", val: 9}) {
+		t.Fatalf("delivered = %+v (want latest k then other, in key arrival order)", got)
+	}
+	if n := vecChild(tel, "kalis_bus_coalesced_total", TopicKnowledge); n != "3" {
+		t.Errorf("coalesced = %s", n)
+	}
+	if b.Drops() != 0 {
+		t.Errorf("drops = %d", b.Drops())
+	}
+}
+
+func TestCoalesceKeylessEventsAllDelivered(t *testing.T) {
+	b := NewBus(true)
+	wirePolicyMetrics(b)
+	b.SetTopicPolicy(TopicKnowledge, TopicPolicy{Policy: CoalesceByKey}) // no Key fn
+
+	var mu sync.Mutex
+	n := 0
+	b.Subscribe(TopicKnowledge, func(interface{}) { mu.Lock(); n++; mu.Unlock() })
+	for i := 0; i < 100; i++ {
+		b.Publish(TopicKnowledge, i)
+	}
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if n != 100 {
+		t.Fatalf("delivered %d/100 keyless events", n)
+	}
+}
+
+func TestBlockPolicyLosslessUnderOverflow(t *testing.T) {
+	b := NewBus(true)
+	tel := wirePolicyMetrics(b)
+	b.SetTopicPolicy(TopicDetection, TopicPolicy{Policy: Block, HighWatermark: 8})
+
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	n := 0
+	b.Subscribe(TopicDetection, func(interface{}) {
+		<-gate
+		mu.Lock()
+		n++
+		mu.Unlock()
+	})
+
+	// Overflow the queue by 16: the publisher must block, not drop.
+	const total = AsyncQueueCap + 16
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			b.Publish(TopicDetection, i)
+		}
+	}()
+	close(gate)
+	<-done
+	b.Close()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if n != total {
+		t.Fatalf("delivered %d/%d detection events (lossless policy lost events)", n, total)
+	}
+	if b.Drops() != 0 {
+		t.Errorf("drops = %d under Block policy", b.Drops())
+	}
+	if wm := vecChild(tel, "kalis_bus_watermark_total", TopicDetection); wm == "0" || wm == "<nil>" {
+		t.Errorf("watermark crossings = %s (queue provably exceeded the watermark)", wm)
+	}
+}
+
+func TestBlockWatermarkCallback(t *testing.T) {
+	b := NewBus(true)
+	wirePolicyMetrics(b)
+	var mu sync.Mutex
+	fired := 0
+	b.SetTopicPolicy(TopicDetection, TopicPolicy{
+		Policy:        Block,
+		HighWatermark: 2,
+		OnWatermark:   func(depth int) { mu.Lock(); fired++; mu.Unlock() },
+	})
+	gate := make(chan struct{})
+	b.Subscribe(TopicDetection, func(interface{}) { <-gate })
+	for i := 0; i < 5; i++ {
+		b.Publish(TopicDetection, i) // queue grows past depth 2 while the worker is parked
+	}
+	close(gate)
+	b.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if fired == 0 {
+		t.Fatal("OnWatermark never fired")
+	}
+}
+
+func TestQueueDepthIncludesCoalesceQueue(t *testing.T) {
+	b := NewBus(true)
+	wirePolicyMetrics(b)
+	b.SetTopicPolicy(TopicKnowledge, TopicPolicy{
+		Policy: CoalesceByKey,
+		Key:    func(p interface{}) string { return p.(keyed).key },
+	})
+	started := make(chan struct{})
+	gate := make(chan struct{})
+	b.Subscribe(TopicKnowledge, func(p interface{}) {
+		if p.(keyed).key == "init" {
+			close(started)
+			<-gate
+		}
+	})
+	b.Publish(TopicKnowledge, keyed{key: "init"})
+	<-started
+	b.Publish(TopicKnowledge, keyed{key: "a"})
+	b.Publish(TopicKnowledge, keyed{key: "b"})
+	if d := b.QueueDepth(); d != 2 {
+		t.Errorf("QueueDepth = %d (want 2 pending coalesce keys)", d)
+	}
+	close(gate)
+	b.Close()
+}

@@ -72,8 +72,26 @@ func New(cfg Config) (*Kalis, error) {
 	detection.Register(registry)
 	manager := module.NewManager(kb, store, cfg.KnowledgeDriven)
 	bus := event.NewBus(cfg.Async)
+	// Per-topic overflow policies (async mode): the packet topic keeps
+	// the default drop-newest (a passive IDS never blocks capture),
+	// knowledge events coalesce per knowgget key (only the latest value
+	// of a knowgget matters), and detection events are lossless — a
+	// dropped alert is a missed detection.
+	bus.SetTopicPolicy(event.TopicKnowledge, event.TopicPolicy{
+		Policy: event.CoalesceByKey,
+		Key: func(payload interface{}) string {
+			if kg, ok := payload.(knowledge.Knowgget); ok {
+				return kg.Key()
+			}
+			return ""
+		},
+	})
+	bus.SetTopicPolicy(event.TopicDetection, event.TopicPolicy{Policy: event.Block})
 	tel := telemetry.NewRegistry()
 	wireTelemetry(tel, bus, manager, store)
+	// The supervisor's circuit breaker reads queue pressure from the
+	// bus; under saturation it sheds persistently-over-budget modules.
+	manager.SetPressure(bus.QueueDepth)
 
 	k := &Kalis{
 		id:       cfg.NodeID,
@@ -139,6 +157,10 @@ func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Mana
 			"Events published on the bus, by topic."),
 		Drops: tel.CounterVec("kalis_bus_drops_total", "topic",
 			"Events lost to full async subscriber queues, by topic."),
+		Coalesced: tel.CounterVec("kalis_bus_coalesced_total", "topic",
+			"Events absorbed by per-key coalescing (replaced, not lost), by topic."),
+		Watermarks: tel.CounterVec("kalis_bus_watermark_total", "topic",
+			"High-watermark crossings on lossless (Block-policy) topics."),
 	})
 	tel.GaugeFunc("kalis_bus_queue_depth",
 		"Events queued across async subscribers (0 in sync mode).",
@@ -150,6 +172,12 @@ func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Mana
 			"Currently active modules (knowledge-driven adaptation)."),
 		PacketLatency: tel.HistogramVec("kalis_module_packet_seconds", "module",
 			"Per-module packet-handling latency.", nil),
+		Panics: tel.CounterVec("kalis_module_panics_total", "module",
+			"Module panics recovered by the supervisor, by module."),
+		Quarantined: tel.Gauge("kalis_module_quarantined",
+			"Modules currently withheld from dispatch (quarantined or shed)."),
+		BreakerTrips: tel.Counter("kalis_breaker_trips_total",
+			"Latency circuit-breaker trips (modules shed under queue pressure)."),
 	})
 	store.SetMetrics(datastore.StoreMetrics{
 		Occupancy: tel.Gauge("kalis_store_window_occupancy",
@@ -224,6 +252,18 @@ func (k *Kalis) Alerts() []module.Alert { return k.manager.Alerts() }
 // ActiveModules returns the names of currently active modules.
 func (k *Kalis) ActiveModules() []string { return k.manager.Active() }
 
+// QuarantinedModules returns the modules the supervisor currently
+// withholds from dispatch (panicked or shed by the circuit breaker).
+func (k *Kalis) QuarantinedModules() []string { return k.manager.Quarantined() }
+
+// ModuleHealth reports every installed module's activation and
+// supervision state ("inactive", "healthy", "quarantined", "probing",
+// "shed").
+func (k *Kalis) ModuleHealth() map[string]string { return k.manager.Health() }
+
+// Bus returns the node's event bus (for policy tuning and tests).
+func (k *Kalis) Bus() *event.Bus { return k.bus }
+
 // SetLog enables traffic logging to w in the Kalis trace format.
 func (k *Kalis) SetLog(w io.Writer) { k.store.SetLog(w) }
 
@@ -243,6 +283,12 @@ func (k *Kalis) EnableCollective(t collective.Transport, passphrase string) erro
 			"Knowgget updates refused (creator mismatch)."),
 		Peers: k.tel.Gauge("kalis_collective_peers",
 			"Discovered peer Kalis nodes."),
+		Evictions: k.tel.Counter("kalis_collective_peer_evictions_total",
+			"Peers evicted for silence (TTL) or to respect the table bound."),
+		SendRetries: k.tel.Counter("kalis_collective_send_retries_total",
+			"Retransmissions after transient peer-send failures."),
+		Malformed: k.tel.Counter("kalis_collective_malformed_total",
+			"Datagrams discarded as malformed (failed decrypt or parse)."),
 	})
 	k.coll = n
 	return nil

@@ -24,26 +24,39 @@ type AlertFunc func(Alert)
 // "traditional IDS" baseline (§VI-B: "we emulate a traditional IDS by
 // running our system without Knowledge Base, and with all the modules
 // active at all times").
+//
+// The manager is also the module supervisor (see supervisor.go): a
+// panicking module is quarantined and re-admitted after clean probes
+// instead of killing the node, and a latency circuit breaker sheds
+// persistently-over-budget modules while the pipeline is under queue
+// pressure.
 type Manager struct {
 	kb    *knowledge.Base
 	store *datastore.Store
 
 	mu              sync.Mutex
 	modules         []Module
-	active          map[string]bool
+	states          map[string]*moduleState
 	params          map[string]map[string]string
 	knowledgeDriven bool
 	alertFns        []AlertFunc
 	alerts          []Alert
 
 	// snap is the immutable active-module snapshot HandlePacket
-	// iterates: rebuilt under mu whenever activation or metrics
-	// change, so the per-packet path neither allocates nor resolves
-	// telemetry children.
+	// iterates: rebuilt under mu whenever activation, supervision or
+	// metrics change, so the per-packet path neither allocates nor
+	// resolves telemetry children.
 	snap []activeEntry
 	// timed reports whether per-module latency observation is wired
 	// (when false HandlePacket skips the clock reads too).
 	timed bool
+
+	// degraded counts modules currently quarantined or shed; the
+	// supervisor's revival scan runs only while it is non-zero.
+	degraded int
+
+	sup      SupervisorConfig
+	pressure func() int
 
 	// Work accounting, the basis of the CPU-usage comparison: every
 	// (packet, active module) pair costs one invocation.
@@ -54,11 +67,16 @@ type Manager struct {
 	met ManagerMetrics
 }
 
-// activeEntry pairs an active module with its pre-resolved latency
-// histogram child (nil when latency observation is not wired).
+// activeEntry pairs a dispatchable module with its pre-resolved
+// telemetry children and supervision state (resolved off the packet
+// path).
 type activeEntry struct {
 	mod Module
 	lat *telemetry.Histogram
+	st  *moduleState
+	// probing marks a module on post-quarantine probation: clean
+	// packets count towards re-admission.
+	probing bool
 }
 
 // ManagerMetrics are the manager's optional telemetry hooks; zero-value
@@ -72,6 +90,13 @@ type ManagerMetrics struct {
 	// PacketLatency observes per-module HandlePacket wall time, by
 	// module name. When nil, the manager skips the clock reads too.
 	PacketLatency *telemetry.HistogramVec
+	// Panics counts recovered module panics, by module name.
+	Panics *telemetry.CounterVec
+	// Quarantined tracks the number of modules currently withheld from
+	// dispatch by the supervisor (quarantined or shed).
+	Quarantined *telemetry.Gauge
+	// BreakerTrips counts latency-circuit-breaker trips.
+	BreakerTrips *telemetry.Counter
 }
 
 // NewManager creates a manager bound to a Knowledge Base and Data
@@ -81,9 +106,10 @@ func NewManager(kb *knowledge.Base, store *datastore.Store, knowledgeDriven bool
 	return &Manager{
 		kb:              kb,
 		store:           store,
-		active:          make(map[string]bool),
+		states:          make(map[string]*moduleState),
 		params:          make(map[string]map[string]string),
 		knowledgeDriven: knowledgeDriven,
+		sup:             DefaultSupervisorConfig(),
 	}
 }
 
@@ -95,21 +121,36 @@ func (m *Manager) SetMetrics(met ManagerMetrics) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.met = met
+	for _, mod := range m.modules {
+		m.resolveStateLocked(m.states[mod.Name()], mod.Name())
+	}
 	m.rebuildSnapLocked()
 }
 
-// rebuildSnapLocked recomputes the active-module snapshot, resolving
-// each module's latency histogram child once — off the packet path.
-// Callers must hold m.mu.
+// resolveStateLocked caches a state's telemetry children so the packet
+// path and the (cold but on-path) quarantine branch never pay a Vec
+// lookup. Callers must hold m.mu.
+func (m *Manager) resolveStateLocked(st *moduleState, name string) {
+	//lint:ignore hotpath wiring-time child resolution, never on the packet path
+	st.panics = m.met.Panics.With(name)
+}
+
+// rebuildSnapLocked recomputes the dispatchable-module snapshot,
+// resolving each module's latency histogram child once — off the
+// packet path. A module is dispatched when its knowledge predicate
+// wants it active and the supervisor holds it neither quarantined nor
+// shed. Callers must hold m.mu.
 func (m *Manager) rebuildSnapLocked() {
 	m.timed = m.met.PacketLatency != nil
 	snap := make([]activeEntry, 0, len(m.modules))
 	for _, mod := range m.modules {
-		if !m.active[mod.Name()] {
+		st := m.states[mod.Name()]
+		if !st.want || (st.health != stateHealthy && st.health != stateProbing) {
 			continue
 		}
-		e := activeEntry{mod: mod}
+		e := activeEntry{mod: mod, st: st, probing: st.health == stateProbing}
 		if m.timed {
+			//lint:ignore hotpath snapshot rebuild is a rare supervision/activation event, not per-packet work
 			e.lat = m.met.PacketLatency.With(mod.Name())
 		}
 		snap = append(snap, e)
@@ -129,6 +170,9 @@ func (m *Manager) OnAlert(fn AlertFunc) {
 func (m *Manager) Install(mod Module, params map[string]string) {
 	m.mu.Lock()
 	m.modules = append(m.modules, mod)
+	st := &moduleState{}
+	m.resolveStateLocked(st, mod.Name())
+	m.states[mod.Name()] = st
 	m.params[mod.Name()] = params
 	m.mu.Unlock()
 
@@ -140,36 +184,70 @@ func (m *Manager) Install(mod Module, params map[string]string) {
 }
 
 // reevaluate synchronizes one module's activation with the current
-// knowledge.
+// knowledge. Transitions are serialized per module: the first caller to
+// observe a pending transition becomes the owner of the module's
+// transition loop, and concurrent knowledge updates only move the
+// target state — they never interleave Activate/Deactivate calls, so a
+// module always ends up last-called with the transition matching the
+// final knowledge state (no stale Context).
 func (m *Manager) reevaluate(mod Module) {
 	m.mu.Lock()
-	want := !m.knowledgeDriven || mod.Required(m.kb)
-	have := m.active[mod.Name()]
-	if want == have {
+	st := m.states[mod.Name()]
+	if st == nil {
 		m.mu.Unlock()
 		return
 	}
-	m.active[mod.Name()] = want
-	params := m.params[mod.Name()]
-	m.activations++
-	if want {
-		m.met.ActiveModules.Inc()
-	} else {
-		m.met.ActiveModules.Dec()
+	want := !m.knowledgeDriven || mod.Required(m.kb)
+	if want != st.want {
+		st.want = want
+		m.activations++
+		if want {
+			m.met.ActiveModules.Inc()
+		} else {
+			m.met.ActiveModules.Dec()
+		}
+		m.rebuildSnapLocked()
 	}
-	m.rebuildSnapLocked()
+	if st.transitioning || st.applied == st.want {
+		// Another goroutine owns this module's transition loop and will
+		// observe the new target before it exits — or there is nothing
+		// to do. Either way, returning here cannot strand a transition.
+		m.mu.Unlock()
+		return
+	}
+	st.transitioning = true
+	params := m.params[mod.Name()]
 	m.mu.Unlock()
+	m.applyTransitions(mod, st, params)
+}
 
-	if want {
-		mod.Activate(&Context{
-			KB:              m.kb,
-			Store:           m.store,
-			Emit:            m.emit,
-			Params:          params,
-			KnowledgeDriven: m.knowledgeDriven,
-		})
-	} else {
-		mod.Deactivate()
+// applyTransitions delivers Activate/Deactivate calls until the
+// module's applied state matches the target. Only one goroutine runs
+// this loop per module (st.transitioning); the loop re-reads the
+// target after every call, so a knowledge flip that lands mid-call is
+// applied next — never lost, never reordered.
+func (m *Manager) applyTransitions(mod Module, st *moduleState, params map[string]string) {
+	for {
+		m.mu.Lock()
+		want := st.want
+		if want == st.applied {
+			st.transitioning = false
+			m.mu.Unlock()
+			return
+		}
+		st.applied = want
+		m.mu.Unlock()
+		if want {
+			m.safeActivate(mod, &Context{
+				KB:              m.kb,
+				Store:           m.store,
+				Emit:            m.emit,
+				Params:          params,
+				KnowledgeDriven: m.knowledgeDriven,
+			})
+		} else {
+			m.safeDeactivate(mod)
+		}
 	}
 }
 
@@ -185,9 +263,11 @@ func (m *Manager) emit(a Alert) {
 }
 
 // HandlePacket records the capture in the Data Store and routes it to
-// every active module. The snapshot is immutable, so the per-packet
-// work is one lock round-trip and the module invocations themselves —
-// no allocation, no telemetry child lookups.
+// every dispatchable module under the supervisor's panic barrier. The
+// snapshot is immutable, so the per-packet work is one lock round-trip
+// and the module invocations themselves — no allocation, no telemetry
+// child lookups. Supervision bookkeeping (revival scans, breaker
+// evaluation) runs on the virtual capture clock and only when armed.
 func (m *Manager) HandlePacket(c *packet.Captured) {
 	// Data Store append errors surface only when disk logging is
 	// enabled; the window append itself cannot fail. A passive IDS
@@ -196,33 +276,47 @@ func (m *Manager) HandlePacket(c *packet.Captured) {
 
 	m.mu.Lock()
 	m.packets++
+	if m.degraded > 0 {
+		m.reviveLocked(c.Time)
+	}
+	if m.pressure != nil && m.sup.BreakerWindow > 0 && m.packets%uint64(m.sup.BreakerWindow) == 0 {
+		m.breakerLocked(c.Time)
+	}
 	snap := m.snap
 	timed := m.timed
 	m.invocations += uint64(len(snap))
 	m.met.Packets.Inc()
 	m.mu.Unlock()
 
-	if !timed {
-		for _, e := range snap {
-			e.mod.HandlePacket(c)
-		}
-		return
-	}
 	for _, e := range snap {
-		start := time.Now()
-		e.mod.HandlePacket(c)
-		e.lat.Observe(time.Since(start))
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
+		ok, cause := m.invoke(e.mod, c)
+		if !ok {
+			m.quarantine(e.st, c.Time, cause)
+			continue
+		}
+		if timed {
+			e.lat.Observe(time.Since(start))
+		}
+		if e.probing {
+			m.probeOK(e.st)
+		}
 	}
 }
 
-// Active returns the names of currently active modules, in install
-// order.
+// Active returns the names of the modules the knowledge currently
+// activates, in install order (quarantined modules included: their
+// activation is a knowledge decision, their dispatch a supervision
+// one — see Quarantined and Health).
 func (m *Manager) Active() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.modules))
 	for _, mod := range m.modules {
-		if m.active[mod.Name()] {
+		if m.states[mod.Name()].want {
 			out = append(out, mod.Name())
 		}
 	}

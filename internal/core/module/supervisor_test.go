@@ -1,0 +1,289 @@
+package module
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kalis/internal/core/knowledge"
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+// bombModule panics on HandlePacket while armed.
+type bombModule struct {
+	fakeModule
+	armed bool
+}
+
+func (b *bombModule) HandlePacket(c *packet.Captured) {
+	b.packets++
+	if b.armed {
+		panic("crafted frame")
+	}
+}
+
+// wireSupervisorMetrics attaches a fresh registry's supervisor metrics
+// and returns the registry for assertions.
+func wireSupervisorMetrics(m *Manager) *telemetry.Registry {
+	tel := telemetry.NewRegistry()
+	m.SetMetrics(ManagerMetrics{
+		Packets:       tel.Counter("kalis_packets_total", "t"),
+		ActiveModules: tel.Gauge("kalis_modules_active", "t"),
+		PacketLatency: tel.HistogramVec("kalis_module_packet_seconds", "module", "t", nil),
+		Panics:        tel.CounterVec("kalis_module_panics_total", "module", "t"),
+		Quarantined:   tel.Gauge("kalis_module_quarantined", "t"),
+		BreakerTrips:  tel.Counter("kalis_breaker_trips_total", "t"),
+	})
+	return tel
+}
+
+func pktAt(sec int64) *packet.Captured {
+	return &packet.Captured{Time: time.Unix(sec, 0), Kind: packet.KindUDP}
+}
+
+func TestPanicQuarantineProbationReadmission(t *testing.T) {
+	m, _ := newTestManager(true)
+	bomb := &bombModule{fakeModule: fakeModule{name: "bomb", kind: KindDetection}}
+	good := &fakeModule{name: "good", kind: KindSensing}
+	m.Install(bomb, nil)
+	m.Install(good, nil)
+	wireSupervisorMetrics(m)
+	m.SetSupervisor(SupervisorConfig{
+		Backoff:      10 * time.Second,
+		MaxBackoff:   40 * time.Second,
+		ProbePackets: 2,
+	})
+
+	// The panic is contained: the node keeps running, the offender is
+	// quarantined, the healthy module still sees traffic.
+	bomb.armed = true
+	m.HandlePacket(pktAt(100))
+	if got := m.Quarantined(); len(got) != 1 || got[0] != "bomb" {
+		t.Fatalf("Quarantined = %v", got)
+	}
+	if h := m.Health(); h["bomb"] != "quarantined" || h["good"] != "healthy" {
+		t.Fatalf("Health = %v", h)
+	}
+	if m.LastPanic("bomb") != "crafted frame" {
+		t.Errorf("LastPanic = %q", m.LastPanic("bomb"))
+	}
+	bomb.armed = false
+	m.HandlePacket(pktAt(101))
+	if bomb.packets != 1 {
+		t.Fatalf("quarantined module saw traffic: %d packets", bomb.packets)
+	}
+	if good.packets != 2 {
+		t.Fatalf("healthy module starved: %d packets", good.packets)
+	}
+
+	// Backoff elapses on the virtual capture clock: the module returns
+	// on probation and is fully re-admitted after clean probes.
+	m.HandlePacket(pktAt(110)) // revival scan flips to probing, probe 1/2
+	if h := m.Health(); h["bomb"] != "probing" {
+		t.Fatalf("Health after backoff = %v", h)
+	}
+	m.HandlePacket(pktAt(111)) // probe 2/2
+	if h := m.Health(); h["bomb"] != "healthy" {
+		t.Fatalf("Health after probes = %v", h)
+	}
+	if got := m.Quarantined(); len(got) != 0 {
+		t.Fatalf("Quarantined after re-admission = %v", got)
+	}
+	if bomb.packets != 3 {
+		t.Errorf("re-admitted module packets = %d", bomb.packets)
+	}
+}
+
+func TestQuarantineBackoffDoublesAndCaps(t *testing.T) {
+	m, _ := newTestManager(true)
+	bomb := &bombModule{fakeModule: fakeModule{name: "bomb", kind: KindDetection}, armed: true}
+	m.Install(bomb, nil)
+	wireSupervisorMetrics(m)
+	m.SetSupervisor(SupervisorConfig{
+		Backoff:      10 * time.Second,
+		MaxBackoff:   15 * time.Second,
+		ProbePackets: 1,
+	})
+
+	m.HandlePacket(pktAt(0)) // strike 1: backoff 10s, until t=10
+	m.HandlePacket(pktAt(5)) // still quarantined
+	if bomb.packets != 1 {
+		t.Fatalf("dispatched during backoff: %d", bomb.packets)
+	}
+	m.HandlePacket(pktAt(10)) // probing; panics again → strike 2, capped 15s, until t=25
+	if h := m.Health(); h["bomb"] != "quarantined" {
+		t.Fatalf("Health = %v", h)
+	}
+	m.HandlePacket(pktAt(20)) // 10s later: doubled backoff not yet elapsed
+	if bomb.packets != 2 {
+		t.Fatalf("re-dispatched before doubled backoff: %d", bomb.packets)
+	}
+	bomb.armed = false
+	m.HandlePacket(pktAt(25)) // capped backoff elapsed; clean probe re-admits
+	if h := m.Health(); h["bomb"] != "healthy" {
+		t.Fatalf("Health = %v", h)
+	}
+}
+
+func TestActivationPanicQuarantines(t *testing.T) {
+	m, _ := newTestManager(true)
+	bad := &activateBomb{fakeModule{name: "bad", kind: KindDetection}}
+	m.Install(bad, nil)
+	wireSupervisorMetrics(m)
+	if h := m.Health(); h["bad"] != "quarantined" {
+		t.Fatalf("Health after Activate panic = %v", h)
+	}
+	if m.LastPanic("bad") != "bad wiring" {
+		t.Errorf("LastPanic = %q", m.LastPanic("bad"))
+	}
+}
+
+type activateBomb struct{ fakeModule }
+
+func (a *activateBomb) Activate(*Context) { panic("bad wiring") }
+
+func TestBreakerShedsUnderPressureAndReadmits(t *testing.T) {
+	m, _ := newTestManager(true)
+	slow := &fakeModule{name: "slow", kind: KindDetection}
+	m.Install(slow, nil)
+	tel := wireSupervisorMetrics(m)
+	pressure := 1000
+	m.SetPressure(func() int { return pressure })
+	m.SetSupervisor(SupervisorConfig{
+		BreakerBudget:     0, // any observed latency is over budget
+		BreakerWindow:     1,
+		BreakerStrikes:    2,
+		PressureThreshold: 512,
+		ShedBackoff:       30 * time.Second,
+	})
+
+	// Window 1 has no observations yet; windows 2 and 3 each see one
+	// over-budget mean → trip on the third packet.
+	m.HandlePacket(pktAt(0))
+	m.HandlePacket(pktAt(1))
+	m.HandlePacket(pktAt(2))
+	if h := m.Health(); h["slow"] != "shed" {
+		t.Fatalf("Health = %v (want shed)", h)
+	}
+	if got := slow.packets; got != 2 {
+		t.Fatalf("packets before shed = %d", got)
+	}
+	snap := tel.Snapshot()
+	if v := snap["kalis_breaker_trips_total"].Value; fmt.Sprint(v) != "1" {
+		t.Errorf("kalis_breaker_trips_total = %v", v)
+	}
+	if v := snap["kalis_module_quarantined"].Value; fmt.Sprint(v) != "1" {
+		t.Errorf("kalis_module_quarantined = %v", v)
+	}
+
+	// Backoff elapsed but the queue is still saturated: stay shed.
+	m.HandlePacket(pktAt(40))
+	if h := m.Health(); h["slow"] != "shed" {
+		t.Fatalf("re-admitted under pressure: %v", h)
+	}
+
+	// Pressure subsides and the extended backoff elapses: the same
+	// packet that triggers the revival scan is dispatched to the
+	// re-admitted module.
+	pressure = 0
+	m.HandlePacket(pktAt(80))
+	if h := m.Health(); h["slow"] != "healthy" {
+		t.Fatalf("Health after heal = %v", h)
+	}
+	m.HandlePacket(pktAt(81))
+	if slow.packets != 4 {
+		t.Errorf("packets after re-admission = %d", slow.packets)
+	}
+}
+
+// churnModule tracks its own activation with a lock so the -race
+// detector sees any Activate/Deactivate vs HandlePacket overlap.
+type churnModule struct {
+	mu      sync.Mutex
+	active  bool
+	packets int
+}
+
+func (c *churnModule) Name() string          { return "churn" }
+func (c *churnModule) Kind() Kind            { return KindDetection }
+func (c *churnModule) WatchLabels() []string { return []string{"Multihop"} }
+func (c *churnModule) Required(kb *knowledge.Base) bool {
+	v, ok := kb.Bool("Multihop")
+	return ok && v
+}
+func (c *churnModule) Activate(*Context) {
+	c.mu.Lock()
+	c.active = true
+	c.mu.Unlock()
+}
+func (c *churnModule) Deactivate() {
+	c.mu.Lock()
+	c.active = false
+	c.mu.Unlock()
+}
+func (c *churnModule) HandlePacket(*packet.Captured) {
+	c.mu.Lock()
+	c.packets++
+	c.mu.Unlock()
+}
+
+// TestActivationChurnUnderTraffic is the regression test for the
+// activation-transition race: two goroutines flip a watched label while
+// packets flow, and the module's last-applied transition must match the
+// final knowledge state (no stale Context, no interleaved
+// Activate/Deactivate), with the race detector watching.
+func TestActivationChurnUnderTraffic(t *testing.T) {
+	m, kb := newTestManager(true)
+	mod := &churnModule{}
+	m.Install(mod, nil)
+	wireSupervisorMetrics(m)
+
+	const flips = 400
+	var wg sync.WaitGroup
+	wg.Add(3)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			kb.PutBool("Multihop", i%2 == 0)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			kb.PutBool("Multihop", i%2 == 1)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		for i := 0; i < flips; i++ {
+			m.HandlePacket(pktAt(int64(i)))
+		}
+	}()
+	wg.Wait()
+
+	// Settle on a known final state; after every reevaluate returns the
+	// owner loop guarantees applied == want.
+	kb.PutBool("Multihop", true)
+	if got := m.Active(); len(got) != 1 || got[0] != "churn" {
+		t.Fatalf("Active = %v", got)
+	}
+	mod.mu.Lock()
+	active := mod.active
+	mod.mu.Unlock()
+	if !active {
+		t.Fatal("module last-called with Deactivate despite knowledge wanting it active")
+	}
+
+	kb.PutBool("Multihop", false)
+	if got := m.Active(); len(got) != 0 {
+		t.Fatalf("Active = %v", got)
+	}
+	mod.mu.Lock()
+	active = mod.active
+	mod.mu.Unlock()
+	if active {
+		t.Fatal("module last-called with Activate despite knowledge wanting it inactive")
+	}
+}

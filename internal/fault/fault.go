@@ -1,0 +1,121 @@
+// Package fault is Kalis' deterministic fault-injection harness: a
+// seeded, scenario-driven injector that perturbs the collective
+// transport (drop, duplicate, reorder, corrupt, delay, partition) and
+// netsim links (frame loss, node crash/reboot). Everything runs on
+// virtual time — randomness comes only from the injector's seeded RNG
+// and delays only from a Scheduler (satisfied by *netsim.Sim) — so the
+// same seed always replays the same fault sequence, which is what
+// makes resilience evaluation reproducible (ICSSIM's premise applied
+// to the Kalis testbed).
+package fault
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"kalis/internal/telemetry"
+)
+
+// Fault kinds, as counted by Counts and kalis_fault_injected_total.
+const (
+	KindDrop      = "drop"
+	KindDuplicate = "duplicate"
+	KindReorder   = "reorder"
+	KindCorrupt   = "corrupt"
+	KindDelay     = "delay"
+	KindPartition = "partition"
+	KindFrameLoss = "frameloss"
+	KindCrash     = "crash"
+)
+
+var kinds = []string{
+	KindDrop, KindDuplicate, KindReorder, KindCorrupt,
+	KindDelay, KindPartition, KindFrameLoss, KindCrash,
+}
+
+// Scheduler defers work on the virtual clock; *netsim.Sim satisfies
+// it. The injector never touches the wall clock.
+type Scheduler interface {
+	After(d time.Duration, fn func())
+}
+
+// Metrics are the injector's optional telemetry hooks; the zero value
+// is skipped (all telemetry types are nil-safe).
+type Metrics struct {
+	// Injected counts injected faults by kind
+	// (kalis_fault_injected_total).
+	Injected *telemetry.CounterVec
+}
+
+// Injector is the root of one fault-injection run: it owns the seeded
+// RNG, the virtual-time scheduler, and the per-kind fault accounting
+// shared by every wrapped transport and link.
+type Injector struct {
+	mu     sync.Mutex
+	rng    *rand.Rand
+	sched  Scheduler
+	counts map[string]uint64
+	met    map[string]*telemetry.Counter
+}
+
+// New creates an injector with the given RNG seed.
+func New(seed int64) *Injector {
+	return &Injector{
+		rng:    rand.New(rand.NewSource(seed)),
+		counts: make(map[string]uint64),
+	}
+}
+
+// SetScheduler installs the virtual-time scheduler; Delay faults and
+// scheduled scenario steps are inert without one.
+func (i *Injector) SetScheduler(s Scheduler) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.sched = s
+}
+
+// SetMetrics installs telemetry hooks, pre-resolving the per-kind
+// children off every hot path.
+func (i *Injector) SetMetrics(m Metrics) {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	i.met = make(map[string]*telemetry.Counter, len(kinds))
+	for _, k := range kinds {
+		i.met[k] = m.Injected.With(k)
+	}
+}
+
+// Counts returns a copy of the per-kind injected-fault counters.
+func (i *Injector) Counts() map[string]uint64 {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	out := make(map[string]uint64, len(i.counts))
+	for k, v := range i.counts {
+		out[k] = v
+	}
+	return out
+}
+
+// record counts one injected fault. Callers must hold i.mu.
+func (i *Injector) recordLocked(kind string) {
+	i.counts[kind]++
+	i.met[kind].Inc()
+}
+
+// chance draws one seeded Bernoulli trial. Callers must hold i.mu.
+func (i *Injector) chanceLocked(p float64) bool {
+	return p > 0 && i.rng.Float64() < p
+}
+
+// after defers fn on the scheduler; returns false when none is set.
+func (i *Injector) after(d time.Duration, fn func()) bool {
+	i.mu.Lock()
+	sched := i.sched
+	i.mu.Unlock()
+	if sched == nil {
+		return false
+	}
+	sched.After(d, fn)
+	return true
+}

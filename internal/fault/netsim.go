@@ -1,0 +1,75 @@
+package fault
+
+import (
+	"time"
+
+	"kalis/internal/netsim"
+)
+
+// FrameLoss installs seeded random frame loss on every simulated link:
+// each (transmitter, receiver) frame is dropped with probability p,
+// drawn from the injector's RNG — deterministic for a fixed seed and
+// traffic pattern. Pass p = 0 to remove the hook.
+func (i *Injector) FrameLoss(sim *netsim.Sim, p float64) {
+	if p <= 0 {
+		sim.SetLinkFault(nil)
+		return
+	}
+	sim.SetLinkFault(func(from, to string) bool {
+		i.mu.Lock()
+		defer i.mu.Unlock()
+		if !i.chanceLocked(p) {
+			return false
+		}
+		i.recordLocked(KindFrameLoss)
+		return true
+	})
+}
+
+// PartitionLinks blocks every frame between the two named groups (in
+// both directions) until the returned heal function is called — a
+// network-level partition, distinct from the transport-level one.
+func (i *Injector) PartitionLinks(sim *netsim.Sim, groupA, groupB []string) (heal func()) {
+	inA := make(map[string]bool, len(groupA))
+	for _, n := range groupA {
+		inA[n] = true
+	}
+	inB := make(map[string]bool, len(groupB))
+	for _, n := range groupB {
+		inB[n] = true
+	}
+	active := true
+	sim.SetLinkFault(func(from, to string) bool {
+		if !active {
+			return false
+		}
+		if (inA[from] && inB[to]) || (inB[from] && inA[to]) {
+			i.mu.Lock()
+			i.recordLocked(KindPartition)
+			i.mu.Unlock()
+			return true
+		}
+		return false
+	})
+	return func() { active = false }
+}
+
+// CrashNode schedules a node crash on the virtual clock: after the
+// given delay the node is revoked (transmits and receives nothing),
+// and — when downFor > 0 — restored that much later, reproducing a
+// reboot.
+func (i *Injector) CrashNode(sim *netsim.Sim, name string, after, downFor time.Duration) {
+	node := sim.Node(name)
+	if node == nil {
+		return
+	}
+	sim.After(after, func() {
+		node.Revoke()
+		i.mu.Lock()
+		i.recordLocked(KindCrash)
+		i.mu.Unlock()
+	})
+	if downFor > 0 {
+		sim.After(after+downFor, func() { node.Restore() })
+	}
+}

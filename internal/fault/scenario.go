@@ -1,0 +1,37 @@
+package fault
+
+import (
+	"time"
+)
+
+// Step is one timed action in a fault scenario, applied at a virtual
+// offset from the scenario start.
+type Step struct {
+	// After is the virtual delay from the scenario start.
+	After time.Duration
+	// Name labels the step in logs and results.
+	Name string
+	// Do applies the step (partition a transport, arm a module bomb,
+	// heal a link, …).
+	Do func()
+}
+
+// Scenario is a named, ordered fault sequence. Scenarios are plain
+// data: the same scenario against the same seed replays identically.
+type Scenario struct {
+	Name  string
+	Steps []Step
+}
+
+// Run schedules every step on the injector's virtual-time scheduler.
+// Without a scheduler the steps run immediately in order — degenerate
+// but still deterministic, for transport-only tests that have no
+// simulator.
+func (i *Injector) Run(sc Scenario) {
+	for _, st := range sc.Steps {
+		st := st
+		if !i.after(st.After, st.Do) {
+			st.Do()
+		}
+	}
+}

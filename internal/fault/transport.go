@@ -1,0 +1,209 @@
+package fault
+
+import (
+	"sync"
+	"time"
+
+	"kalis/internal/core/collective"
+)
+
+// LinkFaults are the per-datagram fault probabilities a wrapped
+// transport applies, each drawn from the injector's seeded RNG.
+type LinkFaults struct {
+	// Drop silently discards the datagram.
+	Drop float64
+	// Duplicate delivers the datagram twice.
+	Duplicate float64
+	// Reorder holds the datagram back and releases it after the next
+	// one (a one-slot swap).
+	Reorder float64
+	// Corrupt flips one random byte before transmission.
+	Corrupt float64
+	// Delay defers delivery by a random slice of MaxDelay on the
+	// virtual scheduler (inert without one).
+	Delay    float64
+	MaxDelay time.Duration
+}
+
+// Transport wraps a collective.Transport with seeded link faults and
+// partition control. It injects on the send path and filters
+// partitioned peers on the receive path, so one wrapped endpoint per
+// node gives a scenario control over both directions.
+type Transport struct {
+	inner collective.Transport
+	inj   *Injector
+
+	mu          sync.Mutex
+	faults      LinkFaults
+	partitioned map[string]bool
+	allBlocked  bool
+	heldAddr    string // one-slot reorder buffer
+	heldData    []byte
+	handler     collective.Handler
+}
+
+var _ collective.Transport = (*Transport)(nil)
+
+// WrapTransport wraps inner with the given fault probabilities, drawn
+// from the injector's seed.
+func (i *Injector) WrapTransport(inner collective.Transport, f LinkFaults) *Transport {
+	return &Transport{inner: inner, inj: i, faults: f, partitioned: make(map[string]bool)}
+}
+
+// SetFaults replaces the fault probabilities mid-scenario.
+func (t *Transport) SetFaults(f LinkFaults) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.faults = f
+}
+
+// Partition blocks traffic with the given peer addresses — outbound
+// sends vanish silently and inbound datagrams are discarded — until
+// Heal. With no addresses, everything is blocked (a full partition,
+// including broadcasts).
+func (t *Transport) Partition(addrs ...string) {
+	t.mu.Lock()
+	if len(addrs) == 0 {
+		t.allBlocked = true
+	}
+	for _, a := range addrs {
+		t.partitioned[a] = true
+	}
+	t.mu.Unlock()
+	t.inj.mu.Lock()
+	t.inj.recordLocked(KindPartition)
+	t.inj.mu.Unlock()
+}
+
+// Heal removes every partition and flushes a held reorder frame.
+func (t *Transport) Heal() {
+	t.mu.Lock()
+	t.allBlocked = false
+	t.partitioned = make(map[string]bool)
+	addr, data := t.heldAddr, t.heldData
+	t.heldAddr, t.heldData = "", nil
+	t.mu.Unlock()
+	if data != nil {
+		_ = t.inner.Send(addr, data)
+	}
+}
+
+// Addr implements collective.Transport.
+func (t *Transport) Addr() string { return t.inner.Addr() }
+
+// SetHandler implements collective.Transport, filtering inbound
+// datagrams from partitioned peers.
+func (t *Transport) SetHandler(h collective.Handler) {
+	t.mu.Lock()
+	t.handler = h
+	t.mu.Unlock()
+	t.inner.SetHandler(func(fromAddr string, data []byte) {
+		t.mu.Lock()
+		blocked := t.allBlocked || t.partitioned[fromAddr]
+		t.mu.Unlock()
+		if blocked {
+			t.inj.mu.Lock()
+			t.inj.recordLocked(KindPartition)
+			t.inj.mu.Unlock()
+			return
+		}
+		h(fromAddr, data)
+	})
+}
+
+// Close implements collective.Transport.
+func (t *Transport) Close() error { return t.inner.Close() }
+
+// Broadcast implements collective.Transport; only a full partition
+// suppresses broadcasts (per-peer partitions are filtered on the
+// receiving side, so wrap both endpoints for symmetric scenarios).
+func (t *Transport) Broadcast(data []byte) error {
+	t.mu.Lock()
+	blocked := t.allBlocked
+	t.mu.Unlock()
+	if blocked {
+		t.inj.mu.Lock()
+		t.inj.recordLocked(KindPartition)
+		t.inj.mu.Unlock()
+		return nil
+	}
+	return t.inner.Broadcast(data)
+}
+
+// Send implements collective.Transport, applying partition, drop,
+// corrupt, duplicate, reorder and delay faults in that order.
+func (t *Transport) Send(addr string, data []byte) error {
+	t.mu.Lock()
+	blocked := t.allBlocked || t.partitioned[addr]
+	f := t.faults
+	t.mu.Unlock()
+
+	t.inj.mu.Lock()
+	if blocked {
+		t.inj.recordLocked(KindPartition)
+		t.inj.mu.Unlock()
+		return nil // a partition is silent: the sender cannot tell
+	}
+	if t.inj.chanceLocked(f.Drop) {
+		t.inj.recordLocked(KindDrop)
+		t.inj.mu.Unlock()
+		return nil
+	}
+	if t.inj.chanceLocked(f.Corrupt) && len(data) > 0 {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		cp[t.inj.rng.Intn(len(cp))] ^= 1 << uint(t.inj.rng.Intn(8))
+		data = cp
+		t.inj.recordLocked(KindCorrupt)
+	}
+	dup := t.inj.chanceLocked(f.Duplicate)
+	if dup {
+		t.inj.recordLocked(KindDuplicate)
+	}
+	reorder := t.inj.chanceLocked(f.Reorder)
+	delay := time.Duration(0)
+	if t.inj.chanceLocked(f.Delay) && f.MaxDelay > 0 {
+		delay = time.Duration(t.inj.rng.Int63n(int64(f.MaxDelay)))
+	}
+	t.inj.mu.Unlock()
+
+	// Reorder: stash this datagram and release it after the next one.
+	if reorder {
+		t.mu.Lock()
+		if t.heldData == nil {
+			t.heldAddr = addr
+			t.heldData = data
+			t.mu.Unlock()
+			t.inj.mu.Lock()
+			t.inj.recordLocked(KindReorder)
+			t.inj.mu.Unlock()
+			return nil
+		}
+		t.mu.Unlock()
+	}
+
+	if delay > 0 && t.inj.after(delay, func() { _ = t.deliver(addr, data, dup) }) {
+		t.inj.mu.Lock()
+		t.inj.recordLocked(KindDelay)
+		t.inj.mu.Unlock()
+		return nil
+	}
+	return t.deliver(addr, data, dup)
+}
+
+// deliver sends the datagram (twice when duplicated) and then any held
+// reorder frame.
+func (t *Transport) deliver(addr string, data []byte, dup bool) error {
+	err := t.inner.Send(addr, data)
+	if dup {
+		_ = t.inner.Send(addr, data)
+	}
+	t.mu.Lock()
+	heldAddr, heldData := t.heldAddr, t.heldData
+	t.heldAddr, t.heldData = "", nil
+	t.mu.Unlock()
+	if heldData != nil {
+		_ = t.inner.Send(heldAddr, heldData)
+	}
+	return err
+}

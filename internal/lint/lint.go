@@ -84,6 +84,7 @@ func DefaultAnalyzers() []Analyzer {
 			"kalis/internal/devices",
 			"kalis/internal/netsim",
 			"kalis/internal/attacks",
+			"kalis/internal/fault",
 			"kalis/internal/core/detection",
 			"kalis/internal/core/sensing",
 		)},
@@ -92,7 +93,12 @@ func DefaultAnalyzers() []Analyzer {
 			RootScope: PathScope("kalis/internal/core"),
 			WalkScope: PathScope("kalis/internal/core"),
 		},
-		&NoPanic{Scope: PathScope("kalis/internal")},
+		&NoPanic{
+			Scope: PathScope("kalis/internal"),
+			// The supervisor's panic barrier is the single legal recover
+			// site: it converts module crashes into quarantine state.
+			RecoverExempt: []string{"internal/core/module/supervisor.go"},
+		},
 		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/proto")},
 	}
 }

@@ -3,15 +3,26 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"path/filepath"
+	"strings"
 )
 
-// NoPanic forbids panic outside init-time registration: a passive IDS
-// node must degrade, count and keep observing rather than crash while
-// traffic flows. panic is tolerated only inside func init (wiring-time
-// programming-error guards); every other deliberate use needs a
+// NoPanic forbids panic outside init-time registration and confines
+// recover to the module supervisor: a passive IDS node must degrade,
+// count and keep observing rather than crash while traffic flows — and
+// the *only* component allowed to catch a crash is the supervisor,
+// whose panic barrier quarantines the offending module. A recover
+// anywhere else would silently swallow programming errors instead of
+// feeding them into the quarantine/backoff/probation machinery. panic
+// is tolerated only inside func init (wiring-time programming-error
+// guards); every other deliberate use of either built-in needs a
 // //lint:ignore nopanic with its justification.
 type NoPanic struct {
 	Scope ScopeFunc
+	// RecoverExempt lists slash-separated file-path suffixes where
+	// recover is legal (the supervisor's panic barrier). Empty means
+	// recover is flagged everywhere in scope.
+	RecoverExempt []string
 }
 
 // Name implements Analyzer.
@@ -19,7 +30,17 @@ func (*NoPanic) Name() string { return "nopanic" }
 
 // Doc implements Analyzer.
 func (*NoPanic) Doc() string {
-	return "no panic outside init-time registration in internal/"
+	return "no panic outside init-time registration, no recover outside the module supervisor"
+}
+
+func (a *NoPanic) recoverExempt(filename string) bool {
+	slash := filepath.ToSlash(filename)
+	for _, suf := range a.RecoverExempt {
+		if strings.HasSuffix(slash, suf) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run implements Analyzer.
@@ -44,12 +65,29 @@ func (a *NoPanic) Run(t *Target) []Finding {
 					if !ok {
 						return true
 					}
-					if b, ok := pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					b, ok := pkg.Info.Uses[id].(*types.Builtin)
+					if !ok {
+						return true
+					}
+					switch b.Name() {
+					case "panic":
 						out = append(out, Finding{
 							Pos:  t.Fset.Position(call.Pos()),
 							Rule: a.Name(),
 							Message: "panic outside init-time registration; " +
 								"return an error or degrade gracefully (a passive IDS must keep observing)",
+						})
+					case "recover":
+						pos := t.Fset.Position(call.Pos())
+						if a.recoverExempt(pos.Filename) {
+							return true
+						}
+						out = append(out, Finding{
+							Pos:  pos,
+							Rule: a.Name(),
+							Message: "recover outside the module supervisor; " +
+								"crashes must flow through the supervisor's panic barrier " +
+								"(quarantine/backoff/probation), not be swallowed locally",
 						})
 					}
 					return true

@@ -1,5 +1,6 @@
 // Package bad violates nopanic: a runtime code path that crashes the
-// node instead of degrading.
+// node instead of degrading, and a local recover that swallows crashes
+// instead of routing them through the module supervisor.
 package bad
 
 // Halve refuses odd input the hard way.
@@ -8,4 +9,12 @@ func Halve(v int) int {
 		panic("odd input") // want nopanic
 	}
 	return v / 2
+}
+
+// Swallow hides crashes from the supervisor's quarantine machinery.
+func Swallow(fn func()) {
+	defer func() {
+		_ = recover() // want nopanic
+	}()
+	fn()
 }

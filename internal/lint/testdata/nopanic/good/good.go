@@ -28,3 +28,17 @@ func MustHalve(v int) int {
 	}
 	return v / 2
 }
+
+// Guarded documents its deliberate recover with a suppression; outside
+// the module supervisor (the rule's RecoverExempt file) every recover
+// needs this justification.
+func Guarded(fn func()) (err error) {
+	defer func() {
+		//lint:ignore nopanic fixture: justified recover with documented reason
+		if r := recover(); r != nil {
+			err = errors.New("recovered")
+		}
+	}()
+	fn()
+	return nil
+}

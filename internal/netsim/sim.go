@@ -59,6 +59,11 @@ type Sim struct {
 	order    []*Node // insertion order, for deterministic iteration
 	sniffers []*Sniffer
 	radio    RadioModel
+	// linkFault, when set, may drop any (transmitter, receiver) frame
+	// before the radio model sees it — the fault-injection hook for
+	// lossy links and partitions (see internal/fault). Receivers
+	// include sniffers, addressed by name.
+	linkFault func(from, to string) bool
 }
 
 // New creates a simulation with the given RNG seed and the default
@@ -80,6 +85,13 @@ func (s *Sim) Rand() *rand.Rand { return s.rng }
 
 // SetRadio replaces the radio model (before any traffic is generated).
 func (s *Sim) SetRadio(r RadioModel) { s.radio = r }
+
+// SetLinkFault installs (or, with nil, removes) a frame-level fault
+// hook: it is consulted for every (transmitter, receiver) pair before
+// radio propagation, and returning true drops that frame on that link
+// only. Deterministic faults (seeded loss, scheduled partitions) keep
+// the capture stream reproducible.
+func (s *Sim) SetLinkFault(fn func(from, to string) bool) { s.linkFault = fn }
 
 // At schedules fn at the given virtual time. Scheduling in the past is
 // an error surfaced by panic, since it indicates a broken scenario.
@@ -171,6 +183,9 @@ func (s *Sim) Transmit(from *Node, medium packet.Medium, raw []byte, truth *pack
 		if n == from || n.revoked || n.handler == nil {
 			continue
 		}
+		if s.linkFault != nil && s.linkFault(from.Name, n.Name) {
+			continue
+		}
 		rssi, ok := s.radio.Receive(from.TxPower, from.Pos, n.Pos, s.rng)
 		if !ok {
 			continue
@@ -182,6 +197,9 @@ func (s *Sim) Transmit(from *Node, medium packet.Medium, raw []byte, truth *pack
 	}
 	for _, sn := range s.sniffers {
 		if len(sn.mediums) > 0 && !sn.mediums[medium] {
+			continue
+		}
+		if s.linkFault != nil && s.linkFault(from.Name, sn.name) {
 			continue
 		}
 		rssi, ok := s.radio.Receive(from.TxPower, from.Pos, sn.pos, s.rng)

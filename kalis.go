@@ -169,6 +169,18 @@ func (n *Node) Alerts() []Alert { return n.inner.Alerts() }
 // the observable face of knowledge-driven adaptation.
 func (n *Node) ActiveModules() []string { return n.inner.ActiveModules() }
 
+// QuarantinedModules returns the modules the supervisor currently
+// withholds from dispatch: panicked modules waiting out their backoff
+// and modules shed by the latency circuit breaker. The node keeps
+// observing with the remaining modules — graceful degradation instead
+// of a crash.
+func (n *Node) QuarantinedModules() []string { return n.inner.QuarantinedModules() }
+
+// ModuleHealth reports every installed module's activation and
+// supervision state: "inactive", "healthy", "quarantined", "probing"
+// (post-quarantine probation) or "shed" (circuit breaker).
+func (n *Node) ModuleHealth() map[string]string { return n.inner.ModuleHealth() }
+
 // Knowledge returns a snapshot of the Knowledge Base, sorted by key.
 func (n *Node) Knowledge() []Knowgget { return n.inner.KB().Snapshot() }
 

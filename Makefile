@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint chaos fuzz-short experiments examples telemetry-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint chaos fuzz-short experiments examples telemetry-demo flow-demo clean
 
 all: build test lint
 
@@ -65,6 +65,11 @@ examples:
 # perform one HTTP scrape of /metrics against it.
 telemetry-demo:
 	$(GO) run ./examples/telemetry
+
+# Replay a scenario and print the flow records the node exports as
+# flows expire — the per-flow feature pipeline end to end.
+flow-demo:
+	$(GO) run ./examples/flowexport
 
 clean:
 	$(GO) clean ./...

@@ -29,7 +29,7 @@ func main() {
 
 func run() error {
 	var (
-		exp           = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|delivery|all")
+		exp           = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|overhead|delivery|all")
 		episodes      = flag.Int("episodes", 0, "symptom instances per scenario (0 = paper default of 50)")
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		rules         = flag.Int("snort-rules", 0, "snort-like community ruleset size (0 = default 3000)")
@@ -113,6 +113,15 @@ func run() error {
 			return err
 		}
 		eval.WriteCountermeasure(out, res)
+		fmt.Fprintln(out)
+	}
+	if want("overhead") {
+		ran = true
+		res, err := eval.ModuleOverhead(opts)
+		if err != nil {
+			return err
+		}
+		eval.WriteModuleOverhead(out, res)
 		fmt.Fprintln(out)
 	}
 	if want("delivery") {

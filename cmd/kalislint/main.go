@@ -36,6 +36,7 @@ func run(args []string, stdout, stderr *os.File) int {
 	fs.SetOutput(stderr)
 	chdir := fs.String("C", ".", "module root to lint")
 	rules := fs.Bool("rules", false, "print the rule set and exit")
+	tests := fs.Bool("tests", true, "also lint _test.go files with the relaxed rule set")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -43,6 +44,9 @@ func run(args []string, stdout, stderr *os.File) int {
 	if *rules {
 		for _, a := range lint.DefaultAnalyzers() {
 			fmt.Fprintf(stdout, "%-10s %s\n", a.Name(), a.Doc())
+		}
+		for _, a := range lint.TestFileAnalyzers() {
+			fmt.Fprintf(stdout, "%-10s %s (test files)\n", a.Name(), a.Doc())
 		}
 		return 0
 	}
@@ -86,6 +90,14 @@ func run(args []string, stdout, stderr *os.File) int {
 	}
 
 	findings := lint.Run(target, analyzers)
+	if *tests {
+		testTarget, err := lint.LoadTests(root)
+		if err != nil {
+			fmt.Fprintln(stderr, "kalislint:", err)
+			return 2
+		}
+		findings = append(findings, lint.Run(testTarget, lint.TestFileAnalyzers())...)
+	}
 	if !wholeModule && len(filters) > 0 {
 		findings = filterFindings(findings, root, filters)
 	}

@@ -9,8 +9,8 @@ import (
 	"kalis/internal/attack"
 	"kalis/internal/core/knowledge"
 	"kalis/internal/core/module"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
-	"kalis/internal/proto/tcp"
 )
 
 // Registry names of the rate-based detection modules.
@@ -20,84 +20,73 @@ const (
 	SYNFloodName  = "SYNFloodModule"
 )
 
-// rateEvent is one observation relevant to a rate-based detector.
-type rateEvent struct {
-	at   time.Time
-	rssi float64
-	src  packet.NodeID
-}
+// Kind masks for the victim windows shared through the flow table.
+var (
+	echoReplyMask = flow.MaskOf(packet.KindICMPEchoReply)
+	tcpSYNMask    = flow.MaskOf(packet.KindTCPSYN)
+)
 
-// rateTracker keeps a sliding window of events per victim and reports
-// threshold crossings with per-victim alert suppression, so one attack
-// burst yields one alert.
-type rateTracker struct {
-	window   time.Duration
+// alertGate applies a module's per-victim alert policy — event threshold
+// plus cooldown — over a victim window shared through the flow table.
+// The window is common state (several modules read the same evidence);
+// whether and when to alert on it stays module-local, so one attack
+// burst yields one alert per module.
+type alertGate struct {
 	min      int
 	cooldown time.Duration
-
-	events   map[packet.NodeID][]rateEvent
 	suppress map[packet.NodeID]time.Time
 }
 
-func newRateTracker(window time.Duration, minEvents int, cooldown time.Duration) *rateTracker {
-	return &rateTracker{
-		window:   window,
-		min:      minEvents,
-		cooldown: cooldown,
-		events:   make(map[packet.NodeID][]rateEvent),
-		suppress: make(map[packet.NodeID]time.Time),
-	}
+func newAlertGate(minEvents int, cooldown time.Duration) *alertGate {
+	return &alertGate{min: minEvents, cooldown: cooldown}
 }
 
-func (r *rateTracker) reset() {
-	r.events = make(map[packet.NodeID][]rateEvent)
-	r.suppress = make(map[packet.NodeID]time.Time)
+func (g *alertGate) reset() {
+	g.suppress = make(map[packet.NodeID]time.Time)
 }
 
-// add records an event and returns the current window for the victim if
-// the rate threshold is crossed (and the victim is not in cooldown).
-func (r *rateTracker) add(victim packet.NodeID, ev rateEvent) []rateEvent {
-	evs := append(r.events[victim], ev)
-	// Prune events older than the window.
-	cut := 0
-	for cut < len(evs) && ev.at.Sub(evs[cut].at) > r.window {
-		cut++
+// pass reports whether an alert for the victim may fire at now given n
+// in-window events, arming the cooldown when the threshold is crossed
+// (even if a downstream knowledge veto then withholds the alert,
+// matching the one-alert-per-burst semantics).
+func (g *alertGate) pass(victim packet.NodeID, n int, now time.Time) bool {
+	if n < g.min {
+		return false
 	}
-	evs = evs[cut:]
-	r.events[victim] = evs
-	if len(evs) < r.min {
-		return nil
+	if until, ok := g.suppress[victim]; ok && now.Before(until) {
+		return false
 	}
-	if until, ok := r.suppress[victim]; ok && ev.at.Before(until) {
-		return nil
-	}
-	r.suppress[victim] = ev.at.Add(r.cooldown)
-	return evs
+	g.suppress[victim] = now.Add(g.cooldown)
+	return true
 }
 
-func (r *rateTracker) rssis(evs []rateEvent) []float64 {
+// eventRSSIs extracts the RSSI samples of a victim window.
+func eventRSSIs(evs []flow.Event) []float64 {
 	out := make([]float64, len(evs))
 	for i, e := range evs {
-		out[i] = e.rssi
+		out[i] = e.RSSI
 	}
 	return out
 }
 
-func (r *rateTracker) meanRSSI(evs []rateEvent) float64 {
+// meanEventRSSI returns the mean RSSI of a victim window.
+func meanEventRSSI(evs []flow.Event) float64 {
 	var sum float64
 	for _, e := range evs {
-		sum += e.rssi
+		sum += e.RSSI
 	}
 	return sum / float64(len(evs))
 }
 
-func (r *rateTracker) srcs(evs []rateEvent) []packet.NodeID {
+// eventSrcs returns the distinct claimed sender identities of a victim
+// window, in first-seen order.
+func eventSrcs(evs []flow.Event) []packet.NodeID {
 	seen := make(map[packet.NodeID]bool)
 	var out []packet.NodeID
 	for _, e := range evs {
-		if !seen[e.src] {
-			seen[e.src] = true
-			out = append(out, e.src)
+		if !seen[e.Src] {
+			seen[e.Src] = true
+			out = append(out, e.Src)
 		}
 	}
 	return out
@@ -125,16 +114,23 @@ func parseRateParams(params map[string]string, defMin int) (window time.Duration
 }
 
 // ICMPFlood detects ICMP Flood attacks: a high rate of ICMP Echo Reply
-// messages to one victim (§III-A1). In knowledge-driven mode on a
-// multi-hop network it additionally verifies that the replies come from
-// a single physical transmitter (one RSSI cluster) — the signature that
+// messages to one victim (§III-A1). The rate evidence comes from the
+// flow layer's shared victim window (updated once per packet before
+// module fan-out). In knowledge-driven mode on a multi-hop network the
+// module additionally verifies that the replies come from a single
+// physical transmitter (one RSSI cluster) — the signature that
 // distinguishes a flood (one attacker, many spoofed identities) from a
 // Smurf (many real amplifiers); on single-hop networks the distinction
 // is unnecessary because Smurf is impossible there. Without knowledge
 // (traditional-IDS baseline) it is a naive symptom-only detector.
 type ICMPFlood struct {
 	base
-	tracker *rateTracker
+	window time.Duration
+	gate   *alertGate
+	win    *flow.VictimWindow
+	// self marks a standalone (table-less) window the module must
+	// observe packets into itself.
+	self bool
 }
 
 var _ module.Module = (*ICMPFlood)(nil)
@@ -146,7 +142,7 @@ func NewICMPFlood(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ICMPFlood{tracker: newRateTracker(w, n, cd)}, nil
+	return &ICMPFlood{window: w, gate: newAlertGate(n, cd)}, nil
 }
 
 // Name implements module.Module.
@@ -164,24 +160,42 @@ func (d *ICMPFlood) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *ICMPFlood) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.tracker.reset()
+	d.gate.reset()
+	if ctx.Flows != nil {
+		d.win, d.self = ctx.Flows.VictimWindow(echoReplyMask, d.window), false
+	} else {
+		d.win, d.self = flow.NewVictimWindow(echoReplyMask, d.window), true
+	}
+}
+
+// Deactivate implements module.Module.
+func (d *ICMPFlood) Deactivate() {
+	d.win.Release()
+	d.win = nil
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
 func (d *ICMPFlood) HandlePacket(c *packet.Captured) {
-	if !d.active() || c.Kind != packet.KindICMPEchoReply {
+	if !d.active() {
 		return
 	}
-	evs := d.tracker.add(c.Dst, rateEvent{at: c.Time, rssi: c.RSSI, src: c.Src})
-	if evs == nil {
+	if d.self {
+		d.win.Observe(c)
+	}
+	if c.Kind != packet.KindICMPEchoReply {
 		return
 	}
+	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
+		return
+	}
+	evs := d.win.Events(c.Dst)
 	confidence := 0.7
 	if d.knowledgeDriven() {
 		if boolIs(d.ctx.KB, knowledge.LabelMultihop, true) {
 			// Multi-hop variant: a flood has one physical source, so
 			// the replies' RSSI spread stays near the shadowing level.
-			if rssiStdDev(d.tracker.rssis(evs)) > 2.0 {
+			if rssiStdDev(eventRSSIs(evs)) > 2.0 {
 				return
 			}
 		}
@@ -195,7 +209,7 @@ func (d *ICMPFlood) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   suspects,
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d echo replies to %s within %s", len(evs), c.Dst, d.tracker.window),
+		Details:    fmt.Sprintf("%d echo replies to %s within %s", len(evs), c.Dst, d.window),
 	})
 }
 
@@ -205,14 +219,14 @@ func (d *ICMPFlood) HandlePacket(c *packet.Captured) {
 // excluded: their fingerprints are contaminated by the attack itself
 // (the spoofed frames update them at the attacker's RSSI). The spoofed
 // sender identities are the naive fallback.
-func (d *ICMPFlood) suspects(evs []rateEvent) []packet.NodeID {
-	srcs := d.tracker.srcs(evs)
+func (d *ICMPFlood) suspects(evs []flow.Event) []packet.NodeID {
+	srcs := eventSrcs(evs)
 	if d.knowledgeDriven() {
 		exclude := make(map[packet.NodeID]bool, len(srcs))
 		for _, s := range srcs {
 			exclude[s] = true
 		}
-		mean := d.tracker.meanRSSI(evs)
+		mean := meanEventRSSI(evs)
 		if m := fingerprintMatch(d.ctx.KB, mean, 3, exclude); len(m) > 0 {
 			return m[:1]
 		}
@@ -221,14 +235,19 @@ func (d *ICMPFlood) suspects(evs []rateEvent) []packet.NodeID {
 }
 
 // Smurf detects Smurf attacks: a high rate of ICMP Echo Reply messages
-// to one victim produced by many real amplifier nodes (§III-A1). In
-// knowledge-driven mode it requires several distinct physical
+// to one victim produced by many real amplifier nodes (§III-A1). The
+// rate evidence comes from the flow layer's shared victim window — the
+// same window the ICMP-flood module reads, updated once per packet for
+// both. In knowledge-driven mode it requires several distinct physical
 // transmitters (≥3 RSSI clusters); without knowledge it is symptom-only
 // and therefore indistinguishable from ICMPFlood — exactly the
 // ambiguity the paper attributes to the traditional IDS.
 type Smurf struct {
 	base
-	tracker *rateTracker
+	window time.Duration
+	gate   *alertGate
+	win    *flow.VictimWindow
+	self   bool
 	// edges is the module-local communication graph used for the
 	// 2-hop suspect heuristic (maintained from observed traffic, so it
 	// works even without a Knowledge Base).
@@ -243,7 +262,7 @@ func NewSmurf(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Smurf{tracker: newRateTracker(w, n, cd)}, nil
+	return &Smurf{window: w, gate: newAlertGate(n, cd)}, nil
 }
 
 // Name implements module.Module.
@@ -265,8 +284,20 @@ func (d *Smurf) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *Smurf) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.tracker.reset()
+	d.gate.reset()
 	d.edges = make(map[packet.NodeID]map[packet.NodeID]bool)
+	if ctx.Flows != nil {
+		d.win, d.self = ctx.Flows.VictimWindow(echoReplyMask, d.window), false
+	} else {
+		d.win, d.self = flow.NewVictimWindow(echoReplyMask, d.window), true
+	}
+}
+
+// Deactivate implements module.Module.
+func (d *Smurf) Deactivate() {
+	d.win.Release()
+	d.win = nil
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
@@ -274,21 +305,24 @@ func (d *Smurf) HandlePacket(c *packet.Captured) {
 	if !d.active() {
 		return
 	}
+	if d.self {
+		d.win.Observe(c)
+	}
 	d.observeEdge(c.Src, c.Dst)
 	if c.Kind != packet.KindICMPEchoReply {
 		return
 	}
-	evs := d.tracker.add(c.Dst, rateEvent{at: c.Time, rssi: c.RSSI, src: c.Src})
-	if evs == nil {
+	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
 		return
 	}
+	evs := d.win.Events(c.Dst)
 	confidence := 0.7
 	if d.knowledgeDriven() {
 		// Smurf replies come from several distinct amplifiers. The
 		// small gap tolerance is deliberate: accidental splits only
 		// raise the count (harmless for a ≥3 test) while merges, the
 		// failure mode, need a chain of extreme shadowing outliers.
-		if clusterRSSI(d.tracker.rssis(evs), 2.0) < 3 {
+		if clusterRSSI(eventRSSIs(evs), 2.0) < 3 {
 			return
 		}
 		confidence = 0.9
@@ -300,7 +334,7 @@ func (d *Smurf) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   d.suspects(c.Dst),
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d amplified echo replies to %s within %s", len(evs), c.Dst, d.tracker.window),
+		Details:    fmt.Sprintf("%d amplified echo replies to %s within %s", len(evs), c.Dst, d.window),
 	})
 }
 
@@ -355,14 +389,16 @@ func (d *Smurf) suspects(victim packet.NodeID) []packet.NodeID {
 
 // SYNFlood detects TCP SYN flood attacks: a high rate of connection-
 // opening SYNs to one destination whose initiators never complete the
-// handshake (spoofed sources cannot send the third ACK).
+// handshake (spoofed sources cannot send the third ACK). Both evidence
+// streams — the SYN rate window and the handshake-completion ledger —
+// come from the flow layer's shared trackers.
 type SYNFlood struct {
 	base
-	tracker *rateTracker
-	// pending tracks open handshakes by "src|dst".
-	pending map[string]bool
-	// completions records handshake-completing ACK times per victim.
-	completions map[packet.NodeID][]time.Time
+	window time.Duration
+	gate   *alertGate
+	win    *flow.VictimWindow
+	hs     *flow.TCPHandshakes
+	self   bool
 }
 
 var _ module.Module = (*SYNFlood)(nil)
@@ -374,7 +410,7 @@ func NewSYNFlood(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SYNFlood{tracker: newRateTracker(w, n, cd)}, nil
+	return &SYNFlood{window: w, gate: newAlertGate(n, cd)}, nil
 }
 
 // Name implements module.Module.
@@ -391,9 +427,24 @@ func (d *SYNFlood) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *SYNFlood) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.tracker.reset()
-	d.pending = make(map[string]bool)
-	d.completions = make(map[packet.NodeID][]time.Time)
+	d.gate.reset()
+	if ctx.Flows != nil {
+		d.win = ctx.Flows.VictimWindow(tcpSYNMask, d.window)
+		d.hs = ctx.Flows.Handshakes(d.window)
+		d.self = false
+	} else {
+		d.win = flow.NewVictimWindow(tcpSYNMask, d.window)
+		d.hs = flow.NewTCPHandshakes(d.window)
+		d.self = true
+	}
+}
+
+// Deactivate implements module.Module.
+func (d *SYNFlood) Deactivate() {
+	d.win.Release()
+	d.hs.Release()
+	d.win, d.hs = nil, nil
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
@@ -401,48 +452,30 @@ func (d *SYNFlood) HandlePacket(c *packet.Captured) {
 	if !d.active() {
 		return
 	}
-	switch c.Kind {
-	case packet.KindTCPACK:
-		// A pure ACK from an initiator with an open handshake is the
-		// handshake-completing third packet — legitimate bursts
-		// produce these, spoofed floods cannot.
-		if seg, ok := c.Layer("tcp").(*tcp.Segment); ok && seg.IsACK() && len(seg.Payload) == 0 {
-			key := string(c.Src) + "|" + string(c.Dst)
-			if d.pending[key] {
-				delete(d.pending, key)
-				d.completions[c.Dst] = append(d.completions[c.Dst], c.Time)
-			}
-		}
-		return
-	case packet.KindTCPSYN:
-		d.pending[string(c.Src)+"|"+string(c.Dst)] = true
-	default:
+	if d.self {
+		d.win.Observe(c)
+		d.hs.Observe(c)
+	}
+	if c.Kind != packet.KindTCPSYN {
 		return
 	}
-	evs := d.tracker.add(c.Dst, rateEvent{at: c.Time, rssi: c.RSSI, src: c.Src})
-	if evs == nil {
+	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
 		return
 	}
+	evs := d.win.Events(c.Dst)
 	// A legitimate burst completes handshakes; a flood leaves them
 	// half-open.
-	comps := d.completions[c.Dst]
-	cut := 0
-	for cut < len(comps) && c.Time.Sub(comps[cut]) > d.tracker.window {
-		cut++
-	}
-	comps = comps[cut:]
-	d.completions[c.Dst] = comps
-	if len(comps) >= len(evs)/2 {
+	if d.hs.Completions(c.Dst, c.Time) >= len(evs)/2 {
 		return
 	}
-	suspects := d.tracker.srcs(evs)
+	suspects := eventSrcs(evs)
 	confidence := 0.7
 	if d.knowledgeDriven() {
 		exclude := make(map[packet.NodeID]bool, len(suspects))
 		for _, s := range suspects {
 			exclude[s] = true
 		}
-		mean := d.tracker.meanRSSI(evs)
+		mean := meanEventRSSI(evs)
 		if m := fingerprintMatch(d.ctx.KB, mean, 3, exclude); len(m) > 0 {
 			suspects = m[:1]
 		}
@@ -455,6 +488,6 @@ func (d *SYNFlood) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   suspects,
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d half-open SYNs to %s within %s", len(evs), c.Dst, d.tracker.window),
+		Details:    fmt.Sprintf("%d half-open SYNs to %s within %s", len(evs), c.Dst, d.window),
 	})
 }

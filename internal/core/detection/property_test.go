@@ -6,6 +6,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 	"kalis/internal/proto/stack"
 )
@@ -69,22 +70,27 @@ func TestWatchdogAlwaysCatchesTotalDrop(t *testing.T) {
 	}
 }
 
-// TestRateTrackerWindowInvariant: the tracker never reports a window
-// larger than its configured bound and never alerts during cooldown.
-func TestRateTrackerWindowInvariant(t *testing.T) {
+// TestRateWindowInvariant: the victim window (shared through the flow
+// layer) never reports an event older than its configured bound, and
+// the module-local alert gate never passes during cooldown.
+func TestRateWindowInvariant(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		tr := newRateTracker(5*time.Second, 10, 10*time.Second)
+		win := flow.NewVictimWindow(flow.MaskOf(packet.KindICMPEchoReply), 5*time.Second)
+		gate := newAlertGate(10, 10*time.Second)
+		gate.reset()
 		at := t0
 		var lastAlert time.Time
 		for i := 0; i < 300; i++ {
 			at = at.Add(time.Duration(rng.Intn(1200)) * time.Millisecond)
-			evs := tr.add("victim", rateEvent{at: at, rssi: -60, src: "s"})
-			if evs == nil {
+			win.Observe(&packet.Captured{
+				Kind: packet.KindICMPEchoReply, Time: at, RSSI: -60, Src: "s", Dst: "victim",
+			})
+			if !gate.pass("victim", win.Len("victim"), at) {
 				continue
 			}
-			for _, e := range evs {
-				if at.Sub(e.at) > 5*time.Second {
+			for _, e := range win.Events("victim") {
+				if at.Sub(e.At) > 5*time.Second {
 					return false // stale event survived pruning
 				}
 			}

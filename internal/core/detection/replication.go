@@ -2,18 +2,14 @@ package detection
 
 import (
 	"fmt"
-	"math"
 	"strconv"
 	"time"
 
 	"kalis/internal/attack"
 	"kalis/internal/core/knowledge"
 	"kalis/internal/core/module"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
-	"kalis/internal/proto/ctp"
-	"kalis/internal/proto/ieee802154"
-	"kalis/internal/proto/stack"
-	"kalis/internal/proto/zigbee"
 )
 
 // Registry names of the replication-detection modules.
@@ -27,20 +23,13 @@ const (
 // for this attack; however each one is specific to a network with
 // certain characteristics, e.g. mobility [25]" — Kalis therefore ships
 // two modules and activates the one matching the network's current
-// mobility profile.
+// mobility profile. Both read the same per-identity motion evidence
+// (RSSI jumps, sequence-counter conflicts) from the flow layer's shared
+// identity-motion tracker; when configured alike, the state updates
+// once per packet for both.
 
-// identityTrack is per-identity observation state shared by both
-// variants.
-type identityTrack struct {
-	ewma    float64
-	samples int
-	lastSeq uint8
-	seqInit bool
-	jumps   []time.Time // RSSI jump timestamps (window-pruned)
-	flips   []time.Time // seq regression timestamps (window-pruned)
-	wobbles []time.Time // sub-jump RSSI deviations (baseline health)
-}
-
+// replicationCore holds the configuration and alert policy shared by
+// both variants, plus the handle on the flow layer's motion tracker.
 type replicationCore struct {
 	threshold  float64 // RSSI jump threshold (dB)
 	window     time.Duration
@@ -49,7 +38,10 @@ type replicationCore struct {
 	alpha      float64
 	minSamples int
 
-	tracks   map[packet.NodeID]*identityTrack
+	motion *flow.IdentityMotion
+	// self marks a standalone (table-less) tracker the module must
+	// observe packets into itself.
+	self     bool
 	suppress map[packet.NodeID]time.Time
 }
 
@@ -83,114 +75,40 @@ func newReplicationCore(params map[string]string) (*replicationCore, error) {
 			return nil, fmt.Errorf("cooldown: %w", err)
 		}
 	}
-	c.reset()
 	return c, nil
 }
 
-func (c *replicationCore) reset() {
-	c.tracks = make(map[packet.NodeID]*identityTrack)
+// acquire attaches the core to the flow layer's shared motion tracker
+// (or a standalone one when the module runs without a flow pipeline)
+// and resets the alert policy.
+func (c *replicationCore) acquire(ctx *module.Context) {
+	cfg := flow.MotionConfig{
+		Medium:     packet.MediumIEEE802154,
+		Threshold:  c.threshold,
+		Window:     c.window,
+		Alpha:      c.alpha,
+		MinSamples: c.minSamples,
+	}
+	if ctx.Flows != nil {
+		c.motion, c.self = ctx.Flows.Motion(cfg), false
+	} else {
+		c.motion, c.self = flow.NewIdentityMotion(cfg), true
+	}
 	c.suppress = make(map[packet.NodeID]time.Time)
 }
 
-// seqOf extracts the most end-to-end sequence counter the capture
-// carries: CTP data sequence numbers, then ZigBee NWK sequence numbers,
-// then the per-hop 802.15.4 MAC sequence (all keyed by transmitter
-// identity, so per-hop counters are still per-identity monotonic).
-func seqOf(cap *packet.Captured) (uint8, bool) {
-	if d, ok := cap.Layer("ctp-data").(*ctp.Data); ok {
-		return d.SeqNo, true
-	}
-	if n, ok := cap.Layer("zigbee").(*zigbee.Frame); ok {
-		return n.Seq, true
-	}
-	if m, ok := cap.Layer("ieee802154").(*ieee802154.Frame); ok {
-		return m.Seq, true
-	}
-	return 0, false
+// release returns the tracker handle.
+func (c *replicationCore) release() {
+	c.motion.Release()
+	c.motion = nil
 }
 
-// seqTrustworthy reports whether the capture's sequence counter belongs
-// to the transmitter identity itself. Forwarded frames carry the
-// *origin's* counter, which legitimately interleaves several counters
-// under one relaying transmitter — those must not count as flips.
-func seqTrustworthy(cap *packet.Captured) bool {
-	if _, ok := cap.Layer("ctp-data").(*ctp.Data); ok {
-		return cap.Src == cap.Transmitter
+// observe feeds the packet to a standalone tracker (table-attached
+// trackers are updated by the flow table before module fan-out).
+func (c *replicationCore) observe(cap *packet.Captured) {
+	if c.self {
+		c.motion.Observe(cap)
 	}
-	if n, ok := cap.Layer("zigbee").(*zigbee.Frame); ok {
-		return stack.ShortID(n.Src) == cap.Transmitter
-	}
-	return true
-}
-
-// track updates per-identity state and returns the track.
-func (c *replicationCore) track(cap *packet.Captured) *identityTrack {
-	id := cap.Transmitter
-	t := c.tracks[id]
-	if t == nil {
-		t = &identityTrack{ewma: cap.RSSI, samples: 1}
-		c.tracks[id] = t
-		if seq, ok := seqOf(cap); ok {
-			t.lastSeq = seq
-			t.seqInit = true
-		}
-		return t
-	}
-	t.samples++
-	dev := math.Abs(cap.RSSI - t.ewma)
-	if t.samples > c.minSamples && dev > c.threshold {
-		t.jumps = append(t.jumps, cap.Time)
-		// Re-anchor on the new position so alternation keeps counting.
-		t.ewma = cap.RSSI
-	} else {
-		if t.samples > c.minSamples && dev > c.threshold/2 {
-			// Sub-jump deviation: not replica-grade, but evidence the
-			// RSSI baseline is in motion.
-			t.wobbles = append(t.wobbles, cap.Time)
-		}
-		t.ewma += c.alpha * (cap.RSSI - t.ewma)
-	}
-	if seq, ok := seqOf(cap); ok && seqTrustworthy(cap) {
-		if t.seqInit {
-			// A regression (non-monotonic, not a wraparound) means two
-			// counters are interleaved under one identity.
-			diff := int8(seq - t.lastSeq)
-			if diff <= 0 && seq != t.lastSeq {
-				t.flips = append(t.flips, cap.Time)
-			}
-		}
-		t.lastSeq = seq
-		t.seqInit = true
-	}
-	t.jumps = pruneTimes(t.jumps, cap.Time, c.window)
-	t.flips = pruneTimes(t.flips, cap.Time, c.window)
-	t.wobbles = pruneTimes(t.wobbles, cap.Time, c.window)
-	return t
-}
-
-func pruneTimes(ts []time.Time, now time.Time, window time.Duration) []time.Time {
-	cut := 0
-	for cut < len(ts) && now.Sub(ts[cut]) > window {
-		cut++
-	}
-	return ts[cut:]
-}
-
-// jumpyFraction reports the fraction of identities whose RSSI baseline
-// is currently unstable (jumps or sub-jump wobbles) — the baseline-
-// health check of the static technique: when the whole network is in
-// motion, RSSI stability means nothing.
-func (c *replicationCore) jumpyFraction() float64 {
-	if len(c.tracks) == 0 {
-		return 0
-	}
-	jumpy := 0
-	for _, t := range c.tracks {
-		if len(t.jumps) > 0 || len(t.wobbles) > 0 {
-			jumpy++
-		}
-	}
-	return float64(jumpy) / float64(len(c.tracks))
 }
 
 func (c *replicationCore) suppressed(id packet.NodeID, now time.Time) bool {
@@ -243,7 +161,13 @@ func (d *ReplicationStatic) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *ReplicationStatic) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.core.reset()
+	d.core.acquire(ctx)
+}
+
+// Deactivate implements module.Module.
+func (d *ReplicationStatic) Deactivate() {
+	d.core.release()
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
@@ -251,16 +175,17 @@ func (d *ReplicationStatic) HandlePacket(c *packet.Captured) {
 	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
 		return
 	}
-	t := d.core.track(c)
+	d.core.observe(c)
+	s := d.core.motion.Snapshot(c.Transmitter)
 	// Alert only on fresh evidence: the current packet must itself be
 	// a jump, so stale window contents cannot re-trigger after the
 	// attack stops.
-	if len(t.jumps) < d.core.minEvents || !t.jumps[len(t.jumps)-1].Equal(c.Time) {
+	if s.Jumps < d.core.minEvents || !s.LastJump.Equal(c.Time) {
 		return
 	}
 	// Baseline health: under network-wide motion the RSSI baseline is
 	// meaningless; stay silent rather than flood false positives.
-	if d.core.jumpyFraction() > 0.5 {
+	if d.core.motion.JumpyFraction() > 0.5 {
 		return
 	}
 	if d.core.suppressed(c.Transmitter, c.Time) {
@@ -273,7 +198,7 @@ func (d *ReplicationStatic) HandlePacket(c *packet.Captured) {
 		Suspects:   []packet.NodeID{c.Transmitter},
 		Confidence: 0.85,
 		Details: fmt.Sprintf("identity %s transmits from alternating locations (%d RSSI jumps)",
-			c.Transmitter, len(t.jumps)),
+			c.Transmitter, s.Jumps),
 	})
 }
 
@@ -316,7 +241,13 @@ func (d *ReplicationMobile) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *ReplicationMobile) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.core.reset()
+	d.core.acquire(ctx)
+}
+
+// Deactivate implements module.Module.
+func (d *ReplicationMobile) Deactivate() {
+	d.core.release()
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
@@ -324,10 +255,11 @@ func (d *ReplicationMobile) HandlePacket(c *packet.Captured) {
 	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
 		return
 	}
-	t := d.core.track(c)
+	d.core.observe(c)
+	s := d.core.motion.Snapshot(c.Transmitter)
 	// Fresh evidence only: the triggering packet must itself be a
 	// sequence conflict.
-	if len(t.flips) < d.core.minEvents || !t.flips[len(t.flips)-1].Equal(c.Time) {
+	if s.Flips < d.core.minEvents || !s.LastFlip.Equal(c.Time) {
 		return
 	}
 	if d.core.suppressed(c.Transmitter, c.Time) {
@@ -340,6 +272,6 @@ func (d *ReplicationMobile) HandlePacket(c *packet.Captured) {
 		Suspects:   []packet.NodeID{c.Transmitter},
 		Confidence: 0.85,
 		Details: fmt.Sprintf("identity %s shows %d interleaved sequence counters",
-			c.Transmitter, len(t.flips)),
+			c.Transmitter, s.Flips),
 	})
 }

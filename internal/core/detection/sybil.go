@@ -2,24 +2,28 @@ package detection
 
 import (
 	"fmt"
-	"math"
-	"sort"
 	"strconv"
 	"time"
 
 	"kalis/internal/attack"
 	"kalis/internal/core/knowledge"
 	"kalis/internal/core/module"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 )
 
 // SybilName is the registry name of the sybil-detection module.
 const SybilName = "SybilModule"
 
+// sybilAlpha is the RSSI fingerprint EWMA smoothing factor.
+const sybilAlpha = 0.3
+
 // Sybil detects sybil attacks with the RSSI technique of [42]: one
 // physical device fabricating several identities cannot fabricate
 // several positions, so a group of (recently appeared) identities whose
 // signal strengths are indistinguishable betrays a single transmitter.
+// The per-identity fingerprints come from the flow layer's shared
+// identity tracker (updated once per packet before module fan-out).
 type Sybil struct {
 	base
 	// tolerance is the RSSI spread (dB) within which identities are
@@ -36,11 +40,11 @@ type Sybil struct {
 	// cooldown suppresses repeated alerts for the same cluster.
 	cooldown time.Duration
 
-	start     time.Time
-	ewma      map[packet.NodeID]float64
-	frames    map[packet.NodeID]int
-	firstSeen map[packet.NodeID]time.Time
-	suppress  time.Time
+	ids *flow.IdentityStats
+	// self marks a standalone (table-less) tracker the module must
+	// observe packets into itself.
+	self     bool
+	suppress time.Time
 }
 
 var _ module.Module = (*Sybil)(nil)
@@ -94,11 +98,19 @@ func (d *Sybil) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *Sybil) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.start = time.Time{}
-	d.ewma = make(map[packet.NodeID]float64)
-	d.frames = make(map[packet.NodeID]int)
-	d.firstSeen = make(map[packet.NodeID]time.Time)
 	d.suppress = time.Time{}
+	if ctx.Flows != nil {
+		d.ids, d.self = ctx.Flows.IdentityStats(sybilAlpha, packet.MediumIEEE802154), false
+	} else {
+		d.ids, d.self = flow.NewIdentityStats(sybilAlpha, packet.MediumIEEE802154), true
+	}
+}
+
+// Deactivate implements module.Module.
+func (d *Sybil) Deactivate() {
+	d.ids.Release()
+	d.ids = nil
+	d.base.Deactivate()
 }
 
 // HandlePacket implements module.Module.
@@ -106,22 +118,13 @@ func (d *Sybil) HandlePacket(c *packet.Captured) {
 	if !d.active() || c.Medium != packet.MediumIEEE802154 || c.Transmitter == "" {
 		return
 	}
-	if d.start.IsZero() {
-		d.start = c.Time
+	if d.self {
+		d.ids.Observe(c)
 	}
-	id := c.Transmitter
-	if _, seen := d.ewma[id]; !seen {
-		d.ewma[id] = c.RSSI
-		d.firstSeen[id] = c.Time
-	} else {
-		d.ewma[id] += 0.3 * (c.RSSI - d.ewma[id])
-	}
-	d.frames[id]++
-
 	if !d.suppress.IsZero() && c.Time.Before(d.suppress) {
 		return
 	}
-	cluster := d.clusterAround(id)
+	cluster := d.ids.Cluster(c.Transmitter, d.tolerance, d.minFrames, d.warmup)
 	if len(cluster) < d.minIdentities {
 		return
 	}
@@ -135,34 +138,4 @@ func (d *Sybil) HandlePacket(c *packet.Captured) {
 		Details: fmt.Sprintf("%d recently-appeared identities share one RSSI fingerprint (±%.1f dB)",
 			len(cluster), d.tolerance),
 	})
-}
-
-// clusterAround collects the new identities whose fingerprints lie
-// within tolerance of the given identity's fingerprint.
-func (d *Sybil) clusterAround(id packet.NodeID) []packet.NodeID {
-	center, ok := d.ewma[id]
-	if !ok || !d.isNew(id) || d.frames[id] < d.minFrames {
-		return nil
-	}
-	var cluster []packet.NodeID
-	for other, v := range d.ewma {
-		if !d.isNew(other) || d.frames[other] < d.minFrames {
-			continue
-		}
-		if math.Abs(v-center) <= d.tolerance {
-			cluster = append(cluster, other)
-		}
-	}
-	sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
-	return cluster
-}
-
-// isNew reports whether the identity appeared after the warmup period
-// (pre-existing identities are legitimate even if co-located).
-func (d *Sybil) isNew(id packet.NodeID) bool {
-	fs, ok := d.firstSeen[id]
-	if !ok {
-		return false
-	}
-	return fs.Sub(d.start) > d.warmup
 }

@@ -25,9 +25,10 @@ import (
 
 // Topic names used by Kalis.
 const (
-	TopicPacket    = "packet"
-	TopicKnowledge = "knowledge"
-	TopicDetection = "detection"
+	TopicPacket      = "packet"
+	TopicKnowledge   = "knowledge"
+	TopicDetection   = "detection"
+	TopicFlowRecords = "flow.records"
 )
 
 // AsyncQueueCap is the per-subscriber queue capacity in asynchronous
@@ -146,7 +147,7 @@ func NewBus(async bool) *Bus {
 		pols:  make(map[string]TopicPolicy),
 		tmet:  make(map[string]*topicMetrics),
 	}
-	for _, topic := range []string{TopicPacket, TopicKnowledge, TopicDetection} {
+	for _, topic := range []string{TopicPacket, TopicKnowledge, TopicDetection, TopicFlowRecords} {
 		b.resolveTopicLocked(topic)
 	}
 	return b

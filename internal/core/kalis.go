@@ -19,6 +19,7 @@ import (
 	"kalis/internal/core/knowledge"
 	"kalis/internal/core/module"
 	"kalis/internal/core/sensing"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 	"kalis/internal/telemetry"
 )
@@ -46,6 +47,11 @@ type Config struct {
 	// Knowledge Base decides what runs). Modules listed in ConfigText
 	// are installed with their parameters either way.
 	InstallAll bool
+	// Flow tunes the flow table (zero fields select the defaults; see
+	// flow.Config). The flow pipeline is always on: the table is
+	// updated once per packet before module fan-out and expired flows
+	// are exported on the flow.records bus topic.
+	Flow flow.Config
 }
 
 // Kalis is one IDS node.
@@ -56,6 +62,7 @@ type Kalis struct {
 	registry *module.Registry
 	manager  *module.Manager
 	bus      *event.Bus
+	flows    *flow.Table
 	coll     *collective.Node
 	tel      *telemetry.Registry
 }
@@ -71,6 +78,7 @@ func New(cfg Config) (*Kalis, error) {
 	sensing.Register(registry)
 	detection.Register(registry)
 	manager := module.NewManager(kb, store, cfg.KnowledgeDriven)
+	flows := flow.NewTable(cfg.Flow)
 	bus := event.NewBus(cfg.Async)
 	// Per-topic overflow policies (async mode): the packet topic keeps
 	// the default drop-newest (a passive IDS never blocks capture),
@@ -87,8 +95,21 @@ func New(cfg Config) (*Kalis, error) {
 		},
 	})
 	bus.SetTopicPolicy(event.TopicDetection, event.TopicPolicy{Policy: event.Block})
+	// Flow records coalesce per flow key: if a consumer lags, only the
+	// latest record for a given flow is kept (a re-expired flow
+	// supersedes its earlier record).
+	bus.SetTopicPolicy(event.TopicFlowRecords, event.TopicPolicy{
+		Policy: event.CoalesceByKey,
+		Key: func(payload interface{}) string {
+			if r, ok := payload.(flow.Record); ok {
+				return r.CoalesceKey()
+			}
+			return ""
+		},
+	})
+	flows.OnExport(func(r flow.Record) { bus.Publish(event.TopicFlowRecords, r) })
 	tel := telemetry.NewRegistry()
-	wireTelemetry(tel, bus, manager, store)
+	wireTelemetry(tel, bus, manager, store, flows)
 	// The supervisor's circuit breaker reads queue pressure from the
 	// bus; under saturation it sheds persistently-over-budget modules.
 	manager.SetPressure(bus.QueueDepth)
@@ -100,6 +121,7 @@ func New(cfg Config) (*Kalis, error) {
 		registry: registry,
 		manager:  manager,
 		bus:      bus,
+		flows:    flows,
 		tel:      tel,
 	}
 	bus.Subscribe(event.TopicPacket, func(payload interface{}) {
@@ -151,7 +173,7 @@ func New(cfg Config) (*Kalis, error) {
 // wireTelemetry registers the node's runtime metrics and installs the
 // hooks into every instrumented component. Metric names are documented
 // in the "Runtime telemetry" section of README.md.
-func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Manager, store *datastore.Store) {
+func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Manager, store *datastore.Store, flows *flow.Table) {
 	bus.SetMetrics(event.Metrics{
 		Publishes: tel.CounterVec("kalis_bus_publishes_total", "topic",
 			"Events published on the bus, by topic."),
@@ -188,6 +210,16 @@ func wireTelemetry(tel *telemetry.Registry, bus *event.Bus, manager *module.Mana
 	tel.GaugeFunc("kalis_store_window_capacity",
 		"Data Store sliding-window capacity in packets.",
 		func() float64 { return float64(store.Capacity()) })
+	flows.SetMetrics(flow.Metrics{
+		Active: tel.Gauge("kalis_flow_active",
+			"Flows currently tracked in the flow table."),
+		Expirations: tel.Counter("kalis_flow_expirations_total",
+			"Flows exported after idle or active timeout (incl. shutdown flush)."),
+		Evictions: tel.Counter("kalis_flow_evictions_total",
+			"Flows exported early because the table hit its capacity bound."),
+	})
+	manager.SetFlows(flows, tel.Histogram("kalis_flow_update_seconds",
+		"Per-packet flow-table and feature update latency.", nil))
 	telemetry.RegisterRuntimeMetrics(tel)
 }
 
@@ -264,6 +296,19 @@ func (k *Kalis) ModuleHealth() map[string]string { return k.manager.Health() }
 // Bus returns the node's event bus (for policy tuning and tests).
 func (k *Kalis) Bus() *event.Bus { return k.bus }
 
+// Flows returns the node's flow table.
+func (k *Kalis) Flows() *flow.Table { return k.flows }
+
+// OnFlowRecord registers a consumer for exported flow records (flows
+// that expired, were evicted, or were flushed at shutdown).
+func (k *Kalis) OnFlowRecord(fn func(flow.Record)) {
+	k.bus.Subscribe(event.TopicFlowRecords, func(payload interface{}) {
+		if r, ok := payload.(flow.Record); ok {
+			fn(r)
+		}
+	})
+}
+
 // SetLog enables traffic logging to w in the Kalis trace format.
 func (k *Kalis) SetLog(w io.Writer) { k.store.SetLog(w) }
 
@@ -331,9 +376,11 @@ func (k *Kalis) SuggestConfig() string {
 	return kconfig.Generate(cfg)
 }
 
-// Close shuts the node down: the event bus drains, the traffic log
-// flushes, and the collective layer closes.
+// Close shuts the node down: the flow table flushes its remaining
+// flows as records, the event bus drains, the traffic log flushes, and
+// the collective layer closes.
 func (k *Kalis) Close() error {
+	k.flows.Flush()
 	k.bus.Close()
 	err := k.store.FlushLog()
 	if k.coll != nil {

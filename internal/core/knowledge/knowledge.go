@@ -31,6 +31,7 @@ const (
 	LabelEmergentSource   = "EmergentSource"   // per entity: traffic source with no inbound
 	LabelSuspectBlackhole = "SuspectBlackhole" // per entity: local blackhole suspicion
 	LabelEncrypted        = "Encrypted"        // bool: link-layer security observed
+	LabelModuleHealth     = "ModuleHealth"     // multilevel: supervisor state per module
 )
 
 // Knowgget is one piece of knowledge: a labelled value with provenance.

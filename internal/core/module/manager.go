@@ -6,6 +6,7 @@ import (
 
 	"kalis/internal/core/datastore"
 	"kalis/internal/core/knowledge"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 	"kalis/internal/telemetry"
 )
@@ -54,6 +55,21 @@ type Manager struct {
 	// degraded counts modules currently quarantined or shed; the
 	// supervisor's revival scan runs only while it is non-zero.
 	degraded int
+
+	// flows is the node's flow table, updated once per packet before
+	// module fan-out (nil disables the flow pipeline); flowLat is the
+	// optional feature-update latency histogram, observed here rather
+	// than inside internal/flow so the flow package itself stays on
+	// the virtual capture clock.
+	flows   *flow.Table
+	flowLat *telemetry.Histogram
+
+	// pendingHealth queues supervisor state transitions for
+	// publication as ModuleHealth knowggets once the lock is released
+	// (the Knowledge Base notifies subscribers synchronously, so
+	// publishing under mu could deadlock through re-entrant
+	// activation).
+	pendingHealth []healthEvent
 
 	sup      SupervisorConfig
 	pressure func() int
@@ -116,6 +132,17 @@ func NewManager(kb *knowledge.Base, store *datastore.Store, knowledgeDriven bool
 // KnowledgeDriven reports whether adaptive activation is enabled.
 func (m *Manager) KnowledgeDriven() bool { return m.knowledgeDriven }
 
+// SetFlows installs the flow table the manager updates once per packet
+// before module fan-out, and the optional feature-update latency
+// histogram. Call it before traffic flows (the table also lands in
+// every subsequently activated module's Context).
+func (m *Manager) SetFlows(t *flow.Table, lat *telemetry.Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.flows = t
+	m.flowLat = lat
+}
+
 // SetMetrics installs telemetry hooks. Call it before traffic flows.
 func (m *Manager) SetMetrics(met ManagerMetrics) {
 	m.mu.Lock()
@@ -170,7 +197,7 @@ func (m *Manager) OnAlert(fn AlertFunc) {
 func (m *Manager) Install(mod Module, params map[string]string) {
 	m.mu.Lock()
 	m.modules = append(m.modules, mod)
-	st := &moduleState{}
+	st := &moduleState{name: mod.Name()}
 	m.resolveStateLocked(st, mod.Name())
 	m.states[mod.Name()] = st
 	m.params[mod.Name()] = params
@@ -230,6 +257,7 @@ func (m *Manager) applyTransitions(mod Module, st *moduleState, params map[strin
 	for {
 		m.mu.Lock()
 		want := st.want
+		flows := m.flows
 		if want == st.applied {
 			st.transitioning = false
 			m.mu.Unlock()
@@ -241,6 +269,7 @@ func (m *Manager) applyTransitions(mod Module, st *moduleState, params map[strin
 			m.safeActivate(mod, &Context{
 				KB:              m.kb,
 				Store:           m.store,
+				Flows:           flows,
 				Emit:            m.emit,
 				Params:          params,
 				KnowledgeDriven: m.knowledgeDriven,
@@ -262,12 +291,13 @@ func (m *Manager) emit(a Alert) {
 	}
 }
 
-// HandlePacket records the capture in the Data Store and routes it to
-// every dispatchable module under the supervisor's panic barrier. The
-// snapshot is immutable, so the per-packet work is one lock round-trip
-// and the module invocations themselves — no allocation, no telemetry
-// child lookups. Supervision bookkeeping (revival scans, breaker
-// evaluation) runs on the virtual capture clock and only when armed.
+// HandlePacket records the capture in the Data Store, folds it into
+// the flow table, and routes it to every dispatchable module under the
+// supervisor's panic barrier. The snapshot is immutable, so the
+// per-packet work is one lock round-trip, the flow update and the
+// module invocations themselves — no allocation, no telemetry child
+// lookups. Supervision bookkeeping (revival scans, breaker evaluation)
+// runs on the virtual capture clock and only when armed.
 func (m *Manager) HandlePacket(c *packet.Captured) {
 	// Data Store append errors surface only when disk logging is
 	// enabled; the window append itself cannot fail. A passive IDS
@@ -284,9 +314,38 @@ func (m *Manager) HandlePacket(c *packet.Captured) {
 	}
 	snap := m.snap
 	timed := m.timed
+	flows, flowLat := m.flows, m.flowLat
+	// The flow-update latency is sampled (1 in 16 packets): two clock
+	// reads per packet would cost more than the update they measure.
+	if m.packets&0xf != 0 {
+		flowLat = nil
+	}
+	var health []healthEvent
+	if len(m.pendingHealth) > 0 {
+		health = m.pendingHealth
+		m.pendingHealth = nil
+	}
 	m.invocations += uint64(len(snap))
 	m.met.Packets.Inc()
 	m.mu.Unlock()
+
+	if len(health) > 0 {
+		m.publishHealth(health)
+	}
+
+	// The flow table updates exactly once per packet, before module
+	// fan-out, so every module reads post-packet flow state. The
+	// latency is measured here (wall clock) rather than inside
+	// internal/flow, which stays on the virtual capture clock.
+	if flows != nil {
+		if flowLat != nil {
+			start := time.Now()
+			flows.Update(c)
+			flowLat.Observe(time.Since(start))
+		} else {
+			flows.Update(c)
+		}
+	}
 
 	for _, e := range snap {
 		var start time.Time

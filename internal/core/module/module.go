@@ -14,6 +14,7 @@ import (
 
 	"kalis/internal/core/datastore"
 	"kalis/internal/core/knowledge"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 )
 
@@ -63,6 +64,12 @@ type Context struct {
 	KB *knowledge.Base
 	// Store is the node's Data Store (recent-traffic window).
 	Store *datastore.Store
+	// Flows is the node's flow table, updated once per packet before
+	// module fan-out; detection modules acquire their endpoint
+	// trackers from it. Nil when the manager runs without a flow
+	// pipeline (direct-construction tests): modules then fall back to
+	// standalone trackers they update themselves.
+	Flows *flow.Table
 	// Emit raises a detection alert.
 	Emit func(Alert)
 	// Params are the module parameters from the configuration file.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"kalis/internal/core/knowledge"
 	"kalis/internal/packet"
 	"kalis/internal/telemetry"
 )
@@ -59,9 +60,47 @@ func (h moduleHealth) String() string {
 	}
 }
 
+// healthEvent is one supervisor state transition queued for
+// publication as a ModuleHealth.<name> collective knowgget.
+type healthEvent struct {
+	name, state string
+}
+
+// noteHealthLocked queues a module's current supervision state for
+// publication. Callers must hold m.mu; the event is published by the
+// next drain point (HandlePacket's per-packet check, or the cold-path
+// callers' own drainHealth), outside the lock.
+func (m *Manager) noteHealthLocked(st *moduleState) {
+	m.pendingHealth = append(m.pendingHealth, healthEvent{name: st.name, state: st.health.String()})
+}
+
+// publishHealth stores queued transitions as collective
+// ModuleHealth.<name> knowggets, so peer Kalis nodes can correlate
+// module crashes across the network. Must be called without m.mu held.
+func (m *Manager) publishHealth(evs []healthEvent) {
+	for _, e := range evs {
+		m.kb.PutCollective(knowledge.LabelModuleHealth+"."+e.name, "", e.state)
+	}
+}
+
+// drainHealth publishes any queued transitions. Used by the cold-path
+// transition sites (quarantine, probation exit) that own their own
+// locking; the per-packet path drains inline in HandlePacket instead.
+func (m *Manager) drainHealth() {
+	m.mu.Lock()
+	evs := m.pendingHealth
+	m.pendingHealth = nil
+	m.mu.Unlock()
+	if len(evs) > 0 {
+		m.publishHealth(evs)
+	}
+}
+
 // moduleState is the manager's per-module bookkeeping: activation
 // (knowledge-driven) and supervision (fault containment).
 type moduleState struct {
+	// name is the module's registry name (for health publication).
+	name string
 	// Activation. want is the target the knowledge predicate asks for;
 	// applied is the last transition actually delivered to the module;
 	// transitioning marks the single goroutine currently applying
@@ -210,8 +249,10 @@ func (m *Manager) quarantine(st *moduleState, at time.Time, cause interface{}) {
 	st.lastPanic = fmt.Sprint(cause)
 	st.panics.Inc()
 	m.met.Quarantined.Set(int64(m.degraded))
+	m.noteHealthLocked(st)
 	m.rebuildSnapLocked()
 	m.mu.Unlock()
+	m.drainHealth()
 }
 
 // backoffLocked computes the quarantine backoff for the given strike
@@ -242,6 +283,7 @@ func (m *Manager) reviveLocked(now time.Time) {
 				st.health = stateProbing
 				st.probeLeft = m.sup.ProbePackets
 				m.degraded--
+				m.noteHealthLocked(st)
 				changed = true
 			}
 		case stateShed:
@@ -257,6 +299,7 @@ func (m *Manager) reviveLocked(now time.Time) {
 			st.health = stateHealthy
 			st.over = 0
 			m.degraded--
+			m.noteHealthLocked(st)
 			changed = true
 		}
 	}
@@ -276,12 +319,18 @@ func (m *Manager) probeOK(st *moduleState) {
 		return
 	}
 	st.probeLeft--
+	readmitted := false
 	if st.probeLeft <= 0 {
 		st.health = stateHealthy
 		st.strikes = 0
+		m.noteHealthLocked(st)
 		m.rebuildSnapLocked()
+		readmitted = true
 	}
 	m.mu.Unlock()
+	if readmitted {
+		m.drainHealth()
+	}
 }
 
 // breakerLocked is the latency circuit breaker: fed by the per-module
@@ -316,6 +365,7 @@ func (m *Manager) breakerLocked(now time.Time) {
 			st.until = now.Add(m.sup.ShedBackoff)
 			m.degraded++
 			m.met.BreakerTrips.Inc()
+			m.noteHealthLocked(st)
 			changed = true
 		}
 	}

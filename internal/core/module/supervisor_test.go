@@ -96,6 +96,69 @@ func TestPanicQuarantineProbationReadmission(t *testing.T) {
 	}
 }
 
+// TestHealthPublishedAsCollectiveKnowggets checks that every supervisor
+// transition lands in the Knowledge Base as a ModuleHealth.<name>
+// collective knowgget, so peer Kalis nodes can correlate module crashes
+// across the network.
+func TestHealthPublishedAsCollectiveKnowggets(t *testing.T) {
+	m, kb := newTestManager(true)
+	var mu sync.Mutex
+	var synced []knowledge.Knowgget
+	kb.SetSync(func(k knowledge.Knowgget) {
+		mu.Lock()
+		synced = append(synced, k)
+		mu.Unlock()
+	})
+	bomb := &bombModule{fakeModule: fakeModule{name: "bomb", kind: KindDetection}}
+	m.Install(bomb, nil)
+	wireSupervisorMetrics(m)
+	m.SetSupervisor(SupervisorConfig{
+		Backoff:      10 * time.Second,
+		MaxBackoff:   40 * time.Second,
+		ProbePackets: 2,
+	})
+
+	health := func() string {
+		v, _ := kb.Value("ModuleHealth.bomb")
+		return v
+	}
+
+	bomb.armed = true
+	m.HandlePacket(pktAt(100))
+	if got := health(); got != "quarantined" {
+		t.Fatalf("ModuleHealth.bomb after panic = %q, want quarantined", got)
+	}
+
+	bomb.armed = false
+	m.HandlePacket(pktAt(110)) // backoff elapsed: probation
+	if got := health(); got != "probing" {
+		t.Fatalf("ModuleHealth.bomb after backoff = %q, want probing", got)
+	}
+	m.HandlePacket(pktAt(111)) // clean probe: re-admitted
+	if got := health(); got != "healthy" {
+		t.Fatalf("ModuleHealth.bomb after probe = %q, want healthy", got)
+	}
+
+	// The knowggets are collective: each transition reached the peer
+	// synchronization hook.
+	mu.Lock()
+	defer mu.Unlock()
+	var states []string
+	for _, k := range synced {
+		if k.Label != "ModuleHealth.bomb" {
+			continue
+		}
+		if !k.Collective {
+			t.Errorf("ModuleHealth knowgget not marked collective: %+v", k)
+		}
+		states = append(states, k.Value)
+	}
+	want := []string{"quarantined", "probing", "healthy"}
+	if fmt.Sprint(states) != fmt.Sprint(want) {
+		t.Errorf("synced health states = %v, want %v", states, want)
+	}
+}
+
 func TestQuarantineBackoffDoublesAndCaps(t *testing.T) {
 	m, _ := newTestManager(true)
 	bomb := &bombModule{fakeModule: fakeModule{name: "bomb", kind: KindDetection}, armed: true}

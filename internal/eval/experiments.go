@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"kalis/internal/attack"
@@ -14,6 +15,7 @@ import (
 	"kalis/internal/metrics"
 	"kalis/internal/netsim"
 	"kalis/internal/packet"
+	"kalis/internal/telemetry"
 )
 
 // Options configures experiment runs.
@@ -398,6 +400,106 @@ func KnowledgeSharing(opts Options) (*WormholeResult, error) {
 		case attack.Blackhole:
 			out.WithoutBlackholeAlerts++
 		}
+	}
+	return out, nil
+}
+
+// ModuleOverheadRow is one module's cost within a scenario, scraped
+// from the node's kalis_module_packet_seconds histogram after the
+// replay: how often the module ran, its mean per-invocation latency,
+// and its share of the total time spent inside detection modules.
+type ModuleOverheadRow struct {
+	Module      string
+	Invocations uint64
+	MeanMicros  float64
+	Share       float64
+}
+
+// ModuleOverheadScenario is the per-module cost breakdown for one
+// Fig. 8 scenario.
+type ModuleOverheadScenario struct {
+	Scenario string
+	// Packets the node processed (kalis_packets_total).
+	Packets uint64
+	// TotalMicrosPerPacket is the summed module time divided by the
+	// packet count: the aggregate detection overhead per packet.
+	TotalMicrosPerPacket float64
+	Rows                 []ModuleOverheadRow
+}
+
+// ModuleOverheadResult holds the per-scenario module overhead tables.
+type ModuleOverheadResult struct {
+	Scenarios []ModuleOverheadScenario
+}
+
+// ModuleOverhead replays every Fig. 8 scenario through a fresh Kalis
+// node and reads the per-module latency histograms off the node's
+// telemetry registry before closing it. Unlike Table II this measures
+// where the time goes, not how much the whole system costs.
+func ModuleOverhead(opts Options) (*ModuleOverheadResult, error) {
+	out := &ModuleOverheadResult{}
+	for si, sc := range Scenarios() {
+		seed := opts.Seed + int64(si)*101
+		episodes := opts.Episodes
+		if episodes <= 0 {
+			episodes = sc.Episodes
+		}
+		node, err := core.New(core.Config{
+			NodeID:          "K1",
+			KnowledgeDriven: true,
+			WindowSize:      2048,
+			InstallAll:      true,
+		})
+		if err != nil {
+			return nil, err
+		}
+		run := sc.Build(seed, episodes)
+		run.Sniffer.Subscribe(node.HandleCapture)
+		run.Sim.Run(run.End)
+
+		snap := node.Telemetry().Snapshot()
+		if err := node.Close(); err != nil {
+			return nil, err
+		}
+
+		scen := ModuleOverheadScenario{Scenario: sc.Name}
+		if ms, ok := snap["kalis_packets_total"]; ok {
+			if n, ok := ms.Value.(uint64); ok {
+				scen.Packets = n
+			}
+		}
+		var totalSeconds float64
+		if ms, ok := snap["kalis_module_packet_seconds"]; ok {
+			byModule, _ := ms.Value.(map[string]interface{})
+			for name, v := range byModule {
+				h, ok := v.(telemetry.HistogramSnapshot)
+				if !ok || h.Count == 0 {
+					continue
+				}
+				totalSeconds += h.SumSeconds
+				scen.Rows = append(scen.Rows, ModuleOverheadRow{
+					Module:      name,
+					Invocations: h.Count,
+					MeanMicros:  h.SumSeconds / float64(h.Count) * 1e6,
+				})
+			}
+		}
+		if totalSeconds > 0 {
+			for i := range scen.Rows {
+				r := &scen.Rows[i]
+				r.Share = r.MeanMicros * float64(r.Invocations) / 1e6 / totalSeconds
+			}
+		}
+		if scen.Packets > 0 {
+			scen.TotalMicrosPerPacket = totalSeconds / float64(scen.Packets) * 1e6
+		}
+		sort.Slice(scen.Rows, func(i, j int) bool {
+			if scen.Rows[i].Share != scen.Rows[j].Share {
+				return scen.Rows[i].Share > scen.Rows[j].Share
+			}
+			return scen.Rows[i].Module < scen.Rows[j].Module
+		})
+		out.Scenarios = append(out.Scenarios, scen)
 	}
 	return out, nil
 }

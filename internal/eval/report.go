@@ -89,6 +89,20 @@ func WriteKnowledgeSharing(w io.Writer, res *WormholeResult) {
 		100*res.WithAccuracy, 100*res.WithoutAccuracy)
 }
 
+// WriteModuleOverhead renders the per-scenario module cost breakdown.
+func WriteModuleOverhead(w io.Writer, res *ModuleOverheadResult) {
+	fmt.Fprintln(w, "Module overhead — mean per-invocation latency from kalis_module_packet_seconds")
+	fmt.Fprintln(w, strings.Repeat("-", 78))
+	for _, sc := range res.Scenarios {
+		fmt.Fprintf(w, "%s (%d packets, %.2f µs of module time per packet)\n",
+			sc.Scenario, sc.Packets, sc.TotalMicrosPerPacket)
+		for _, r := range sc.Rows {
+			fmt.Fprintf(w, "  %-28s %8d inv %9.3f µs/inv %5.1f%%\n",
+				r.Module, r.Invocations, r.MeanMicros, 100*r.Share)
+		}
+	}
+}
+
 // WriteCountermeasure renders the §VI-B1 response-action comparison.
 func WriteCountermeasure(w io.Writer, res *CountermeasureResult) {
 	fmt.Fprintln(w, "Countermeasure effectiveness (§VI-B1) — revocation driven by alerts")

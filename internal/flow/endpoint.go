@@ -1,0 +1,571 @@
+package flow
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+	"kalis/internal/proto/ieee802154"
+	"kalis/internal/proto/stack"
+	"kalis/internal/proto/tcp"
+	"kalis/internal/proto/zigbee"
+)
+
+// This file holds the endpoint-level aggregate trackers: flow state
+// keyed by victim, initiator or transmitter identity rather than by
+// 5-tuple, serving the detection modules their traffic statistics in
+// O(1) per packet. Trackers are acquired from a Table (deduplicated by
+// configuration and reference-counted, so e.g. the ICMP-flood and Smurf
+// modules share one victim window and the table updates it once per
+// packet), or created standalone for direct-construction unit tests.
+// All pruning runs on capture timestamps (simclock discipline).
+
+// KindMask is a bitmask over packet.Kind values (the kind space is
+// small and stable; see packet.Kind).
+type KindMask uint64
+
+// MaskOf builds a mask matching the given kinds.
+func MaskOf(kinds ...packet.Kind) KindMask {
+	var m KindMask
+	for _, k := range kinds {
+		m |= 1 << uint(k)
+	}
+	return m
+}
+
+// Has reports whether the mask matches the kind.
+func (m KindMask) Has(k packet.Kind) bool { return m&(1<<uint(k)) != 0 }
+
+// Event is one observation in a victim window.
+type Event struct {
+	At   time.Time
+	RSSI float64
+	Src  packet.NodeID
+}
+
+// victimKey deduplicates victim windows by configuration.
+type victimKey struct {
+	mask   KindMask
+	window time.Duration
+}
+
+// VictimWindow keeps, per destination, the sliding window of matching
+// packets — the rate evidence behind the flood detectors. Pruning
+// happens on insert, so the per-packet cost is amortized O(1) and
+// independent of the window length.
+type VictimWindow struct {
+	mask   KindMask
+	window time.Duration
+
+	mu    sync.Mutex
+	byDst map[packet.NodeID][]Event
+
+	table *Table
+	vkey  victimKey
+	refs  int
+}
+
+// NewVictimWindow creates a standalone victim window (not attached to a
+// table); the owner calls Observe itself.
+func NewVictimWindow(mask KindMask, window time.Duration) *VictimWindow {
+	return &VictimWindow{mask: mask, window: window, byDst: make(map[packet.NodeID][]Event)}
+}
+
+// VictimWindow acquires the table's shared victim window for the given
+// kind mask and window, creating it on first use. Release the handle
+// when done (module Deactivate).
+func (t *Table) VictimWindow(mask KindMask, window time.Duration) *VictimWindow {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := victimKey{mask: mask, window: window}
+	w := t.victims[k]
+	if w == nil {
+		w = NewVictimWindow(mask, window)
+		w.table, w.vkey = t, k
+		t.victims[k] = w
+		t.addTrackerLocked(w)
+	}
+	w.refs++
+	return w
+}
+
+// Release returns the handle; the last release detaches the tracker
+// from its table (standalone windows ignore Release).
+func (w *VictimWindow) Release() {
+	if w.table == nil {
+		return
+	}
+	t := w.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	w.refs--
+	if w.refs <= 0 {
+		delete(t.victims, w.vkey)
+		t.dropTrackerLocked(w)
+	}
+}
+
+// Observe implements Tracker.
+func (w *VictimWindow) Observe(c *packet.Captured) {
+	if !w.mask.Has(c.Kind) {
+		return
+	}
+	w.mu.Lock()
+	evs := append(w.byDst[c.Dst], Event{At: c.Time, RSSI: c.RSSI, Src: c.Src})
+	cut := 0
+	for cut < len(evs) && c.Time.Sub(evs[cut].At) > w.window {
+		cut++
+	}
+	evs = evs[cut:]
+	w.byDst[c.Dst] = evs
+	w.mu.Unlock()
+}
+
+// Len returns the current window size for a destination without
+// copying — the cheap threshold probe.
+func (w *VictimWindow) Len(dst packet.NodeID) int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.byDst[dst])
+}
+
+// Events returns a copy of the destination's current window (called on
+// the cold, threshold-crossed branch only).
+func (w *VictimWindow) Events(dst packet.NodeID) []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	evs := w.byDst[dst]
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// TCPHandshakes tracks open TCP handshakes per initiator→responder pair
+// and handshake-completing pure ACKs per responder — the evidence that
+// separates a legitimate connection burst from a spoofed SYN flood.
+type TCPHandshakes struct {
+	window time.Duration
+
+	mu      sync.Mutex
+	pending map[string]bool
+	comps   map[packet.NodeID][]time.Time
+
+	table *Table
+	refs  int
+}
+
+// NewTCPHandshakes creates a standalone handshake tracker.
+func NewTCPHandshakes(window time.Duration) *TCPHandshakes {
+	return &TCPHandshakes{
+		window:  window,
+		pending: make(map[string]bool),
+		comps:   make(map[packet.NodeID][]time.Time),
+	}
+}
+
+// Handshakes acquires the table's shared handshake tracker for the
+// given completion window.
+func (t *Table) Handshakes(window time.Duration) *TCPHandshakes {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h := t.handshakes[window]
+	if h == nil {
+		h = NewTCPHandshakes(window)
+		h.table = t
+		t.handshakes[window] = h
+		t.addTrackerLocked(h)
+	}
+	h.refs++
+	return h
+}
+
+// Release returns the handle (see VictimWindow.Release).
+func (h *TCPHandshakes) Release() {
+	if h.table == nil {
+		return
+	}
+	t := h.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	h.refs--
+	if h.refs <= 0 {
+		delete(t.handshakes, h.window)
+		t.dropTrackerLocked(h)
+	}
+}
+
+// Observe implements Tracker.
+func (h *TCPHandshakes) Observe(c *packet.Captured) {
+	switch c.Kind {
+	case packet.KindTCPSYN:
+		h.mu.Lock()
+		h.pending[string(c.Src)+"|"+string(c.Dst)] = true
+		h.mu.Unlock()
+	case packet.KindTCPACK:
+		// A pure ACK from an initiator with an open handshake is the
+		// handshake-completing third packet — legitimate bursts produce
+		// these, spoofed floods cannot.
+		seg, ok := c.Layer("tcp").(*tcp.Segment)
+		if !ok || !seg.IsACK() || len(seg.Payload) != 0 {
+			return
+		}
+		key := string(c.Src) + "|" + string(c.Dst)
+		h.mu.Lock()
+		if h.pending[key] {
+			delete(h.pending, key)
+			h.comps[c.Dst] = append(h.comps[c.Dst], c.Time)
+		}
+		h.mu.Unlock()
+	}
+}
+
+// Completions returns how many handshakes completed towards dst within
+// the window ending at now (pruning as it counts).
+func (h *TCPHandshakes) Completions(dst packet.NodeID, now time.Time) int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	comps := h.comps[dst]
+	cut := 0
+	for cut < len(comps) && now.Sub(comps[cut]) > h.window {
+		cut++
+	}
+	comps = comps[cut:]
+	h.comps[dst] = comps
+	return len(comps)
+}
+
+// identityKey deduplicates identity-stats trackers by configuration.
+type identityKey struct {
+	alpha  float64
+	medium packet.Medium
+}
+
+// IdentityStats keeps per-transmitter smoothed RSSI fingerprints with
+// first-seen times — the sybil module's evidence that a group of
+// recently-appeared identities shares one physical position.
+type IdentityStats struct {
+	alpha  float64
+	medium packet.Medium
+
+	mu    sync.Mutex
+	start time.Time
+	ids   map[packet.NodeID]*identStat
+
+	table *Table
+	ikey  identityKey
+	refs  int
+}
+
+// identStat is one identity's fingerprint state, held in a single map
+// so the per-packet update costs one hash lookup.
+type identStat struct {
+	ewma      float64
+	frames    int
+	firstSeen time.Time
+}
+
+// NewIdentityStats creates a standalone identity tracker.
+func NewIdentityStats(alpha float64, medium packet.Medium) *IdentityStats {
+	return &IdentityStats{
+		alpha:  alpha,
+		medium: medium,
+		ids:    make(map[packet.NodeID]*identStat),
+	}
+}
+
+// IdentityStats acquires the table's shared identity tracker for the
+// given EWMA smoothing factor and medium.
+func (t *Table) IdentityStats(alpha float64, medium packet.Medium) *IdentityStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	k := identityKey{alpha: alpha, medium: medium}
+	s := t.identities[k]
+	if s == nil {
+		s = NewIdentityStats(alpha, medium)
+		s.table, s.ikey = t, k
+		t.identities[k] = s
+		t.addTrackerLocked(s)
+	}
+	s.refs++
+	return s
+}
+
+// Release returns the handle (see VictimWindow.Release).
+func (s *IdentityStats) Release() {
+	if s.table == nil {
+		return
+	}
+	t := s.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.refs--
+	if s.refs <= 0 {
+		delete(t.identities, s.ikey)
+		t.dropTrackerLocked(s)
+	}
+}
+
+// Observe implements Tracker.
+func (s *IdentityStats) Observe(c *packet.Captured) {
+	if c.Medium != s.medium || c.Transmitter == "" {
+		return
+	}
+	s.mu.Lock()
+	if s.start.IsZero() {
+		s.start = c.Time
+	}
+	st := s.ids[c.Transmitter]
+	if st == nil {
+		s.ids[c.Transmitter] = &identStat{ewma: c.RSSI, frames: 1, firstSeen: c.Time}
+	} else {
+		st.ewma += s.alpha * (c.RSSI - st.ewma)
+		st.frames++
+	}
+	s.mu.Unlock()
+}
+
+// Cluster collects the recently-appeared identities (first seen more
+// than warmup after the tracker's first packet, with at least minFrames
+// frames) whose fingerprints lie within tol dB of the given identity's
+// fingerprint. It returns nil when the center identity itself does not
+// qualify.
+func (s *IdentityStats) Cluster(id packet.NodeID, tol float64, minFrames int, warmup time.Duration) []packet.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	center := s.ids[id]
+	if center == nil || !s.isNewLocked(center, warmup) || center.frames < minFrames {
+		return nil
+	}
+	var cluster []packet.NodeID
+	for other, st := range s.ids {
+		if !s.isNewLocked(st, warmup) || st.frames < minFrames {
+			continue
+		}
+		if math.Abs(st.ewma-center.ewma) <= tol {
+			cluster = append(cluster, other)
+		}
+	}
+	sort.Slice(cluster, func(i, j int) bool { return cluster[i] < cluster[j] })
+	return cluster
+}
+
+// isNewLocked reports whether the identity appeared after the warmup
+// period (pre-existing identities are legitimate even if co-located).
+func (s *IdentityStats) isNewLocked(st *identStat, warmup time.Duration) bool {
+	return st.firstSeen.Sub(s.start) > warmup
+}
+
+// MotionConfig tunes an IdentityMotion tracker (and is its dedup key).
+type MotionConfig struct {
+	// Medium restricts observation to one capture medium.
+	Medium packet.Medium
+	// Threshold is the RSSI jump threshold in dB.
+	Threshold float64
+	// Window prunes jump/flip/wobble evidence.
+	Window time.Duration
+	// Alpha is the RSSI EWMA smoothing factor.
+	Alpha float64
+	// MinSamples is the per-identity sample count before deviations
+	// count as evidence.
+	MinSamples int
+}
+
+// motionTrack is per-identity motion state.
+type motionTrack struct {
+	ewma    float64
+	samples int
+	lastSeq uint8
+	seqInit bool
+	jumps   []time.Time // RSSI jump timestamps (window-pruned)
+	flips   []time.Time // seq regression timestamps (window-pruned)
+	wobbles []time.Time // sub-jump RSSI deviations (baseline health)
+}
+
+// IdentityMotion tracks per-transmitter RSSI jumps and sequence-counter
+// conflicts — the replication modules' evidence that one identity is
+// transmitted from two places (static networks) or originated by two
+// devices at once (mobile networks).
+type IdentityMotion struct {
+	cfg MotionConfig
+
+	mu     sync.Mutex
+	tracks map[packet.NodeID]*motionTrack
+
+	table *Table
+	refs  int
+}
+
+// MotionSnapshot is the race-safe read of one identity's current
+// evidence.
+type MotionSnapshot struct {
+	// Jumps and Flips count the in-window RSSI jumps and sequence
+	// regressions.
+	Jumps, Flips int
+	// LastJump and LastFlip timestamp the most recent evidence (zero
+	// when none) — detectors alert only when the triggering packet
+	// itself is fresh evidence.
+	LastJump, LastFlip time.Time
+}
+
+// NewIdentityMotion creates a standalone motion tracker.
+func NewIdentityMotion(cfg MotionConfig) *IdentityMotion {
+	return &IdentityMotion{cfg: cfg, tracks: make(map[packet.NodeID]*motionTrack)}
+}
+
+// Motion acquires the table's shared motion tracker for the given
+// configuration (the static and mobile replication modules share one
+// tracker when configured alike, so the state updates once per packet).
+func (t *Table) Motion(cfg MotionConfig) *IdentityMotion {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m := t.motions[cfg]
+	if m == nil {
+		m = NewIdentityMotion(cfg)
+		m.table = t
+		t.motions[cfg] = m
+		t.addTrackerLocked(m)
+	}
+	m.refs++
+	return m
+}
+
+// Release returns the handle (see VictimWindow.Release).
+func (m *IdentityMotion) Release() {
+	if m.table == nil {
+		return
+	}
+	t := m.table
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	m.refs--
+	if m.refs <= 0 {
+		delete(t.motions, m.cfg)
+		t.dropTrackerLocked(m)
+	}
+}
+
+// Observe implements Tracker.
+func (m *IdentityMotion) Observe(c *packet.Captured) {
+	if c.Medium != m.cfg.Medium || c.Transmitter == "" {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id := c.Transmitter
+	t := m.tracks[id]
+	if t == nil {
+		t = &motionTrack{ewma: c.RSSI, samples: 1}
+		m.tracks[id] = t
+		if seq, _, ok := seqInfo(c); ok {
+			t.lastSeq = seq
+			t.seqInit = true
+		}
+		return
+	}
+	t.samples++
+	dev := math.Abs(c.RSSI - t.ewma)
+	if t.samples > m.cfg.MinSamples && dev > m.cfg.Threshold {
+		t.jumps = append(t.jumps, c.Time)
+		// Re-anchor on the new position so alternation keeps counting.
+		t.ewma = c.RSSI
+	} else {
+		if t.samples > m.cfg.MinSamples && dev > m.cfg.Threshold/2 {
+			// Sub-jump deviation: not replica-grade, but evidence the
+			// RSSI baseline is in motion.
+			t.wobbles = append(t.wobbles, c.Time)
+		}
+		t.ewma += m.cfg.Alpha * (c.RSSI - t.ewma)
+	}
+	if seq, trusted, ok := seqInfo(c); ok && trusted {
+		if t.seqInit {
+			// A regression (non-monotonic, not a wraparound) means two
+			// counters are interleaved under one identity.
+			diff := int8(seq - t.lastSeq)
+			if diff <= 0 && seq != t.lastSeq {
+				t.flips = append(t.flips, c.Time)
+			}
+		}
+		t.lastSeq = seq
+		t.seqInit = true
+	}
+	if len(t.jumps) > 0 {
+		t.jumps = pruneTimes(t.jumps, c.Time, m.cfg.Window)
+	}
+	if len(t.flips) > 0 {
+		t.flips = pruneTimes(t.flips, c.Time, m.cfg.Window)
+	}
+	if len(t.wobbles) > 0 {
+		t.wobbles = pruneTimes(t.wobbles, c.Time, m.cfg.Window)
+	}
+}
+
+// Snapshot returns the identity's current evidence (zero value when the
+// identity is unknown).
+func (m *IdentityMotion) Snapshot(id packet.NodeID) MotionSnapshot {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t := m.tracks[id]
+	if t == nil {
+		return MotionSnapshot{}
+	}
+	s := MotionSnapshot{Jumps: len(t.jumps), Flips: len(t.flips)}
+	if s.Jumps > 0 {
+		s.LastJump = t.jumps[s.Jumps-1]
+	}
+	if s.Flips > 0 {
+		s.LastFlip = t.flips[s.Flips-1]
+	}
+	return s
+}
+
+// JumpyFraction reports the fraction of identities whose RSSI baseline
+// is currently unstable (jumps or sub-jump wobbles) — the baseline-
+// health veto of the static replication technique: when the whole
+// network is in motion, RSSI stability means nothing.
+func (m *IdentityMotion) JumpyFraction() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.tracks) == 0 {
+		return 0
+	}
+	jumpy := 0
+	for _, t := range m.tracks {
+		if len(t.jumps) > 0 || len(t.wobbles) > 0 {
+			jumpy++
+		}
+	}
+	return float64(jumpy) / float64(len(m.tracks))
+}
+
+func pruneTimes(ts []time.Time, now time.Time, window time.Duration) []time.Time {
+	cut := 0
+	for cut < len(ts) && now.Sub(ts[cut]) > window {
+		cut++
+	}
+	return ts[cut:]
+}
+
+// seqInfo extracts the most end-to-end sequence counter the capture
+// carries — CTP data sequence numbers, then ZigBee NWK sequence
+// numbers, then the per-hop 802.15.4 MAC sequence (all keyed by
+// transmitter identity, so per-hop counters are still per-identity
+// monotonic) — in a single pass over the layer stack. trusted reports
+// whether the counter belongs to the transmitter identity itself:
+// forwarded frames carry the *origin's* counter, which legitimately
+// interleaves several counters under one relaying transmitter — those
+// must not count as flips.
+func seqInfo(c *packet.Captured) (seq uint8, trusted, ok bool) {
+	if d, ok := c.Layer("ctp-data").(*ctp.Data); ok {
+		return d.SeqNo, c.Src == c.Transmitter, true
+	}
+	if n, ok := c.Layer("zigbee").(*zigbee.Frame); ok {
+		return n.Seq, stack.ShortID(n.Src) == c.Transmitter, true
+	}
+	if f, ok := c.Layer("ieee802154").(*ieee802154.Frame); ok {
+		return f.Seq, true, true
+	}
+	return 0, false, false
+}

@@ -1,0 +1,296 @@
+package flow
+
+import (
+	"net/netip"
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+	"kalis/internal/proto/tcp"
+)
+
+// idCap builds a synthetic 802.15.4 capture for identity trackers.
+func idCap(id packet.NodeID, rssi float64, at time.Time) *packet.Captured {
+	return &packet.Captured{
+		Time:        at,
+		Medium:      packet.MediumIEEE802154,
+		Kind:        packet.KindCTPData,
+		Src:         id,
+		Dst:         "sink",
+		Transmitter: id,
+		RSSI:        rssi,
+	}
+}
+
+func TestVictimWindowMaskAndPrune(t *testing.T) {
+	w := NewVictimWindow(MaskOf(packet.KindICMPEchoReply), 5*time.Second)
+
+	// Non-matching kinds never enter the window.
+	w.Observe(&packet.Captured{Kind: packet.KindICMPEchoRequest, Dst: "v", Time: t0})
+	if w.Len("v") != 0 {
+		t.Fatal("masked-out kind entered the window")
+	}
+
+	mk := func(src packet.NodeID, at time.Time, rssi float64) *packet.Captured {
+		return &packet.Captured{Kind: packet.KindICMPEchoReply, Src: src, Dst: "v", Time: at, RSSI: rssi}
+	}
+	w.Observe(mk("a", t0, -50))
+	w.Observe(mk("b", t0.Add(3*time.Second), -55))
+	// 7s after the first event: the insert prunes it ("b" at age 4s
+	// survives the 5s window).
+	w.Observe(mk("c", t0.Add(7*time.Second), -60))
+	if got := w.Len("v"); got != 2 {
+		t.Errorf("Len = %d, want 2 (stale event not pruned)", got)
+	}
+	evs := w.Events("v")
+	if len(evs) != 2 || evs[0].Src != "b" || evs[1].Src != "c" {
+		t.Errorf("Events = %+v, want b then c", evs)
+	}
+	if evs[0].RSSI != -55 || !evs[1].At.Equal(t0.Add(7*time.Second)) {
+		t.Errorf("event metadata lost: %+v", evs)
+	}
+	// Windows are per destination.
+	if w.Len("other") != 0 {
+		t.Error("window leaked across destinations")
+	}
+	// Standalone trackers ignore Release.
+	w.Release()
+}
+
+func TestTCPHandshakeCompletions(t *testing.T) {
+	h := NewTCPHandshakes(10 * time.Second)
+	cli := netip.MustParseAddr("10.0.0.1")
+	srv := netip.MustParseAddr("10.0.0.2")
+	pkt := func(raw []byte, at time.Time) *packet.Captured {
+		c, err := stack.Decode(packet.MediumWired, raw)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		c.Time = at
+		return c
+	}
+
+	// A pure ACK with no open handshake counts nothing.
+	h.Observe(pkt(stack.BuildTCP(cli, srv, 10000, 443, tcp.FlagACK, 1, 1, 1, nil), t0))
+	if got := h.Completions(pkt(stack.BuildTCP(cli, srv, 10000, 443, tcp.FlagACK, 1, 1, 1, nil), t0).Dst, t0); got != 0 {
+		t.Errorf("completions without SYN = %d, want 0", got)
+	}
+
+	// SYN then handshake-completing pure ACK.
+	syn := pkt(stack.BuildTCP(cli, srv, 10000, 443, tcp.FlagSYN, 1, 0, 2, nil), t0)
+	h.Observe(syn)
+	ack := pkt(stack.BuildTCP(cli, srv, 10000, 443, tcp.FlagACK, 2, 100, 3, nil), t0.Add(time.Second))
+	h.Observe(ack)
+	if got := h.Completions(ack.Dst, t0.Add(time.Second)); got != 1 {
+		t.Errorf("completions = %d, want 1", got)
+	}
+
+	// An ACK carrying payload is data, not a handshake completion.
+	h.Observe(pkt(stack.BuildTCP(cli, srv, 10001, 443, tcp.FlagSYN, 1, 0, 4, nil), t0.Add(2*time.Second)))
+	h.Observe(pkt(stack.BuildTCP(cli, srv, 10001, 443, tcp.FlagACK, 2, 100, 5, []byte("data")), t0.Add(3*time.Second)))
+	if got := h.Completions(ack.Dst, t0.Add(3*time.Second)); got != 1 {
+		t.Errorf("payload ACK counted as completion: %d, want 1", got)
+	}
+
+	// Completions age out of the window.
+	if got := h.Completions(ack.Dst, t0.Add(time.Minute)); got != 0 {
+		t.Errorf("completions after window = %d, want 0", got)
+	}
+}
+
+func TestIdentityStatsCluster(t *testing.T) {
+	const (
+		tol       = 5.0
+		minFrames = 3
+		warmup    = 10 * time.Second
+	)
+	s := NewIdentityStats(0.3, packet.MediumIEEE802154)
+
+	// Pre-existing identity: present from the tracker's first packet.
+	for i := 0; i < minFrames; i++ {
+		s.Observe(idCap("old", -60, t0.Add(time.Duration(i)*time.Second)))
+	}
+	// Wrong-medium and anonymous frames never count.
+	wifi := idCap("wifi", -60, t0)
+	wifi.Medium = packet.MediumWiFi
+	s.Observe(wifi)
+	anon := idCap("", -60, t0)
+	s.Observe(anon)
+
+	// Three new identities appear after warmup, co-located around -60 dB,
+	// plus one new identity far away and one without enough frames.
+	late := t0.Add(warmup + time.Second)
+	for i := 0; i < minFrames; i++ {
+		at := late.Add(time.Duration(i) * time.Second)
+		s.Observe(idCap("n1", -60, at))
+		s.Observe(idCap("n2", -61, at))
+		s.Observe(idCap("n3", -59, at))
+		s.Observe(idCap("far", -90, at))
+	}
+	s.Observe(idCap("sparse", -60, late))
+
+	got := s.Cluster("n1", tol, minFrames, warmup)
+	want := []packet.NodeID{"n1", "n2", "n3"}
+	if len(got) != len(want) {
+		t.Fatalf("cluster = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("cluster = %v, want %v", got, want)
+		}
+	}
+
+	// A center that does not qualify yields no cluster at all.
+	if c := s.Cluster("old", tol, minFrames, warmup); c != nil {
+		t.Errorf("pre-warmup center clustered: %v", c)
+	}
+	if c := s.Cluster("sparse", tol, minFrames, warmup); c != nil {
+		t.Errorf("under-minFrames center clustered: %v", c)
+	}
+	if c := s.Cluster("ghost", tol, minFrames, warmup); c != nil {
+		t.Errorf("unknown center clustered: %v", c)
+	}
+}
+
+func TestIdentityMotionJumps(t *testing.T) {
+	m := NewIdentityMotion(MotionConfig{
+		Medium:     packet.MediumIEEE802154,
+		Threshold:  10,
+		Window:     30 * time.Second,
+		Alpha:      0.3,
+		MinSamples: 2,
+	})
+	// Two samples of warmup, then the RSSI teleports: one jump.
+	m.Observe(idCap("r", -60, t0))
+	m.Observe(idCap("r", -60, t0.Add(time.Second)))
+	jumpAt := t0.Add(2 * time.Second)
+	m.Observe(idCap("r", -30, jumpAt))
+	s := m.Snapshot("r")
+	if s.Jumps != 1 || !s.LastJump.Equal(jumpAt) {
+		t.Errorf("snapshot = %+v, want 1 jump at %v", s, jumpAt)
+	}
+
+	// A second, stable identity halves the jumpy fraction.
+	for i := 0; i < 4; i++ {
+		m.Observe(idCap("calm", -70, t0.Add(time.Duration(i)*time.Second)))
+	}
+	if got := m.JumpyFraction(); got != 0.5 {
+		t.Errorf("JumpyFraction = %v, want 0.5", got)
+	}
+
+	// Evidence ages out of the window.
+	m.Observe(idCap("r", -30, jumpAt.Add(time.Minute)))
+	if s := m.Snapshot("r"); s.Jumps != 0 {
+		t.Errorf("jump survived the window: %+v", s)
+	}
+	if s := m.Snapshot("nobody"); s.Jumps != 0 || s.Flips != 0 {
+		t.Errorf("unknown identity has evidence: %+v", s)
+	}
+}
+
+func TestIdentityMotionFlips(t *testing.T) {
+	m := NewIdentityMotion(MotionConfig{
+		Medium:     packet.MediumIEEE802154,
+		Threshold:  10,
+		Window:     30 * time.Second,
+		Alpha:      0.3,
+		MinSamples: 2,
+	})
+	// CTP data frames originated by the transmitter itself (Src ==
+	// Transmitter) carry a trustworthy sequence counter.
+	ctpCap := func(seq uint8, at time.Time) *packet.Captured {
+		raw := stack.BuildCTPData(7, 2, 7, seq, 1, 10, []byte{0x01})
+		c, err := stack.Decode(packet.MediumIEEE802154, raw)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		c.Time = at
+		c.RSSI = -60
+		return c
+	}
+	m.Observe(ctpCap(5, t0))
+	m.Observe(ctpCap(6, t0.Add(time.Second))) // monotonic: no flip
+	flipAt := t0.Add(2 * time.Second)
+	m.Observe(ctpCap(4, flipAt)) // regression: two counters interleaved
+	id := ctpCap(4, flipAt).Transmitter
+	s := m.Snapshot(id)
+	if s.Flips != 1 || !s.LastFlip.Equal(flipAt) {
+		t.Errorf("snapshot = %+v, want 1 flip at %v", s, flipAt)
+	}
+	// A wraparound (255 -> 0) is not a regression (fresh identity so
+	// the prior flip evidence cannot interfere).
+	wrapCap := func(seq uint8, at time.Time) *packet.Captured {
+		raw := stack.BuildCTPData(8, 2, 8, seq, 1, 10, []byte{0x01})
+		c, err := stack.Decode(packet.MediumIEEE802154, raw)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		c.Time = at
+		c.RSSI = -60
+		return c
+	}
+	m.Observe(wrapCap(255, t0))
+	m.Observe(wrapCap(0, t0.Add(time.Second)))
+	if s := m.Snapshot(wrapCap(0, t0).Transmitter); s.Flips != 0 {
+		t.Errorf("wraparound counted as flip: %+v", s)
+	}
+}
+
+func TestTrackerDedupAndRelease(t *testing.T) {
+	tbl := NewTable(Config{Features: []string{}})
+	mask := MaskOf(packet.KindICMPEchoReply)
+
+	w1 := tbl.VictimWindow(mask, 5*time.Second)
+	w2 := tbl.VictimWindow(mask, 5*time.Second)
+	if w1 != w2 {
+		t.Error("same config yielded distinct victim windows")
+	}
+	if w3 := tbl.VictimWindow(mask, 10*time.Second); w3 == w1 {
+		t.Error("distinct configs shared a victim window")
+	} else {
+		w3.Release()
+	}
+
+	// The table drives the shared tracker once per packet.
+	c := cap1("atk", "v", t0)
+	c.Kind = packet.KindICMPEchoReply
+	tbl.Update(c)
+	if got := w1.Len("v"); got != 1 {
+		t.Errorf("table did not drive tracker: Len = %d, want 1", got)
+	}
+
+	// One release keeps the shared handle alive for the other holder.
+	w2.Release()
+	c2 := cap1("atk", "v", t0.Add(time.Second))
+	c2.Kind = packet.KindICMPEchoReply
+	tbl.Update(c2)
+	if got := w1.Len("v"); got != 2 {
+		t.Errorf("tracker detached while still held: Len = %d, want 2", got)
+	}
+
+	// The last release detaches it: further packets are not observed,
+	// and the next acquire builds a fresh tracker.
+	w1.Release()
+	c3 := cap1("atk", "v", t0.Add(2*time.Second))
+	c3.Kind = packet.KindICMPEchoReply
+	tbl.Update(c3)
+	if got := w1.Len("v"); got != 2 {
+		t.Errorf("released tracker still observed packets: Len = %d", got)
+	}
+	if w4 := tbl.VictimWindow(mask, 5*time.Second); w4 == w1 {
+		t.Error("released tracker was resurrected instead of rebuilt")
+	} else {
+		w4.Release()
+	}
+
+	// Motion trackers dedup by full config.
+	cfg := MotionConfig{Medium: packet.MediumIEEE802154, Threshold: 10, Window: 30 * time.Second, Alpha: 0.3, MinSamples: 2}
+	m1 := tbl.Motion(cfg)
+	m2 := tbl.Motion(cfg)
+	if m1 != m2 {
+		t.Error("same config yielded distinct motion trackers")
+	}
+	m1.Release()
+	m2.Release()
+}

@@ -1,0 +1,224 @@
+package flow
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"kalis/internal/packet"
+	"kalis/internal/proto/ctp"
+)
+
+// Value is one emitted feature value.
+type Value struct {
+	// Name is the exported feature-value name (e.g. "iat_mean_s").
+	Name string
+	// V is the value. Durations are emitted in seconds.
+	V float64
+}
+
+// State is one per-flow feature state machine. Update is called once
+// per packet, before the table advances the flow's Last/Packets/Bytes
+// counters (see Flow); Emit appends the feature's final values when the
+// flow is exported. Implementations must do O(1) work per packet and
+// must not allocate on the steady-state update path.
+type State interface {
+	Update(f *Flow, c *packet.Captured)
+	Emit(f *Flow, out []Value) []Value
+}
+
+// Factory builds a fresh feature state for a new flow.
+type Factory func() State
+
+var (
+	regMu    sync.RWMutex
+	registry = make(map[string]Factory)
+)
+
+// Register adds a feature under the given name. Registration happens at
+// init time; re-registering a name replaces the factory.
+func Register(name string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	registry[name] = f
+}
+
+// Features returns the registered feature names, sorted.
+func Features() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DefaultFeatures is the feature set a zero Config selects.
+func DefaultFeatures() []string {
+	return []string{"rate", "iat", "rssi", "thl", "etx"}
+}
+
+func init() {
+	Register("rate", func() State { return rateFeature{} })
+	Register("iat", func() State { return &welfordFeature{name: "iat", sample: sampleIAT} })
+	Register("rssi", func() State { return &welfordFeature{name: "rssi", sample: sampleRSSI} })
+	Register("thl", func() State { return &ctpRangeFeature{name: "thl", sample: sampleTHL} })
+	Register("etx", func() State { return &ctpRangeFeature{name: "etx", sample: sampleETX} })
+}
+
+// rateFeature emits the flow's mean packet rate. It carries no state:
+// everything it needs lives in the flow's core counters, so Update is
+// free and the rate is exact at export time.
+type rateFeature struct{}
+
+func (rateFeature) Update(*Flow, *packet.Captured) {}
+
+func (rateFeature) Emit(f *Flow, out []Value) []Value {
+	dur := f.Last.Sub(f.First).Seconds()
+	rate := 0.0
+	if dur > 0 && f.Packets > 1 {
+		rate = float64(f.Packets-1) / dur
+	}
+	return append(out, Value{Name: "rate_pps", V: rate})
+}
+
+// welford is numerically stable streaming mean/variance with min/max.
+type welford struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+func (w *welford) stddev() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return math.Sqrt(w.m2 / float64(w.n-1))
+}
+
+// welfordFeature streams one scalar sample per packet through a Welford
+// accumulator and emits mean/stddev/min/max. The sample hook returns
+// false to skip a packet (e.g. the first packet has no inter-arrival).
+type welfordFeature struct {
+	name   string
+	sample func(f *Flow, c *packet.Captured) (float64, bool)
+	w      welford
+}
+
+func (ft *welfordFeature) Update(f *Flow, c *packet.Captured) {
+	if x, ok := ft.sample(f, c); ok {
+		ft.w.add(x)
+	}
+}
+
+func (ft *welfordFeature) Emit(f *Flow, out []Value) []Value {
+	if ft.w.n == 0 {
+		return out
+	}
+	return append(out,
+		Value{Name: ft.name + "_mean", V: ft.w.mean},
+		Value{Name: ft.name + "_stddev", V: ft.w.stddev()},
+		Value{Name: ft.name + "_min", V: ft.w.min},
+		Value{Name: ft.name + "_max", V: ft.w.max},
+	)
+}
+
+// sampleIAT yields the inter-arrival time in seconds. During Update the
+// flow's Last still holds the previous packet's timestamp, so the first
+// packet (Packets == 0) is skipped.
+func sampleIAT(f *Flow, c *packet.Captured) (float64, bool) {
+	if f.Packets == 0 {
+		return 0, false
+	}
+	return c.Time.Sub(f.Last).Seconds(), true
+}
+
+// sampleRSSI yields the observed signal strength (skipped on wired
+// captures where RSSI carries no information).
+func sampleRSSI(f *Flow, c *packet.Captured) (float64, bool) {
+	if c.Medium == packet.MediumWired {
+		return 0, false
+	}
+	return c.RSSI, true
+}
+
+// ctpRangeFeature tracks first/last/min/max of a CTP header field and
+// emits the last value plus the range and total drift — the THL and ETX
+// deltas that betray routing manipulation.
+type ctpRangeFeature struct {
+	name     string
+	sample   func(c *packet.Captured) (float64, bool)
+	seen     bool
+	first    float64
+	last     float64
+	min, max float64
+}
+
+func (ft *ctpRangeFeature) Update(f *Flow, c *packet.Captured) {
+	x, ok := ft.sample(c)
+	if !ok {
+		return
+	}
+	if !ft.seen {
+		ft.seen = true
+		ft.first, ft.min, ft.max = x, x, x
+	} else {
+		if x < ft.min {
+			ft.min = x
+		}
+		if x > ft.max {
+			ft.max = x
+		}
+	}
+	ft.last = x
+}
+
+func (ft *ctpRangeFeature) Emit(f *Flow, out []Value) []Value {
+	if !ft.seen {
+		return out
+	}
+	return append(out,
+		Value{Name: ft.name + "_last", V: ft.last},
+		Value{Name: ft.name + "_range", V: ft.max - ft.min},
+		Value{Name: ft.name + "_delta", V: ft.last - ft.first},
+	)
+}
+
+// sampleTHL reads the CTP time-has-lived counter.
+func sampleTHL(c *packet.Captured) (float64, bool) {
+	if d, ok := c.Layer("ctp-data").(*ctp.Data); ok {
+		return float64(d.THL), true
+	}
+	return 0, false
+}
+
+// sampleETX reads the CTP path-cost estimate from data or beacon
+// frames.
+func sampleETX(c *packet.Captured) (float64, bool) {
+	if d, ok := c.Layer("ctp-data").(*ctp.Data); ok {
+		return float64(d.ETX), true
+	}
+	if b, ok := c.Layer("ctp-beacon").(*ctp.Beacon); ok {
+		return float64(b.ETX), true
+	}
+	return 0, false
+}

@@ -1,0 +1,337 @@
+package flow
+
+import (
+	"sync"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+// Config tunes a flow table. Zero fields select the defaults.
+type Config struct {
+	// IdleTimeout expires a flow that saw no packet for this long
+	// (capture time). Default 60s.
+	IdleTimeout time.Duration
+	// ActiveTimeout slices long-lived flows: a flow older than this is
+	// exported and restarted on its next packet. Default 5m.
+	ActiveTimeout time.Duration
+	// MaxFlows bounds the table; at capacity the least recently touched
+	// flow is evicted (and exported). Default 4096.
+	MaxFlows int
+	// SweepEvery is the packet interval between idle sweeps of the LRU
+	// tail (on-touch expiry catches re-keyed flows; the sweep catches
+	// flows that simply went quiet). Default 256.
+	SweepEvery int
+	// Features names the per-flow features to run (see Register). Nil
+	// selects DefaultFeatures; an explicit empty, non-nil slice runs
+	// none. Unknown names are ignored.
+	Features []string
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 60 * time.Second
+	}
+	if cfg.ActiveTimeout <= 0 {
+		cfg.ActiveTimeout = 5 * time.Minute
+	}
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = 4096
+	}
+	if cfg.SweepEvery <= 0 {
+		cfg.SweepEvery = 256
+	}
+	if cfg.Features == nil {
+		cfg.Features = DefaultFeatures()
+	}
+	return cfg
+}
+
+// Metrics are the table's optional telemetry hooks; zero-value fields
+// are skipped (all telemetry types are nil-safe).
+type Metrics struct {
+	// Active tracks the number of flows currently in the table.
+	Active *telemetry.Gauge
+	// Expirations counts flows exported by idle/active timeout.
+	Expirations *telemetry.Counter
+	// Evictions counts flows exported by the capacity bound.
+	Evictions *telemetry.Counter
+}
+
+// ExportFunc consumes exported flow records.
+type ExportFunc func(Record)
+
+// Tracker is an endpoint-level aggregate updated once per packet by the
+// table (see endpoint.go). Observe runs after the flow-level update,
+// outside the table lock.
+type Tracker interface {
+	Observe(c *packet.Captured)
+}
+
+// Table is the flow table: a bounded map of live flows with an
+// intrusive LRU list for eviction order, idle/active expiry on the
+// capture clock, and per-flow feature state machines.
+type Table struct {
+	cfg      Config
+	featFns  []Factory
+	featured bool
+
+	mu      sync.Mutex
+	flows   map[Key]*Flow
+	lruHead *Flow // most recently touched
+	lruTail *Flow // least recently touched
+	toSweep int
+	// lastActive is the flow count last pushed to the Active gauge, so
+	// the steady state (count unchanged) skips the per-packet store.
+	lastActive int
+	lastSeen   time.Time
+	met        Metrics
+
+	// exports and trackers are copy-on-write: Update snapshots the
+	// slice headers under mu and iterates after unlock.
+	exports  []ExportFunc
+	trackers []Tracker
+
+	// Endpoint-tracker registries, deduplicated by configuration and
+	// reference-counted (see endpoint.go).
+	victims    map[victimKey]*VictimWindow
+	handshakes map[time.Duration]*TCPHandshakes
+	identities map[identityKey]*IdentityStats
+	motions    map[MotionConfig]*IdentityMotion
+
+	expirations, evictions uint64
+}
+
+// NewTable creates a flow table.
+func NewTable(cfg Config) *Table {
+	cfg = cfg.withDefaults()
+	t := &Table{
+		cfg:        cfg,
+		flows:      make(map[Key]*Flow),
+		toSweep:    cfg.SweepEvery,
+		victims:    make(map[victimKey]*VictimWindow),
+		handshakes: make(map[time.Duration]*TCPHandshakes),
+		identities: make(map[identityKey]*IdentityStats),
+		motions:    make(map[MotionConfig]*IdentityMotion),
+	}
+	regMu.RLock()
+	for _, name := range cfg.Features {
+		if f, ok := registry[name]; ok {
+			t.featFns = append(t.featFns, f)
+		}
+	}
+	regMu.RUnlock()
+	t.featured = len(t.featFns) > 0
+	return t
+}
+
+// SetMetrics installs telemetry hooks. Call it before traffic flows.
+func (t *Table) SetMetrics(met Metrics) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.met = met
+}
+
+// OnExport registers a consumer for exported flow records. Callbacks
+// run outside the table lock, on the goroutine that triggered the
+// export (Update or Flush).
+func (t *Table) OnExport(fn ExportFunc) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	exports := make([]ExportFunc, len(t.exports), len(t.exports)+1)
+	copy(exports, t.exports)
+	t.exports = append(exports, fn)
+}
+
+// Len returns the number of live flows.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.flows)
+}
+
+// Stats returns lifetime expiration and eviction counts.
+func (t *Table) Stats() (expirations, evictions uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.expirations, t.evictions
+}
+
+// Update folds one capture into the table: expiry on touch, flow
+// creation (with LRU eviction at capacity), one feature-state update
+// per configured feature, an amortized idle sweep, and finally one
+// Observe per registered endpoint tracker. The per-packet cost is O(1)
+// in the table size and independent of any window length.
+func (t *Table) Update(c *packet.Captured) {
+	t.mu.Lock()
+	if c.Time.After(t.lastSeen) {
+		t.lastSeen = c.Time
+	}
+	k := KeyOf(c)
+	var exported []Record
+	f := t.flows[k]
+	if f != nil {
+		// Expiry on touch: a stale entry is exported and the flow
+		// restarts fresh from this packet.
+		if c.Time.Sub(f.Last) > t.cfg.IdleTimeout {
+			exported = append(exported, t.removeLocked(f, ReasonIdle))
+			f = nil
+		} else if c.Time.Sub(f.First) > t.cfg.ActiveTimeout {
+			exported = append(exported, t.removeLocked(f, ReasonActive))
+			f = nil
+		}
+	}
+	if f == nil {
+		if len(t.flows) >= t.cfg.MaxFlows && t.lruTail != nil {
+			exported = append(exported, t.removeLocked(t.lruTail, ReasonEvicted))
+		}
+		f = &Flow{Key: k, First: c.Time, Last: c.Time}
+		if t.featured {
+			f.feats = make([]State, len(t.featFns))
+			for i, fn := range t.featFns {
+				f.feats[i] = fn()
+			}
+		}
+		t.flows[k] = f
+		t.pushFrontLocked(f)
+	} else if t.lruHead != f {
+		t.unlinkLocked(f)
+		t.pushFrontLocked(f)
+	}
+	for _, fs := range f.feats {
+		fs.Update(f, c)
+	}
+	f.Last = c.Time
+	f.Packets++
+	f.Bytes += uint64(len(c.Payload))
+
+	t.toSweep--
+	if t.toSweep <= 0 {
+		t.toSweep = t.cfg.SweepEvery
+		exported = t.sweepLocked(c.Time, exported)
+	}
+	if n := len(t.flows); n != t.lastActive {
+		t.lastActive = n
+		t.met.Active.Set(int64(n))
+	}
+	trackers := t.trackers
+	exports := t.exports
+	t.mu.Unlock()
+
+	for _, tr := range trackers {
+		tr.Observe(c)
+	}
+	if len(exported) > 0 {
+		for _, fn := range exports {
+			for _, r := range exported {
+				fn(r)
+			}
+		}
+	}
+}
+
+// sweepLocked expires idle flows from the LRU tail. Because the list is
+// in touch order, the walk stops at the first non-idle flow; combined
+// with the SweepEvery amortization the cost stays O(1) per packet.
+func (t *Table) sweepLocked(now time.Time, exported []Record) []Record {
+	for t.lruTail != nil && now.Sub(t.lruTail.Last) > t.cfg.IdleTimeout {
+		exported = append(exported, t.removeLocked(t.lruTail, ReasonIdle))
+	}
+	return exported
+}
+
+// Flush exports every live flow with ReasonShutdown (at the last seen
+// capture time) and empties the table.
+func (t *Table) Flush() {
+	t.mu.Lock()
+	var exported []Record
+	for t.lruTail != nil {
+		exported = append(exported, t.removeLocked(t.lruTail, ReasonShutdown))
+	}
+	t.lastActive = 0
+	t.met.Active.Set(0)
+	exports := t.exports
+	t.mu.Unlock()
+	for _, fn := range exports {
+		for _, r := range exported {
+			fn(r)
+		}
+	}
+}
+
+// removeLocked unlinks a flow, updates the counters and builds its
+// export record. Callers must hold t.mu.
+func (t *Table) removeLocked(f *Flow, reason ExpiryReason) Record {
+	delete(t.flows, f.Key)
+	t.unlinkLocked(f)
+	switch reason {
+	case ReasonEvicted:
+		t.evictions++
+		t.met.Evictions.Inc()
+	case ReasonIdle, ReasonActive:
+		t.expirations++
+		t.met.Expirations.Inc()
+	}
+	r := Record{
+		Key:     f.Key,
+		First:   f.First,
+		Last:    f.Last,
+		Packets: f.Packets,
+		Bytes:   f.Bytes,
+		Reason:  reason,
+	}
+	if len(f.feats) > 0 {
+		out := make([]Value, 0, 4*len(f.feats))
+		for _, fs := range f.feats {
+			out = fs.Emit(f, out)
+		}
+		r.Features = out
+	}
+	return r
+}
+
+func (t *Table) pushFrontLocked(f *Flow) {
+	f.prev = nil
+	f.next = t.lruHead
+	if t.lruHead != nil {
+		t.lruHead.prev = f
+	}
+	t.lruHead = f
+	if t.lruTail == nil {
+		t.lruTail = f
+	}
+}
+
+func (t *Table) unlinkLocked(f *Flow) {
+	if f.prev != nil {
+		f.prev.next = f.next
+	} else {
+		t.lruHead = f.next
+	}
+	if f.next != nil {
+		f.next.prev = f.prev
+	} else {
+		t.lruTail = f.prev
+	}
+	f.prev, f.next = nil, nil
+}
+
+// addTrackerLocked appends a tracker copy-on-write so Update can
+// iterate a snapshot outside the lock.
+func (t *Table) addTrackerLocked(tr Tracker) {
+	trackers := make([]Tracker, len(t.trackers), len(t.trackers)+1)
+	copy(trackers, t.trackers)
+	t.trackers = append(trackers, tr)
+}
+
+// dropTrackerLocked removes a tracker copy-on-write.
+func (t *Table) dropTrackerLocked(tr Tracker) {
+	trackers := make([]Tracker, 0, len(t.trackers))
+	for _, x := range t.trackers {
+		if x != tr {
+			trackers = append(trackers, x)
+		}
+	}
+	t.trackers = trackers
+}

@@ -1,0 +1,292 @@
+package flow
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+var t0 = time.Unix(1500000000, 0).UTC()
+
+// cap1 builds a minimal capture for table tests: an ICMP echo request
+// keys purely on medium + endpoints.
+func cap1(src, dst packet.NodeID, at time.Time) *packet.Captured {
+	return &packet.Captured{
+		Time:   at,
+		Medium: packet.MediumWiFi,
+		Kind:   packet.KindICMPEchoRequest,
+		Src:    src,
+		Dst:    dst,
+		RSSI:   -60,
+	}
+}
+
+// collectRecords registers an export hook appending into the returned
+// slice (single-goroutine tests only).
+func collectRecords(t *Table) *[]Record {
+	var recs []Record
+	t.OnExport(func(r Record) { recs = append(recs, r) })
+	return &recs
+}
+
+func TestExpiryIdleVsActive(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		// gaps are the inter-packet gaps of one flow after its first
+		// packet at t0.
+		gaps       []time.Duration
+		wantReason ExpiryReason
+		// wantPackets is the packet count of the exported record.
+		wantPackets uint64
+	}{
+		{
+			name:        "idle timeout exports the stale flow on touch",
+			cfg:         Config{IdleTimeout: 10 * time.Second, ActiveTimeout: time.Hour},
+			gaps:        []time.Duration{time.Second, 11 * time.Second},
+			wantReason:  ReasonIdle,
+			wantPackets: 2,
+		},
+		{
+			name: "active timeout slices a long-lived flow",
+			cfg:  Config{IdleTimeout: time.Hour, ActiveTimeout: 10 * time.Second},
+			gaps: []time.Duration{4 * time.Second, 4 * time.Second, 4 * time.Second},
+			// The 4th packet arrives 12s after First: the flow is
+			// exported with the 3 packets seen so far and restarts.
+			wantReason:  ReasonActive,
+			wantPackets: 3,
+		},
+		{
+			name: "idle wins over active when both elapsed",
+			cfg:  Config{IdleTimeout: 10 * time.Second, ActiveTimeout: 15 * time.Second},
+			gaps: []time.Duration{20 * time.Second},
+			// One gap past both bounds: on-touch expiry checks idle
+			// first (the flow went quiet before it grew old).
+			wantReason:  ReasonIdle,
+			wantPackets: 1,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tbl := NewTable(tc.cfg)
+			recs := collectRecords(tbl)
+			at := t0
+			tbl.Update(cap1("A", "B", at))
+			for _, gap := range tc.gaps {
+				at = at.Add(gap)
+				tbl.Update(cap1("A", "B", at))
+			}
+			if len(*recs) != 1 {
+				t.Fatalf("got %d records, want 1: %+v", len(*recs), *recs)
+			}
+			r := (*recs)[0]
+			if r.Reason != tc.wantReason {
+				t.Errorf("reason = %v, want %v", r.Reason, tc.wantReason)
+			}
+			if r.Packets != tc.wantPackets {
+				t.Errorf("packets = %d, want %d", r.Packets, tc.wantPackets)
+			}
+			// The triggering packet restarted the flow.
+			if tbl.Len() != 1 {
+				t.Errorf("live flows = %d, want 1", tbl.Len())
+			}
+			exp, ev := tbl.Stats()
+			if exp != 1 || ev != 0 {
+				t.Errorf("stats = (%d expirations, %d evictions), want (1, 0)", exp, ev)
+			}
+		})
+	}
+}
+
+func TestEvictionOrderIsLRU(t *testing.T) {
+	tbl := NewTable(Config{MaxFlows: 3, IdleTimeout: time.Hour, ActiveTimeout: time.Hour})
+	recs := collectRecords(tbl)
+	at := t0
+	next := func(src packet.NodeID) {
+		at = at.Add(time.Second)
+		tbl.Update(cap1(src, "sink", at))
+	}
+	next("A")
+	next("B")
+	next("C")
+	next("A") // refresh A: B becomes least recently used
+	next("D") // at capacity: evicts B
+	next("E") // evicts C
+	next("F") // evicts A
+
+	var got []packet.NodeID
+	for _, r := range *recs {
+		if r.Reason != ReasonEvicted {
+			t.Errorf("reason = %v, want evicted", r.Reason)
+		}
+		got = append(got, r.Key.Src)
+	}
+	want := []packet.NodeID{"B", "C", "A"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("eviction order = %v, want %v", got, want)
+	}
+	if tbl.Len() != 3 {
+		t.Errorf("live flows = %d, want 3", tbl.Len())
+	}
+	if _, ev := tbl.Stats(); ev != 3 {
+		t.Errorf("evictions = %d, want 3", ev)
+	}
+}
+
+func TestSweepExportsQuietFlows(t *testing.T) {
+	tbl := NewTable(Config{IdleTimeout: 10 * time.Second, ActiveTimeout: time.Hour, SweepEvery: 4})
+	recs := collectRecords(tbl)
+	// Two flows that go quiet forever.
+	tbl.Update(cap1("quiet1", "x", t0))
+	tbl.Update(cap1("quiet2", "x", t0.Add(time.Second)))
+	// Unrelated traffic advances capture time past the idle bound; the
+	// amortized sweep must export the quiet flows even though their
+	// keys are never touched again.
+	at := t0.Add(30 * time.Second)
+	for i := 0; i < 8; i++ {
+		at = at.Add(time.Second)
+		tbl.Update(cap1("chatty", "y", at))
+	}
+	if len(*recs) != 2 {
+		t.Fatalf("got %d records, want 2 (sweep missed quiet flows): %+v", len(*recs), *recs)
+	}
+	for _, r := range *recs {
+		if r.Reason != ReasonIdle {
+			t.Errorf("reason = %v, want idle", r.Reason)
+		}
+	}
+}
+
+func TestFlushExportsEverything(t *testing.T) {
+	tbl := NewTable(Config{})
+	recs := collectRecords(tbl)
+	tbl.Update(cap1("A", "B", t0))
+	tbl.Update(cap1("C", "D", t0.Add(time.Second)))
+	tbl.Flush()
+	if len(*recs) != 2 {
+		t.Fatalf("got %d records, want 2", len(*recs))
+	}
+	for _, r := range *recs {
+		if r.Reason != ReasonShutdown {
+			t.Errorf("reason = %v, want shutdown", r.Reason)
+		}
+	}
+	if tbl.Len() != 0 {
+		t.Errorf("live flows after flush = %d, want 0", tbl.Len())
+	}
+}
+
+func TestMetricsHooks(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	active := reg.Gauge("test_flow_active", "t")
+	exps := reg.Counter("test_flow_exp", "t")
+	evs := reg.Counter("test_flow_ev", "t")
+	tbl := NewTable(Config{MaxFlows: 1, IdleTimeout: 10 * time.Second, ActiveTimeout: time.Hour})
+	tbl.SetMetrics(Metrics{Active: active, Expirations: exps, Evictions: evs})
+
+	tbl.Update(cap1("A", "B", t0))
+	tbl.Update(cap1("C", "D", t0.Add(time.Second)))    // evicts A>B
+	tbl.Update(cap1("C", "D", t0.Add(20*time.Second))) // idle-expires C>D
+	if got := active.Value(); got != 1 {
+		t.Errorf("active gauge = %v, want 1", got)
+	}
+	if got := evs.Value(); got != 1 {
+		t.Errorf("evictions counter = %v, want 1", got)
+	}
+	if got := exps.Value(); got != 1 {
+		t.Errorf("expirations counter = %v, want 1", got)
+	}
+}
+
+func TestKeyOfAndString(t *testing.T) {
+	c := cap1("A", "B", t0)
+	k := KeyOf(c)
+	if k.Proto != ProtoICMP || k.Src != "A" || k.Dst != "B" || k.Medium != packet.MediumWiFi {
+		t.Errorf("KeyOf = %+v", k)
+	}
+	if k.SrcPort != 0 || k.DstPort != 0 {
+		t.Errorf("ICMP key has ports: %+v", k)
+	}
+	if got, want := k.String(), "wifi/icmp/A>B"; got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	r := Record{Key: k}
+	if r.CoalesceKey() != k.String() {
+		t.Errorf("CoalesceKey %q != Key.String %q", r.CoalesceKey(), k.String())
+	}
+	// Distinct kinds of the same class share a flow; distinct classes
+	// do not.
+	c2 := cap1("A", "B", t0)
+	c2.Kind = packet.KindICMPEchoReply
+	if KeyOf(c2) != k {
+		t.Error("echo request and reply should share a flow key")
+	}
+	c3 := cap1("A", "B", t0)
+	c3.Kind = packet.KindUDP
+	if KeyOf(c3) == k {
+		t.Error("UDP and ICMP must not share a flow key")
+	}
+}
+
+// TestChurnRace hammers one table from concurrent goroutines — packet
+// updates on overlapping keys, tracker acquire/release churn, export
+// consumers and metric reads — to let the race detector prove the
+// locking discipline. Run with -race.
+func TestChurnRace(t *testing.T) {
+	tbl := NewTable(Config{MaxFlows: 32, IdleTimeout: 5 * time.Second, ActiveTimeout: 20 * time.Second, SweepEvery: 8})
+	var exported sync.Map
+	tbl.OnExport(func(r Record) { exported.Store(r.Key, r.Packets) })
+
+	const (
+		workers = 4
+		packets = 2000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			at := t0
+			for i := 0; i < packets; i++ {
+				at = at.Add(time.Duration(1+i%7) * 100 * time.Millisecond)
+				src := packet.NodeID(fmt.Sprintf("n%d", (w*13+i)%48))
+				c := cap1(src, "sink", at)
+				c.Transmitter = src
+				tbl.Update(c)
+			}
+		}()
+	}
+	// Tracker churn alongside the packet load.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			vw := tbl.VictimWindow(MaskOf(packet.KindICMPEchoRequest), 5*time.Second)
+			hs := tbl.Handshakes(5 * time.Second)
+			ids := tbl.IdentityStats(0.3, packet.MediumWiFi)
+			_ = vw.Len("sink")
+			hs.Release()
+			ids.Release()
+			vw.Release()
+		}
+	}()
+	// Metric reads.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			tbl.Len()
+			tbl.Stats()
+		}
+	}()
+	wg.Wait()
+	tbl.Flush()
+	if tbl.Len() != 0 {
+		t.Errorf("live flows after flush = %d, want 0", tbl.Len())
+	}
+}

@@ -15,6 +15,11 @@ import (
 // are excluded: their error results are documented to always be nil.
 type ErrCheck struct {
 	Scope ScopeFunc
+	// SkipTestFuncs exempts the bodies of go test entry points
+	// (Test*/Benchmark*/Example*/Fuzz*) — the relaxed mode for _test.go
+	// files, where a test discards errors on purpose when provoking
+	// failures but shared helpers must still handle them.
+	SkipTestFuncs bool
 }
 
 // Name implements Analyzer.
@@ -29,26 +34,32 @@ func (*ErrCheck) Doc() string {
 func (a *ErrCheck) Run(t *Target) []Finding {
 	var out []Finding
 	for _, pkg := range scopedPackages(t, a.Scope) {
-		for _, file := range pkg.Files {
-			ast.Inspect(file, func(n ast.Node) bool {
-				var call *ast.CallExpr
-				switch st := n.(type) {
-				case *ast.ExprStmt:
-					call, _ = st.X.(*ast.CallExpr)
-				case *ast.GoStmt:
-					call = st.Call
-				}
-				if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call) {
-					return true
-				}
-				out = append(out, Finding{
-					Pos:  t.Fset.Position(call.Pos()),
-					Rule: a.Name(),
-					Message: "error return discarded; handle it or assign it to _ " +
-						"to make the discard explicit",
-				})
+		inspect := func(n ast.Node) bool {
+			var call *ast.CallExpr
+			switch st := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = st.X.(*ast.CallExpr)
+			case *ast.GoStmt:
+				call = st.Call
+			}
+			if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call) {
 				return true
+			}
+			out = append(out, Finding{
+				Pos:  t.Fset.Position(call.Pos()),
+				Rule: a.Name(),
+				Message: "error return discarded; handle it or assign it to _ " +
+					"to make the discard explicit",
 			})
+			return true
+		}
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && a.SkipTestFuncs && isTestEntry(fd) {
+					continue
+				}
+				ast.Inspect(decl, inspect)
+			}
 		}
 	}
 	return out

@@ -85,13 +85,14 @@ func DefaultAnalyzers() []Analyzer {
 			"kalis/internal/netsim",
 			"kalis/internal/attacks",
 			"kalis/internal/fault",
+			"kalis/internal/flow",
 			"kalis/internal/core/detection",
 			"kalis/internal/core/sensing",
 		)},
 		&BusTopic{Scope: AllPackages},
 		&HotPath{
 			RootScope: PathScope("kalis/internal/core"),
-			WalkScope: PathScope("kalis/internal/core"),
+			WalkScope: PathScope("kalis/internal/core", "kalis/internal/flow"),
 		},
 		&NoPanic{
 			Scope: PathScope("kalis/internal"),

@@ -42,6 +42,11 @@ type Target struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+	// std is the stdlib importer used during type-checking, retained so
+	// LoadTests can re-check packages with identical stdlib type
+	// identities (two importers would yield incompatible types.Package
+	// instances for the same stdlib path).
+	std *stdImporter
 }
 
 // PackageByPath returns the loaded package with the given import path.
@@ -147,8 +152,8 @@ func Load(root string, extraDirs ...string) (*Target, error) {
 		}
 	}
 
-	t := &Target{Module: module, Fset: fset, byPath: make(map[string]*Package)}
-	imp := &moduleImporter{target: t, std: newStdImporter(fset)}
+	t := &Target{Module: module, Fset: fset, byPath: make(map[string]*Package), std: newStdImporter(fset)}
+	imp := &moduleImporter{target: t, std: t.std}
 	for _, path := range sorted {
 		rp := raw[path]
 		info := &types.Info{

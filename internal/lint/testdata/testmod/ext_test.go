@@ -1,0 +1,16 @@
+package pkg_test
+
+import (
+	"testing"
+
+	"testmod"
+)
+
+func extHelper() {
+	pkg.MayFail() // want errcheck
+}
+
+func TestExternalEntryIsExempt(t *testing.T) {
+	pkg.MayFail() // exempt: test entry point
+	extHelper()
+}

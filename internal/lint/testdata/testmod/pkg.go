@@ -1,0 +1,13 @@
+// Package pkg is the LoadTests fixture: its test files mix go test
+// entry points (exempt from the relaxed errcheck) with shared helpers
+// (not exempt), in both the in-package and the external test package.
+package pkg
+
+import "errors"
+
+// MayFail is the error-returning call the test files discard.
+func MayFail() error { return errors.New("boom") }
+
+// secret is referenced from the in-package test file to prove the
+// merged type-check sees unexported identifiers.
+const secret = 42

@@ -1,0 +1,21 @@
+package pkg
+
+import "testing"
+
+func helper() {
+	MayFail() // want errcheck
+}
+
+func TestEntryIsExempt(t *testing.T) {
+	if secret != 42 {
+		t.Fatal("secret")
+	}
+	MayFail() // exempt: test entry point
+	helper()
+}
+
+func BenchmarkEntryIsExempt(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		MayFail() // exempt: benchmark entry point
+	}
+}

@@ -36,6 +36,7 @@ import (
 	"kalis/internal/core/knowledge"
 	"kalis/internal/core/module"
 	"kalis/internal/core/response"
+	"kalis/internal/flow"
 	"kalis/internal/packet"
 	"kalis/internal/siem"
 	"kalis/internal/telemetry"
@@ -68,6 +69,12 @@ type (
 	Responder = response.Responder
 	// ResponsePolicy maps attack classes to response actions.
 	ResponsePolicy = response.Policy
+	// FlowRecord is an exported (expired/terminated) flow summary with
+	// its final per-flow feature values.
+	FlowRecord = flow.Record
+	// FlowKey identifies one unidirectional flow (medium + endpoints +
+	// protocol class + ports).
+	FlowKey = flow.Key
 )
 
 // DefaultResponsePolicy isolates on high-confidence alerts with the
@@ -203,6 +210,12 @@ func (n *Node) InstallModule(name string, params map[string]string) error {
 func (n *Node) RegisterModule(name string, factory func(params map[string]string) (Module, error)) {
 	n.inner.Registry().Register(name, factory)
 }
+
+// OnFlowRecord registers a callback invoked for every flow exported
+// from the flow table (idle/active timeout, capacity eviction, or
+// shutdown flush). Records arrive via the flow.records bus topic, which
+// coalesces per flow under queue pressure.
+func (n *Node) OnFlowRecord(fn func(FlowRecord)) { n.inner.OnFlowRecord(fn) }
 
 // SetLog writes all observed traffic to w in the Kalis trace format.
 func (n *Node) SetLog(w io.Writer) { n.inner.SetLog(w) }

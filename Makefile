@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint chaos fuzz-short experiments examples telemetry-demo flow-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos fuzz-short experiments examples telemetry-demo flow-demo clean
 
 all: build test lint
 
@@ -44,9 +44,21 @@ fuzz-short:
 
 # Kalis-specific static analysis (see DESIGN.md "Static analysis &
 # invariants"): simulated-clock discipline, named bus topics, hot-path
-# allocation/formatting bans, panic policy, discarded errors.
+# allocation/formatting/blocking bans over the devirtualized call
+# graph, lock-order and packet-taint checks, panic policy, discarded
+# errors. The committed baseline (normally empty) supports gradual
+# adoption when a new rule lands with pre-existing findings.
 lint:
-	$(GO) run ./cmd/kalislint ./...
+	$(GO) run ./cmd/kalislint -baseline lint_baseline.json ./...
+
+# Findings as JSON (the baseline file format).
+lint-json:
+	$(GO) run ./cmd/kalislint -json ./...
+
+# The devirtualized packet-path call graph, as pinned by the golden
+# test (internal/lint/callgraph_test.go).
+callgraph:
+	$(GO) run ./cmd/kalislint -callgraph HandlePacket
 
 fmt:
 	gofmt -l -w .

@@ -205,6 +205,8 @@ func (n *Node) Stats() (sent, received, rejected int) {
 
 // push propagates one local collective knowgget to every known peer;
 // it is installed as the Knowledge Base's sync hook.
+//
+//lint:coldpath collective sync runs once per collective-knowgget change (cooldown-gated in the detection modules), not per packet; it marshals, seals and sends datagrams by design
 func (n *Node) push(k knowledge.Knowgget) {
 	n.mu.Lock()
 	addrs := make([]string, 0, len(n.peers))

@@ -81,6 +81,7 @@ func (s *Store) Append(c *packet.Captured) error {
 		if raw == nil {
 			return nil // nothing loggable (synthetic capture)
 		}
+		//lint:ignore hotalloc the stored Record is the datastore's product — one per logged capture, ring-bounded by the logger
 		rec := &trace.Record{Time: c.Time, Medium: c.Medium, RSSI: c.RSSI, Raw: raw, Truth: c.Truth}
 		if err := s.logger.Write(rec); err != nil {
 			//lint:ignore hotpath disk-log failure branch; logging is off in passive deployments and the wrap is the error report itself

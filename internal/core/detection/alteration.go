@@ -95,6 +95,6 @@ func (d *DataAlteration) HandlePacket(c *packet.Captured) {
 		Suspects:   []packet.NodeID{suspect},
 		Confidence: 0.95,
 		Details: fmt.Sprintf("payload of origin %s seq %d altered in flight by %s",
-			c.Src, data.SeqNo, suspect),
+			packet.CleanID(c.Src), data.SeqNo, packet.CleanID(suspect)),
 	})
 }

@@ -156,6 +156,8 @@ func (d *TrafficAnomaly) HandlePacket(c *packet.Captured) {
 
 // closeWindow scores the finished window against the baselines and
 // folds it in.
+//
+//lint:coldpath runs once per window roll, not per packet; baseline state allocates per (kind, window), bounded by the kind alphabet
 func (d *TrafficAnomaly) closeWindow(at time.Time) {
 	for kind, count := range d.counts {
 		w := d.baselines[kind]

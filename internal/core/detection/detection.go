@@ -71,6 +71,8 @@ func boolIsOrUnknown(kb *knowledge.Base, label string, want bool) bool {
 // disambiguation through a comparison of the signal strength with
 // previous overheard communications" (§VI-B1). Excluded entities are
 // skipped. Results are sorted by fingerprint distance.
+//
+//lint:coldpath fingerprint disambiguation runs only during gate-passed alert formation, cooldown-bounded
 func fingerprintMatch(kb *knowledge.Base, rssi, tol float64, exclude map[packet.NodeID]bool) []packet.NodeID {
 	type cand struct {
 		id   packet.NodeID

@@ -80,6 +80,8 @@ func meanEventRSSI(evs []flow.Event) float64 {
 
 // eventSrcs returns the distinct claimed sender identities of a victim
 // window, in first-seen order.
+//
+//lint:coldpath runs only during gate-passed alert formation, cooldown-bounded
 func eventSrcs(evs []flow.Event) []packet.NodeID {
 	seen := make(map[packet.NodeID]bool)
 	var out []packet.NodeID
@@ -209,7 +211,7 @@ func (d *ICMPFlood) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   suspects,
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d echo replies to %s within %s", len(evs), c.Dst, d.window),
+		Details:    fmt.Sprintf("%d echo replies to %s within %s", len(evs), packet.CleanID(c.Dst), d.window),
 	})
 }
 
@@ -334,7 +336,7 @@ func (d *Smurf) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   d.suspects(c.Dst),
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d amplified echo replies to %s within %s", len(evs), c.Dst, d.window),
+		Details:    fmt.Sprintf("%d amplified echo replies to %s within %s", len(evs), packet.CleanID(c.Dst), d.window),
 	})
 }
 
@@ -355,6 +357,8 @@ func (d *Smurf) observeEdge(src, dst packet.NodeID) {
 // suspects implements the paper's heuristic: "the Smurf attack
 // detection module considers as suspect all nodes at a 2-hop distance
 // from the victim" over the module's observed communication graph.
+//
+//lint:coldpath 2-hop suspect enumeration runs once per gate-passed Smurf alert, cooldown-bounded
 func (d *Smurf) suspects(victim packet.NodeID) []packet.NodeID {
 	dist := map[packet.NodeID]int{victim: 0}
 	queue := []packet.NodeID{victim}
@@ -488,6 +492,6 @@ func (d *SYNFlood) HandlePacket(c *packet.Captured) {
 		Victim:     c.Dst,
 		Suspects:   suspects,
 		Confidence: confidence,
-		Details:    fmt.Sprintf("%d half-open SYNs to %s within %s", len(evs), c.Dst, d.window),
+		Details:    fmt.Sprintf("%d half-open SYNs to %s within %s", len(evs), packet.CleanID(c.Dst), d.window),
 	})
 }

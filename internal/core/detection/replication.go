@@ -198,7 +198,7 @@ func (d *ReplicationStatic) HandlePacket(c *packet.Captured) {
 		Suspects:   []packet.NodeID{c.Transmitter},
 		Confidence: 0.85,
 		Details: fmt.Sprintf("identity %s transmits from alternating locations (%d RSSI jumps)",
-			c.Transmitter, s.Jumps),
+			packet.CleanID(c.Transmitter), s.Jumps),
 	})
 }
 
@@ -272,6 +272,6 @@ func (d *ReplicationMobile) HandlePacket(c *packet.Captured) {
 		Suspects:   []packet.NodeID{c.Transmitter},
 		Confidence: 0.85,
 		Details: fmt.Sprintf("identity %s shows %d interleaved sequence counters",
-			c.Transmitter, s.Flips),
+			packet.CleanID(c.Transmitter), s.Flips),
 	})
 }

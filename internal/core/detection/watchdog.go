@@ -34,7 +34,7 @@ type watchdog struct {
 	minSamples int
 
 	// pending maps relay → (origin|seq) → deadline.
-	pending map[packet.NodeID]map[string]time.Time
+	pending map[packet.NodeID]map[pendKey]time.Time
 	// outcomes per relay within the sliding window.
 	outcomes map[packet.NodeID][]outcome
 	// roots are collection roots (advertise ETX 0); they legitimately
@@ -57,14 +57,19 @@ func newWatchdog(timeout, window time.Duration, minSamples int) *watchdog {
 }
 
 func (w *watchdog) reset() {
-	w.pending = make(map[packet.NodeID]map[string]time.Time)
+	w.pending = make(map[packet.NodeID]map[pendKey]time.Time)
 	w.outcomes = make(map[packet.NodeID][]outcome)
 	w.roots = make(map[packet.NodeID]bool)
 	w.droppedOrigins = make(map[packet.NodeID]map[uint16]bool)
 }
 
-func pendingKey(origin uint16, seq uint8) string {
-	return strconv.Itoa(int(origin)) + "|" + strconv.Itoa(int(seq))
+// pendKey identifies a forwarded frame by its CTP origin and sequence
+// number. A comparable struct keeps the per-frame expectation update
+// allocation-free (hotalloc); the previous strconv+concat key cost two
+// allocations per data frame.
+type pendKey struct {
+	origin uint16
+	seq    uint8
 }
 
 // observe processes one capture and returns the drop ratio and sample
@@ -83,7 +88,7 @@ func (w *watchdog) observe(c *packet.Captured) (relay packet.NodeID, ratio float
 	}
 	w.expire(c.Time)
 
-	key := pendingKey(d.Origin, d.SeqNo)
+	key := pendKey{origin: d.Origin, seq: d.SeqNo}
 	// The transmitter just forwarded (or originated) this frame; any
 	// pending expectation on it is satisfied.
 	satisfied := false
@@ -101,7 +106,7 @@ func (w *watchdog) observe(c *packet.Captured) (relay packet.NodeID, ratio float
 	// monitored.
 	if c.Dst != packet.Broadcast && c.Dst != "" && !w.roots[c.Dst] {
 		if w.pending[c.Dst] == nil {
-			w.pending[c.Dst] = make(map[string]time.Time)
+			w.pending[c.Dst] = make(map[pendKey]time.Time)
 		}
 		w.pending[c.Dst][key] = c.Time.Add(w.timeout)
 	}
@@ -118,14 +123,10 @@ func (w *watchdog) expire(now time.Time) {
 			if now.After(deadline) {
 				delete(m, key)
 				w.outcomes[relay] = append(w.outcomes[relay], outcome{at: now, dropped: true})
-				if i := strings.IndexByte(key, '|'); i > 0 {
-					if origin, err := strconv.Atoi(key[:i]); err == nil {
-						if w.droppedOrigins[relay] == nil {
-							w.droppedOrigins[relay] = make(map[uint16]bool)
-						}
-						w.droppedOrigins[relay][uint16(origin)] = true
-					}
+				if w.droppedOrigins[relay] == nil {
+					w.droppedOrigins[relay] = make(map[uint16]bool)
 				}
+				w.droppedOrigins[relay][key.origin] = true
 			}
 		}
 	}

@@ -167,7 +167,7 @@ func (d *Wormhole) HandlePacket(c *packet.Captured) {
 			d.lastEmergent[tx] = c.Time
 			d.dirty = true
 			if d.knowledgeDriven() && d.total(tx) == d.minEmergent {
-				d.ctx.KB.PutCollective(knowledge.LabelEmergentSource, string(tx), d.originsOf(tx))
+				d.ctx.KB.PutCollective(knowledge.LabelEmergentSource, packet.CleanID(tx), d.originsOf(tx))
 			}
 		}
 	}
@@ -192,6 +192,7 @@ func (d *Wormhole) total(tx packet.NodeID) int {
 	return sum
 }
 
+//lint:coldpath runs once per emergent-source promotion (and on dirty-gated re-publication), not per packet
 func (d *Wormhole) originsOf(tx packet.NodeID) string {
 	var ids []int
 	for o := range d.emitted[tx] {
@@ -207,6 +208,8 @@ func (d *Wormhole) originsOf(tx packet.NodeID) string {
 
 // correlate pairs blackhole suspicions with emergent sources across the
 // mirrored knowledge (local and collective).
+//
+//lint:coldpath the pairing pass is dirty-flag-gated: it runs when mirrored knowledge or emergent evidence changes, not per packet
 func (d *Wormhole) correlate(now time.Time) {
 	if !d.knowledgeDriven() {
 		return // correlation is knowledge; the naive baseline has none

@@ -183,7 +183,7 @@ func (b *Bus) resolveTopicLocked(topic string) *topicMetrics {
 	if tm, ok := b.tmet[topic]; ok {
 		return tm
 	}
-	//lint:ignore hotpath one-time per-topic child resolution, amortized across all publishes
+	//lint:ignore hotpath,hotalloc one-time per-topic child resolution, amortized across all publishes
 	tm := &topicMetrics{pub: b.met.Publishes.With(topic), drop: b.met.Drops.With(topic)}
 	//lint:ignore hotpath one-time per-topic child resolution, amortized across all publishes
 	tm.coal, tm.wm = b.met.Coalesced.With(topic), b.met.Watermarks.With(topic)

@@ -107,6 +107,7 @@ func New(cfg Config) (*Kalis, error) {
 			return ""
 		},
 	})
+	//lint:ignore hotalloc flow records box once per export (expiry/eviction), amortized across the flow's packets
 	flows.OnExport(func(r flow.Record) { bus.Publish(event.TopicFlowRecords, r) })
 	tel := telemetry.NewRegistry()
 	wireTelemetry(tel, bus, manager, store, flows)
@@ -132,9 +133,12 @@ func New(cfg Config) (*Kalis, error) {
 	alerts := tel.CounterVec("kalis_alerts_total", "attack",
 		"Detection alerts raised, by canonical attack name.")
 	manager.OnAlert(func(a module.Alert) {
+		//lint:ignore hotpath alerts are rare and cooldown-gated; one label lookup per alert is off the per-packet budget
 		alerts.With(a.Attack).Inc()
+		//lint:ignore hotalloc alert boxing happens once per raised alert, cooldown-gated far below packet rate
 		bus.Publish(event.TopicDetection, a)
 	})
+	//lint:ignore hotalloc knowgget boxing happens once per knowledge change, change-gated far below packet rate
 	kb.SubscribeAll(func(kg knowledge.Knowgget) { bus.Publish(event.TopicKnowledge, kg) })
 
 	installed := make(map[string]bool)

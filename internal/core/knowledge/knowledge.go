@@ -52,8 +52,10 @@ type Knowgget struct {
 
 // Key returns the encoded storage key "creator$label@entity".
 func (k Knowgget) Key() string {
+	//lint:ignore hotalloc storage keys are composite strings by design ("creator$label@entity", §V); Key runs per put/lookup, both change- or gate-bounded
 	key := k.Creator + "$" + k.Label
 	if k.Entity != "" {
+		//lint:ignore hotalloc see above: composite storage keys are the KB's string-keyed design
 		key += "@" + k.Entity
 	}
 	return key
@@ -229,6 +231,7 @@ func (b *Base) Get(key string) (Knowgget, bool) {
 
 // Value returns the raw string value of a local knowgget by label.
 func (b *Base) Value(label string) (string, bool) {
+	//lint:ignore hotalloc one small key concat per KB read; an interned-key index is not worth the complexity at current gate-check rates
 	k, ok := b.Get(b.local + "$" + label)
 	return k.Value, ok
 }

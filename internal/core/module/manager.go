@@ -217,6 +217,8 @@ func (m *Manager) Install(mod Module, params map[string]string) {
 // target state — they never interleave Activate/Deactivate calls, so a
 // module always ends up last-called with the transition matching the
 // final knowledge state (no stale Context).
+//
+//lint:coldpath activation transitions run on knowledge flips and install/param changes, not per packet; Activate/Deactivate and flow-tracker acquisition are off the per-packet budget
 func (m *Manager) reevaluate(mod Module) {
 	m.mu.Lock()
 	st := m.states[mod.Name()]

@@ -77,6 +77,8 @@ func (m *Manager) noteHealthLocked(st *moduleState) {
 // publishHealth stores queued transitions as collective
 // ModuleHealth.<name> knowggets, so peer Kalis nodes can correlate
 // module crashes across the network. Must be called without m.mu held.
+//
+//lint:coldpath health knowggets publish on supervisor state transitions (crash, quarantine, probation exit), which are rare by construction
 func (m *Manager) publishHealth(evs []healthEvent) {
 	for _, e := range evs {
 		m.kb.PutCollective(knowledge.LabelModuleHealth+"."+e.name, "", e.state)

@@ -102,6 +102,7 @@ func (t *Topology) HandlePacket(c *packet.Captured) {
 
 	if !t.mediums[c.Medium] {
 		t.mediums[c.Medium] = true
+		//lint:ignore hotalloc first-seen gated: runs once per newly observed medium, a handful over a deployment
 		kb.Put(knowledge.LabelMediums+"."+c.Medium.String(), "true")
 	}
 	t.observeNode(c.Transmitter)
@@ -145,6 +146,7 @@ func (t *Topology) observeEdge(from, to packet.NodeID) {
 	}
 	if !t.edges[from][to] {
 		t.edges[from][to] = true
+		//lint:ignore hotalloc first-seen gated: runs once per newly observed edge; the edge set is topology-bounded, not packet-bounded
 		t.ctx.KB.PutEntity("Edge", string(from)+">"+string(to), "true")
 	}
 }

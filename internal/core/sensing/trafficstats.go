@@ -114,6 +114,7 @@ func (t *TrafficStats) HandlePacket(c *packet.Captured) {
 	}
 }
 
+//lint:coldpath publish runs once per stats interval tick; the per-kind key concatenations are off the per-packet budget
 func (t *TrafficStats) publish() {
 	kb := t.ctx.KB
 	secs := t.interval.Seconds()

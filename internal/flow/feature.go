@@ -60,12 +60,26 @@ func DefaultFeatures() []string {
 	return []string{"rate", "iat", "rssi", "thl", "etx"}
 }
 
+// Export names are concatenated once here, not per Emit: flows export
+// continuously under load, and per-export name building was a measurable
+// allocation source (hotalloc).
+var (
+	iatNames  = makeWelfordNames("iat")
+	rssiNames = makeWelfordNames("rssi")
+	thlNames  = makeRangeNames("thl")
+	etxNames  = makeRangeNames("etx")
+)
+
 func init() {
 	Register("rate", func() State { return rateFeature{} })
-	Register("iat", func() State { return &welfordFeature{name: "iat", sample: sampleIAT} })
-	Register("rssi", func() State { return &welfordFeature{name: "rssi", sample: sampleRSSI} })
-	Register("thl", func() State { return &ctpRangeFeature{name: "thl", sample: sampleTHL} })
-	Register("etx", func() State { return &ctpRangeFeature{name: "etx", sample: sampleETX} })
+	//lint:ignore hotalloc feature state is allocated once per new flow, amortized across the flow's packets
+	Register("iat", func() State { return &welfordFeature{names: iatNames, sample: sampleIAT} })
+	//lint:ignore hotalloc feature state is allocated once per new flow, amortized across the flow's packets
+	Register("rssi", func() State { return &welfordFeature{names: rssiNames, sample: sampleRSSI} })
+	//lint:ignore hotalloc feature state is allocated once per new flow, amortized across the flow's packets
+	Register("thl", func() State { return &ctpRangeFeature{names: thlNames, sample: sampleTHL} })
+	//lint:ignore hotalloc feature state is allocated once per new flow, amortized across the flow's packets
+	Register("etx", func() State { return &ctpRangeFeature{names: etxNames, sample: sampleETX} })
 }
 
 // rateFeature emits the flow's mean packet rate. It carries no state:
@@ -119,9 +133,23 @@ func (w *welford) stddev() float64 {
 // accumulator and emits mean/stddev/min/max. The sample hook returns
 // false to skip a packet (e.g. the first packet has no inter-arrival).
 type welfordFeature struct {
-	name   string
+	names  welfordNames
 	sample func(f *Flow, c *packet.Captured) (float64, bool)
 	w      welford
+}
+
+// welfordNames are a welford feature's precomputed export names.
+type welfordNames struct {
+	mean, stddev, min, max string
+}
+
+func makeWelfordNames(base string) welfordNames {
+	return welfordNames{
+		mean:   base + "_mean",
+		stddev: base + "_stddev",
+		min:    base + "_min",
+		max:    base + "_max",
+	}
 }
 
 func (ft *welfordFeature) Update(f *Flow, c *packet.Captured) {
@@ -135,10 +163,10 @@ func (ft *welfordFeature) Emit(f *Flow, out []Value) []Value {
 		return out
 	}
 	return append(out,
-		Value{Name: ft.name + "_mean", V: ft.w.mean},
-		Value{Name: ft.name + "_stddev", V: ft.w.stddev()},
-		Value{Name: ft.name + "_min", V: ft.w.min},
-		Value{Name: ft.name + "_max", V: ft.w.max},
+		Value{Name: ft.names.mean, V: ft.w.mean},
+		Value{Name: ft.names.stddev, V: ft.w.stddev()},
+		Value{Name: ft.names.min, V: ft.w.min},
+		Value{Name: ft.names.max, V: ft.w.max},
 	)
 }
 
@@ -165,7 +193,7 @@ func sampleRSSI(f *Flow, c *packet.Captured) (float64, bool) {
 // emits the last value plus the range and total drift — the THL and ETX
 // deltas that betray routing manipulation.
 type ctpRangeFeature struct {
-	name     string
+	names    rangeNames
 	sample   func(c *packet.Captured) (float64, bool)
 	seen     bool
 	first    float64
@@ -197,10 +225,23 @@ func (ft *ctpRangeFeature) Emit(f *Flow, out []Value) []Value {
 		return out
 	}
 	return append(out,
-		Value{Name: ft.name + "_last", V: ft.last},
-		Value{Name: ft.name + "_range", V: ft.max - ft.min},
-		Value{Name: ft.name + "_delta", V: ft.last - ft.first},
+		Value{Name: ft.names.last, V: ft.last},
+		Value{Name: ft.names.rng, V: ft.max - ft.min},
+		Value{Name: ft.names.delta, V: ft.last - ft.first},
 	)
+}
+
+// rangeNames are a range feature's precomputed export names.
+type rangeNames struct {
+	last, rng, delta string
+}
+
+func makeRangeNames(base string) rangeNames {
+	return rangeNames{
+		last:  base + "_last",
+		rng:   base + "_range",
+		delta: base + "_delta",
+	}
 }
 
 // sampleTHL reads the CTP time-has-lived counter.

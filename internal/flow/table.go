@@ -175,17 +175,21 @@ func (t *Table) Update(c *packet.Captured) {
 		// Expiry on touch: a stale entry is exported and the flow
 		// restarts fresh from this packet.
 		if c.Time.Sub(f.Last) > t.cfg.IdleTimeout {
+			//lint:ignore hotalloc exports append only on idle expiry, amortized across the flow's packets
 			exported = append(exported, t.removeLocked(f, ReasonIdle))
 			f = nil
 		} else if c.Time.Sub(f.First) > t.cfg.ActiveTimeout {
+			//lint:ignore hotalloc exports append only on active-timeout expiry, amortized across the flow's packets
 			exported = append(exported, t.removeLocked(f, ReasonActive))
 			f = nil
 		}
 	}
 	if f == nil {
 		if len(t.flows) >= t.cfg.MaxFlows && t.lruTail != nil {
+			//lint:ignore hotalloc exports append only on LRU eviction at the MaxFlows ceiling
 			exported = append(exported, t.removeLocked(t.lruTail, ReasonEvicted))
 		}
+		//lint:ignore hotalloc one allocation per new flow, amortized across the flow's packets
 		f = &Flow{Key: k, First: c.Time, Last: c.Time}
 		if t.featured {
 			f.feats = make([]State, len(t.featFns))

@@ -13,6 +13,11 @@ import (
 // (`defer f.Close()`) follow the standard idiom. Writes to
 // strings.Builder and bytes.Buffer (directly or through fmt.Fprint*)
 // are excluded: their error results are documented to always be nil.
+// Console printing is likewise exempt — fmt.Print* everywhere, and in
+// package main (the CLIs and examples) the whole fmt.Fprint* family:
+// command reports go to injected console writers, and a command has no
+// recourse when its own terminal write fails. Library code keeps
+// strict Fprint checking.
 type ErrCheck struct {
 	Scope ScopeFunc
 	// SkipTestFuncs exempts the bodies of go test entry points
@@ -42,7 +47,7 @@ func (a *ErrCheck) Run(t *Target) []Finding {
 			case *ast.GoStmt:
 				call = st.Call
 			}
-			if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call) {
+			if call == nil || !returnsError(pkg.Info, call) || neverFails(pkg.Info, call, pkg.Pkg.Name() == "main") {
 				return true
 			}
 			out = append(out, Finding{
@@ -66,9 +71,11 @@ func (a *ErrCheck) Run(t *Target) []Finding {
 }
 
 // neverFails reports whether the call's error result is statically
-// known to be nil: methods on strings.Builder/bytes.Buffer, and
-// fmt.Fprint* writing into one of those.
-func neverFails(info *types.Info, call *ast.CallExpr) bool {
+// known to be nil or not worth checking: methods on
+// strings.Builder/bytes.Buffer, fmt.Print*, fmt.Fprint* into an
+// infallible writer or a standard stream, and — in package main — any
+// fmt.Fprint* console report.
+func neverFails(info *types.Info, call *ast.CallExpr, inMain bool) bool {
 	fn := calleeOf(info, call)
 	if fn == nil {
 		return false
@@ -81,14 +88,35 @@ func neverFails(info *types.Info, call *ast.CallExpr) bool {
 		return isInfallibleWriter(recv.Type())
 	}
 	switch fn.FullName() {
+	case "fmt.Printf", "fmt.Print", "fmt.Println":
+		return true
 	case "fmt.Fprintf", "fmt.Fprint", "fmt.Fprintln":
+		if inMain {
+			return true
+		}
 		if len(call.Args) > 0 {
 			if tv, ok := info.Types[call.Args[0]]; ok && tv.Type != nil {
-				return isInfallibleWriter(tv.Type)
+				if isInfallibleWriter(tv.Type) {
+					return true
+				}
 			}
+			return isStdStream(info, call.Args[0])
 		}
 	}
 	return false
+}
+
+// isStdStream reports whether the expression is os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Pkg().Path() == "os" && (v.Name() == "Stdout" || v.Name() == "Stderr")
 }
 
 // isInfallibleWriter reports whether typ is (a pointer to)

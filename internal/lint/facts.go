@@ -1,0 +1,29 @@
+package lint
+
+import "sync"
+
+// facts is the shared-analysis store on a Target: expensive
+// whole-program results (the devirtualized call graph, CHA tables) are
+// computed once per load and shared by every analyzer, so adding a rule
+// does not add another parse+typecheck+graph pass.
+type facts struct {
+	mu sync.Mutex
+	m  map[any]any
+}
+
+// Fact returns the memoized value for key, computing it with build on
+// first use. Keys are comparable sentinel types (one per fact kind);
+// the build function runs at most once per target.
+func (t *Target) Fact(key any, build func() any) any {
+	t.facts.mu.Lock()
+	defer t.facts.mu.Unlock()
+	if t.facts.m == nil {
+		t.facts.m = make(map[any]any)
+	}
+	if v, ok := t.facts.m[key]; ok {
+		return v
+	}
+	v := build()
+	t.facts.m[key] = v
+	return v
+}

@@ -7,8 +7,9 @@ import (
 
 // HotPath guards the per-packet budget behind the paper's §VI-B
 // overhead results. The packet path — every method named HandlePacket
-// or HandleCapture in RootScope, plus its statically resolvable callees
-// within WalkScope — must not:
+// or HandleCapture in RootScope, plus its transitive callees within
+// WalkScope on the devirtualized call graph (see callgraph.go) — must
+// not:
 //
 //   - format with fmt.Sprintf/fmt.Errorf (allocation and reflection per
 //     packet). Formatting inside a module.Alert composite literal is
@@ -21,9 +22,10 @@ import (
 //     the telemetry package hands out pre-resolvable child handles —
 //     cache them when wiring, off the packet path.
 //
-// The traversal is static and conservative: calls through interfaces
-// and function values are not followed (their concrete HandlePacket
-// implementations are roots of their own).
+// The traversal follows interface dispatch (every in-module
+// implementation), method values, function-value callbacks and nested
+// literals; goroutine launches and //lint:coldpath functions are the
+// only cuts.
 type HotPath struct {
 	RootScope ScopeFunc
 	WalkScope ScopeFunc
@@ -46,112 +48,63 @@ func (*HotPath) Doc() string {
 	return "no fmt formatting, blocking sends, or telemetry Vec.With lookups on the packet path"
 }
 
-// funcNode is one function body known to the traversal.
-type funcNode struct {
-	decl *ast.FuncDecl
-	pkg  *Package
+// pathReachable walks the call graph from the packet-path roots,
+// returning each reached node mapped to a sample root. Shared with
+// HotAlloc, which patrols the same path.
+func pathReachable(t *Target, rootScope, walkScope ScopeFunc) map[*CGNode]*CGNode {
+	g := CallGraphOf(t)
+	roots := g.MethodRoots(rootMethodNames, rootScope)
+	return g.Reachable(roots, func(n *CGNode) bool {
+		return walkScope(n.Pkg.Path) || rootScope(n.Pkg.Path)
+	})
 }
 
 // Run implements Analyzer.
 func (a *HotPath) Run(t *Target) []Finding {
-	// Index every function declared in the walk or root scope.
-	index := make(map[*types.Func]*funcNode)
-	var roots []*types.Func
-	for _, pkg := range t.Packages {
-		inWalk, inRoot := a.WalkScope(pkg.Path), a.RootScope(pkg.Path)
-		if !inWalk && !inRoot {
-			continue
-		}
-		for _, file := range pkg.Files {
-			for _, decl := range file.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || fd.Body == nil {
-					continue
-				}
-				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
-				if !ok {
-					continue
-				}
-				index[fn] = &funcNode{decl: fd, pkg: pkg}
-				if inRoot && fd.Recv != nil && rootMethodNames[fd.Name.Name] {
-					roots = append(roots, fn)
-				}
-			}
-		}
-	}
-
-	// Breadth-first walk of the static call graph from the roots,
-	// remembering one sample root per reached function for reporting.
-	via := make(map[*types.Func]*types.Func)
-	queue := make([]*types.Func, 0, len(roots))
-	for _, r := range roots {
-		if _, seen := via[r]; !seen {
-			via[r] = r
-			queue = append(queue, r)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		node := index[fn]
-		ast.Inspect(node.decl.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			callee := calleeOf(node.pkg.Info, call)
-			if callee == nil {
-				return true
-			}
-			if _, known := index[callee]; known {
-				if _, seen := via[callee]; !seen {
-					via[callee] = via[fn]
-					queue = append(queue, callee)
-				}
-			}
-			return true
-		})
-	}
-
+	g := CallGraphOf(t)
 	var out []Finding
-	for fn, root := range via {
-		out = append(out, a.checkFunc(t, index[fn], fn, root)...)
+	for node, root := range pathReachable(t, a.RootScope, a.WalkScope) {
+		out = append(out, a.checkNode(t, node, root)...)
 	}
+	// Coldpath directives are part of this rule's traversal contract,
+	// so their malformations are reported here (once per Run).
+	out = append(out, g.Malformed...)
 	return out
 }
 
-// checkFunc reports the banned constructs inside one packet-path
-// function body.
-func (a *HotPath) checkFunc(t *Target, node *funcNode, fn, root *types.Func) []Finding {
-	info := node.pkg.Info
-	suffix := " (on the packet path via " + root.FullName() + ")"
-
-	// Alert composite literals are the exempt cold branch.
-	var alertRanges [][2]int // [start, end) offsets by Pos
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+// alertLitRanges collects the [start, end) position ranges of
+// module.Alert composite literals in a node's own body — the exempt
+// cold branch for formatting and allocation checks.
+func alertLitRanges(node *CGNode) [][2]int {
+	var ranges [][2]int
+	inspectOwn(node.Body, func(n ast.Node) bool {
 		cl, ok := n.(*ast.CompositeLit)
 		if !ok {
 			return true
 		}
-		if tv, ok := info.Types[cl]; ok && isModuleAlert(tv.Type) {
-			alertRanges = append(alertRanges, [2]int{int(cl.Pos()), int(cl.End())})
+		if tv, ok := node.Pkg.Info.Types[cl]; ok && isModuleAlert(tv.Type) {
+			ranges = append(ranges, [2]int{int(cl.Pos()), int(cl.End())})
 		}
 		return true
 	})
-	inAlert := func(n ast.Node) bool {
-		p := int(n.Pos())
-		for _, r := range alertRanges {
-			if p >= r[0] && p < r[1] {
-				return true
-			}
-		}
-		return false
-	}
+	return ranges
+}
 
-	// Sends appearing as the comm clause of a select with a default
-	// case are non-blocking by construction.
+func inRanges(ranges [][2]int, n ast.Node) bool {
+	p := int(n.Pos())
+	for _, r := range ranges {
+		if p >= r[0] && p < r[1] {
+			return true
+		}
+	}
+	return false
+}
+
+// nonBlockingSends collects sends appearing as the comm clause of a
+// select with a default case — non-blocking by construction.
+func nonBlockingSends(node *CGNode) map[*ast.SendStmt]bool {
 	nonBlocking := make(map[*ast.SendStmt]bool)
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+	inspectOwn(node.Body, func(n ast.Node) bool {
 		sel, ok := n.(*ast.SelectStmt)
 		if !ok {
 			return true
@@ -174,9 +127,20 @@ func (a *HotPath) checkFunc(t *Target, node *funcNode, fn, root *types.Func) []F
 		}
 		return true
 	})
+	return nonBlocking
+}
+
+// checkNode reports the banned constructs inside one packet-path
+// function body (nested literals are their own nodes and checked only
+// if the graph reaches them).
+func (a *HotPath) checkNode(t *Target, node, root *CGNode) []Finding {
+	info := node.Pkg.Info
+	suffix := " (on the packet path via " + root.Name + ")"
+	alertRanges := alertLitRanges(node)
+	nonBlocking := nonBlockingSends(node)
 
 	var out []Finding
-	ast.Inspect(node.decl.Body, func(n ast.Node) bool {
+	inspectOwn(node.Body, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SendStmt:
 			if !nonBlocking[n] {
@@ -194,7 +158,7 @@ func (a *HotPath) checkFunc(t *Target, node *funcNode, fn, root *types.Func) []F
 			}
 			switch full := callee.FullName(); {
 			case full == "fmt.Sprintf" || full == "fmt.Errorf":
-				if !inAlert(n) {
+				if !inRanges(alertRanges, n) {
 					out = append(out, Finding{
 						Pos:  t.Fset.Position(n.Pos()),
 						Rule: a.Name(),

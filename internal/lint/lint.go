@@ -95,12 +95,18 @@ func DefaultAnalyzers() []Analyzer {
 			WalkScope: PathScope("kalis/internal/core", "kalis/internal/flow"),
 		},
 		&NoPanic{
-			Scope: PathScope("kalis/internal"),
+			Scope: PathScope("kalis/internal", "kalis/cmd", "kalis/examples"),
 			// The supervisor's panic barrier is the single legal recover
 			// site: it converts module crashes into quarantine state.
 			RecoverExempt: []string{"internal/core/module/supervisor.go"},
 		},
-		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/proto")},
+		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/proto", "kalis/cmd", "kalis/examples")},
+		&HotAlloc{
+			RootScope: PathScope("kalis/internal/core"),
+			WalkScope: PathScope("kalis/internal/core", "kalis/internal/flow"),
+		},
+		&LockOrder{Scope: PathScope("kalis/internal")},
+		&Taint{Scope: PathScope("kalis/internal/core", "kalis/internal/flow")},
 	}
 }
 
@@ -114,6 +120,9 @@ func FixtureAnalyzers(scope ScopeFunc) []Analyzer {
 		&HotPath{RootScope: scope, WalkScope: scope},
 		&NoPanic{Scope: scope},
 		&ErrCheck{Scope: scope},
+		&HotAlloc{RootScope: scope, WalkScope: scope},
+		&LockOrder{Scope: scope},
+		&Taint{Scope: scope},
 	}
 }
 
@@ -123,9 +132,11 @@ func FixtureAnalyzers(scope ScopeFunc) []Analyzer {
 func Run(t *Target, analyzers []Analyzer) []Finding {
 	sup := collectSuppressions(t)
 	var out []Finding
+	seen := make(map[Finding]bool)
 	for _, a := range analyzers {
 		for _, f := range a.Run(t) {
-			if !sup.suppresses(f) {
+			if !sup.suppresses(f) && !seen[f] {
+				seen[f] = true
 				out = append(out, f)
 			}
 		}

@@ -42,6 +42,9 @@ type Target struct {
 	Packages []*Package
 
 	byPath map[string]*Package
+	// facts memoizes whole-target analysis results shared between
+	// analyzers (see Fact).
+	facts facts
 	// std is the stdlib importer used during type-checking, retained so
 	// LoadTests can re-check packages with identical stdlib type
 	// identities (two importers would yield incompatible types.Package

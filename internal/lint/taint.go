@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Taint enforces output hygiene for attacker-controlled capture data.
+// Fields of kalis/internal/packet.Captured (payload bytes, claimed
+// source/destination/transmitter identities, RSSI) and flow keys are
+// written by whatever radios in range choose to transmit; embedding
+// them raw in alert strings, knowledge-base values, collective sends or
+// log output lets a hostile frame inject terminal escapes, fake log
+// lines, oversized identities or NaN readings into every downstream
+// consumer. A packet-derived value must pass one of the sanitizers in
+// kalis/internal/packet — CleanID, CleanPayload, ClampRSSI — before it
+// reaches a sink.
+//
+// The analysis is intraprocedural: taint enters at a source field read
+// and propagates through assignments, conversions, string operations
+// (fmt.Sprint*/Errorf, strings.*, bytes.*), indexing and composite
+// literals within one function. Values returned by other calls and
+// function parameters are treated as clean — a deliberate
+// under-approximation that keeps the rule quiet; the fixture suite
+// documents exactly what it catches.
+//
+// Sinks:
+//
+//   - the Details field of a module.Alert composite literal;
+//   - knowledge.Base Put* methods (entity keys and values become
+//     knowggets mirrored fleet-wide);
+//   - collective Transport.Send/Broadcast payloads;
+//   - log.* and fmt.Print*/Fprint* output.
+type Taint struct {
+	Scope ScopeFunc
+}
+
+// Name implements Analyzer.
+func (*Taint) Name() string { return "taint" }
+
+// Doc implements Analyzer.
+func (*Taint) Doc() string {
+	return "packet-derived fields must pass a packet.Clean*/Clamp* sanitizer before alerts, knowggets, collective sends, or logs"
+}
+
+// taintSourceFields lists the attacker-controlled struct fields, by
+// package path, type name and field name.
+var taintSourceFields = map[[3]string]bool{
+	{"kalis/internal/packet", "Captured", "Payload"}:     true,
+	{"kalis/internal/packet", "Captured", "Src"}:         true,
+	{"kalis/internal/packet", "Captured", "Dst"}:         true,
+	{"kalis/internal/packet", "Captured", "Transmitter"}: true,
+	{"kalis/internal/packet", "Captured", "RSSI"}:        true,
+	{"kalis/internal/flow", "Key", "Src"}:                true,
+	{"kalis/internal/flow", "Key", "Dst"}:                true,
+}
+
+// taintSanitizers are the blessed laundering points.
+var taintSanitizers = map[string]bool{
+	"kalis/internal/packet.CleanID":      true,
+	"kalis/internal/packet.CleanPayload": true,
+	"kalis/internal/packet.ClampRSSI":    true,
+}
+
+// taintSinkFuncs are plain function sinks, by FullName.
+var taintSinkFuncs = map[string]string{
+	"log.Print":    "log output",
+	"log.Printf":   "log output",
+	"log.Println":  "log output",
+	"log.Fatal":    "log output",
+	"log.Fatalf":   "log output",
+	"log.Panicf":   "log output",
+	"fmt.Print":    "terminal output",
+	"fmt.Printf":   "terminal output",
+	"fmt.Println":  "terminal output",
+	"fmt.Fprint":   "writer output",
+	"fmt.Fprintf":  "writer output",
+	"fmt.Fprintln": "writer output",
+}
+
+// Run implements Analyzer.
+func (a *Taint) Run(t *Target) []Finding {
+	g := CallGraphOf(t)
+	var out []Finding
+	for _, node := range g.Nodes {
+		if !a.Scope(node.Pkg.Path) {
+			continue
+		}
+		out = append(out, a.checkNode(t, node)...)
+	}
+	return out
+}
+
+func (a *Taint) checkNode(t *Target, node *CGNode) []Finding {
+	tr := &taintTracker{info: node.Pkg.Info, tainted: make(map[*types.Var]bool)}
+	// Two passes over the assignments reach fixpoint for the
+	// loop-carried flows that matter in practice.
+	for i := 0; i < 2; i++ {
+		inspectOwn(node.Body, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				if len(s.Lhs) == len(s.Rhs) {
+					for i, lhs := range s.Lhs {
+						if tr.taintedExpr(s.Rhs[i]) {
+							tr.markVar(lhs)
+						}
+					}
+				}
+			case *ast.ValueSpec:
+				for i, name := range s.Names {
+					if i < len(s.Values) && tr.taintedExpr(s.Values[i]) {
+						tr.markVar(name)
+					}
+				}
+			case *ast.RangeStmt:
+				if tr.taintedExpr(s.X) {
+					tr.markVar(s.Key)
+					tr.markVar(s.Value)
+				}
+			}
+			return true
+		})
+	}
+
+	var out []Finding
+	flag := func(n ast.Node, what string) {
+		out = append(out, Finding{
+			Pos:  t.Fset.Position(n.Pos()),
+			Rule: a.Name(),
+			Message: "packet-derived value reaches " + what + " unsanitized" +
+				"; wrap it in packet.CleanID/CleanPayload/ClampRSSI first",
+		})
+	}
+	inspectOwn(node.Body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.CompositeLit:
+			// Alert details ship to operators, the SIEM sink and peers.
+			if tv, ok := tr.info.Types[s]; ok && isModuleAlert(tv.Type) {
+				for _, elt := range s.Elts {
+					kv, ok := elt.(*ast.KeyValueExpr)
+					if !ok {
+						continue
+					}
+					if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Details" && tr.taintedExpr(kv.Value) {
+						flag(kv.Value, "an alert Details string")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			sink := sinkOf(tr.info, s)
+			if sink == "" {
+				return true
+			}
+			for _, arg := range s.Args {
+				if tr.taintedExpr(arg) {
+					flag(arg, sink)
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// sinkOf classifies a call as a taint sink, returning a description or
+// "".
+func sinkOf(info *types.Info, call *ast.CallExpr) string {
+	callee := calleeOf(info, call)
+	if callee == nil {
+		return ""
+	}
+	full := callee.FullName()
+	if what, ok := taintSinkFuncs[full]; ok {
+		return what
+	}
+	recv := callee.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return ""
+	}
+	if callee.Pkg() != nil {
+		switch {
+		case callee.Pkg().Path() == "kalis/internal/core/knowledge" && strings.HasPrefix(callee.Name(), "Put"):
+			return "a knowledge-base " + callee.Name() + " (mirrored fleet-wide)"
+		case callee.Pkg().Path() == "kalis/internal/core/collective" &&
+			(callee.Name() == "Send" || callee.Name() == "Broadcast"):
+			return "a collective transport " + callee.Name()
+		}
+	}
+	return ""
+}
+
+// taintTracker evaluates expression taint against the set of tainted
+// local variables.
+type taintTracker struct {
+	info    *types.Info
+	tainted map[*types.Var]bool
+}
+
+func (tr *taintTracker) markVar(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v, ok := tr.info.Defs[id].(*types.Var); ok {
+		tr.tainted[v] = true
+	} else if v, ok := tr.info.Uses[id].(*types.Var); ok && !v.IsField() {
+		tr.tainted[v] = true
+	}
+}
+
+// taintedExpr reports whether the expression carries packet-derived
+// data.
+func (tr *taintTracker) taintedExpr(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := tr.info.Uses[e].(*types.Var); ok {
+			return tr.tainted[v]
+		}
+	case *ast.SelectorExpr:
+		if tr.isSourceField(e) {
+			return true
+		}
+		// d.x where x selected off a tainted base: conservative pass-through.
+		return tr.taintedExpr(e.X)
+	case *ast.StarExpr:
+		return tr.taintedExpr(e.X)
+	case *ast.UnaryExpr:
+		return tr.taintedExpr(e.X)
+	case *ast.BinaryExpr:
+		if e.Op == token.EQL || e.Op == token.NEQ || e.Op == token.LSS ||
+			e.Op == token.GTR || e.Op == token.LEQ || e.Op == token.GEQ {
+			return false // comparisons yield booleans, not data
+		}
+		return tr.taintedExpr(e.X) || tr.taintedExpr(e.Y)
+	case *ast.IndexExpr:
+		return tr.taintedExpr(e.X)
+	case *ast.SliceExpr:
+		return tr.taintedExpr(e.X)
+	case *ast.CompositeLit:
+		for _, elt := range e.Elts {
+			if kv, ok := elt.(*ast.KeyValueExpr); ok {
+				elt = kv.Value
+			}
+			if tr.taintedExpr(elt) {
+				return true
+			}
+		}
+	case *ast.CallExpr:
+		return tr.taintedCall(e)
+	}
+	return false
+}
+
+// taintedCall handles conversions (taint passes through), sanitizers
+// (taint stops) and string-building propagators (taint of any
+// argument); all other calls return clean values.
+func (tr *taintTracker) taintedCall(call *ast.CallExpr) bool {
+	if tv, ok := tr.info.Types[call.Fun]; ok && tv.IsType() {
+		return len(call.Args) == 1 && tr.taintedExpr(call.Args[0])
+	}
+	callee := calleeOf(tr.info, call)
+	if callee == nil {
+		return false
+	}
+	full := callee.FullName()
+	if taintSanitizers[full] {
+		return false
+	}
+	pkg := callee.Pkg()
+	propagator := false
+	if pkg != nil {
+		switch pkg.Path() {
+		case "fmt":
+			propagator = strings.HasPrefix(callee.Name(), "Sprint") || callee.Name() == "Errorf"
+		case "strings", "bytes", "strconv", "unicode/utf8":
+			propagator = true
+		}
+	}
+	if !propagator {
+		return false
+	}
+	for _, arg := range call.Args {
+		if tr.taintedExpr(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceField reports a read of an attacker-controlled field.
+func (tr *taintTracker) isSourceField(sel *ast.SelectorExpr) bool {
+	s, ok := tr.info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return false
+	}
+	v, ok := s.Obj().(*types.Var)
+	if !ok {
+		return false
+	}
+	// Walk to the field's owning named struct type.
+	recv := s.Recv()
+	for {
+		if p, ok := recv.(*types.Pointer); ok {
+			recv = p.Elem()
+			continue
+		}
+		break
+	}
+	named, ok := recv.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	key := [3]string{named.Obj().Pkg().Path(), named.Obj().Name(), v.Name()}
+	return taintSourceFields[key]
+}

@@ -1,0 +1,49 @@
+// Package good stays allocation-free per packet: sized preallocation,
+// parameter-backed appends, value structs, and formatting only inside
+// the exempt Alert literal.
+package good
+
+import (
+	"fmt"
+
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// stat is value scratch state: no pointer literal, no heap.
+type stat struct {
+	seen int
+}
+
+// Detector mimics a well-behaved detection module.
+type Detector struct {
+	buf  []int
+	emit func(module.Alert)
+}
+
+// NewDetector preallocates the scratch buffer off the packet path.
+func NewDetector(emit func(module.Alert)) *Detector {
+	return &Detector{buf: make([]int, 0, 64), emit: emit}
+}
+
+// HandlePacket keeps the per-packet budget.
+func (d *Detector) HandlePacket(c *packet.Captured) {
+	s := stat{seen: 1}
+	tmp := make([]int, 0, 8)
+	tmp = append(tmp, int(c.RSSI)+s.seen)
+	d.buf = appendInto(d.buf, len(tmp))
+	if c.Kind == packet.KindTCPSYN {
+		// Alert construction is the cold branch: allocation inside the
+		// literal is exempt by design, and the identity is sanitized.
+		d.emit(module.Alert{
+			Module:  "fixture",
+			Details: fmt.Sprintf("flood from %s", packet.CleanID(c.Src)),
+		})
+	}
+}
+
+// appendInto grows a caller-owned buffer: parameter-backed slices are
+// sized by the caller and exempt from the unsized-append rule.
+func appendInto(dst []int, v int) []int {
+	return append(dst, v)
+}

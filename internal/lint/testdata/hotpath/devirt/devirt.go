@@ -1,0 +1,37 @@
+// Package devirt proves the hot-path walk follows interface dispatch:
+// the handler invokes an Observer through its interface type and the
+// violation sits in the concrete implementation. Class-hierarchy
+// analysis binds the abstract Observe to every in-module concrete
+// Observer.
+package devirt
+
+import (
+	"fmt"
+
+	"kalis/internal/packet"
+)
+
+// Observer is the dispatch interface.
+type Observer interface {
+	Observe(c *packet.Captured)
+}
+
+// Noisy is a concrete Observer whose Observe formats per packet.
+type Noisy struct{}
+
+// Observe violates the per-packet formatting budget.
+func (Noisy) Observe(c *packet.Captured) {
+	_ = fmt.Sprintf("saw %s", c.Src) // want hotpath
+}
+
+// Detector fans captures out to its observers.
+type Detector struct {
+	obs []Observer
+}
+
+// HandlePacket dispatches through the interface.
+func (d *Detector) HandlePacket(c *packet.Captured) {
+	for _, o := range d.obs {
+		o.Observe(c)
+	}
+}

@@ -1,0 +1,29 @@
+// Package funcvalue is the regression fixture for func-value
+// devirtualization on the packet path: a violation inside a function
+// literal passed as a callback to an in-module helper. Before the
+// call-graph rewrite the hot-path walk only followed static calls, so
+// the literal's body — invoked two hops away through a parameter —
+// escaped analysis entirely.
+package funcvalue
+
+import (
+	"fmt"
+
+	"kalis/internal/packet"
+)
+
+// Detector hands each capture to a helper with a formatting callback.
+type Detector struct{}
+
+// HandlePacket is a packet-path root by name; the violation lives in
+// the literal it passes down.
+func (d *Detector) HandlePacket(c *packet.Captured) {
+	forEachLayer(c, func(name string) {
+		_ = fmt.Sprintf("layer %s of %s", name, c.Src) // want hotpath
+	})
+}
+
+// forEachLayer invokes fn for every decoded layer name.
+func forEachLayer(c *packet.Captured, fn func(string)) {
+	fn(c.Kind.String())
+}

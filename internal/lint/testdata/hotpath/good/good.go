@@ -29,8 +29,9 @@ func (d *Detector) HandlePacket(c *packet.Captured) {
 	a := module.Alert{
 		Module: "fixture",
 		// Alert construction is the cold, rare branch: formatting
-		// inside the Alert literal is exempt by design.
-		Details: fmt.Sprintf("burst from %s", c.Src),
+		// inside the Alert literal is exempt by design. The claimed
+		// identity passes through the taint sanitizer first.
+		Details: fmt.Sprintf("burst from %s", packet.CleanID(c.Src)),
 	}
 	select {
 	case d.out <- a:

@@ -1,0 +1,60 @@
+// Package bad violates lockorder three ways: two paths acquire the
+// same two mutexes in opposite orders, a blocking send runs with a
+// lock held, and a call into a blocking callee runs with a lock held.
+package bad
+
+import "sync"
+
+// Pair guards two resources with separate mutexes and reports through
+// an unbuffered channel.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+
+	out chan int
+	val int
+}
+
+// NewPair wires the report channel.
+func NewPair() *Pair {
+	return &Pair{out: make(chan int)}
+}
+
+// TransferAB locks a then b.
+func (p *Pair) TransferAB() {
+	p.a.Lock()
+	p.b.Lock() // want lockorder
+	p.val++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// TransferBA locks b then a: the contradictory order. The cycle is
+// reported once, at the earlier edge in TransferAB.
+func (p *Pair) TransferBA() {
+	p.b.Lock()
+	p.a.Lock()
+	p.val--
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// Notify sends on the unbuffered channel with the lock held: the
+// receiver may need p.a to drain.
+func (p *Pair) Notify(v int) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.out <- v // want lockorder
+}
+
+// push blocks on the report channel.
+func (p *Pair) push(v int) {
+	p.out <- v
+}
+
+// NotifyViaCall reaches the blocking send transitively, with p.b held.
+func (p *Pair) NotifyViaCall(v int) {
+	p.b.Lock()
+	p.push(v) // want lockorder
+	p.b.Unlock()
+}

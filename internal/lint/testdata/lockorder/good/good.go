@@ -1,0 +1,57 @@
+// Package good follows the repo's locking discipline: one global
+// acquisition order, copy-under-lock with the send after release, and
+// drop-don't-block sends where a lock must stay held.
+package good
+
+import "sync"
+
+// Pair guards two resources with separate mutexes.
+type Pair struct {
+	a sync.Mutex
+	b sync.Mutex
+
+	out chan int
+	val int
+}
+
+// NewPair wires the report channel.
+func NewPair() *Pair {
+	return &Pair{out: make(chan int, 1)}
+}
+
+// Credit locks a then b — the package order.
+func (p *Pair) Credit() {
+	p.a.Lock()
+	p.b.Lock()
+	p.val++
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// Debit takes the same order, so no cycle forms.
+func (p *Pair) Debit() {
+	p.a.Lock()
+	p.b.Lock()
+	p.val--
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// Notify copies under the lock and sends after release.
+func (p *Pair) Notify() {
+	p.a.Lock()
+	v := p.val
+	p.a.Unlock()
+	p.out <- v
+}
+
+// TryNotify may keep the lock across its send because the
+// select-default never blocks.
+func (p *Pair) TryNotify() {
+	p.a.Lock()
+	defer p.a.Unlock()
+	select {
+	case p.out <- p.val:
+	default: // drop-and-count
+	}
+}

@@ -1,0 +1,44 @@
+// Package bad violates taint: attacker-controlled capture fields reach
+// every sink class unsanitized — alert details, knowledge-base puts,
+// and log output — directly, through locals, and through string
+// propagators.
+package bad
+
+import (
+	"fmt"
+	"log"
+
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/flow"
+	"kalis/internal/packet"
+)
+
+// Detector mimics a detection module with raw-identity reporting.
+type Detector struct {
+	kb   *knowledge.Base
+	emit func(module.Alert)
+}
+
+// report ships packet-claimed identities to the sinks unwashed.
+func (d *Detector) report(c *packet.Captured) {
+	src := c.Src
+	d.emit(module.Alert{
+		Module:  "fixture",
+		Details: "burst from " + string(src), // want taint
+	})
+	d.kb.PutEntity("Suspect", string(c.Transmitter), "true") // want taint
+	log.Printf("flood towards %s", c.Dst)                    // want taint
+}
+
+// metrics leaks a raw reading and payload through a propagator chain.
+func (d *Detector) metrics(c *packet.Captured) {
+	line := fmt.Sprintf("rssi=%f", c.RSSI)
+	log.Print(line)                     // want taint
+	log.Printf("payload=%x", c.Payload) // want taint
+}
+
+// keyLeak shows flow keys are sources too.
+func (d *Detector) keyLeak(k flow.Key) {
+	log.Println(string(k.Src)) // want taint
+}

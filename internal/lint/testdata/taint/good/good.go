@@ -1,0 +1,35 @@
+// Package good sanitizes every packet-derived value at the formatting
+// boundary: identities through CleanID, payloads through CleanPayload,
+// readings through ClampRSSI. Comparisons yield decisions, not data,
+// and stay clean.
+package good
+
+import (
+	"log"
+
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// Detector mimics a detection module with hygienic reporting.
+type Detector struct {
+	kb   *knowledge.Base
+	emit func(module.Alert)
+}
+
+// report launders each identity before it reaches a sink.
+func (d *Detector) report(c *packet.Captured) {
+	d.emit(module.Alert{
+		Module:  "fixture",
+		Details: "burst from " + packet.CleanID(c.Src),
+	})
+	d.kb.PutEntity("Suspect", packet.CleanID(c.Transmitter), "true")
+	log.Printf("rssi=%f", packet.ClampRSSI(c.RSSI))
+	log.Printf("payload=%s", packet.CleanPayload(c.Payload))
+	if c.Src == c.Dst {
+		// The comparison consumes tainted data; the boolean it yields
+		// carries none.
+		log.Print("self-addressed frame")
+	}
+}

@@ -1,0 +1,109 @@
+package packet
+
+import (
+	"math"
+	"strconv"
+	"strings"
+)
+
+// This file holds the output sanitizers the taint lint rule requires
+// between packet-derived data and any sink (alert details, knowledge
+// values, collective sends, logs). Every field of a Captured is written
+// by whatever radio happened to transmit: identities can carry terminal
+// escapes, newlines (fake log lines), or be arbitrarily long; RSSI
+// readings can be NaN or physically impossible. Sanitizing at the
+// formatting boundary keeps every downstream consumer — operator
+// terminals, the SIEM sink, peer Kalis nodes — safe from a hostile
+// frame.
+
+// cleanIDMax bounds a rendered identity; real node IDs in the
+// supported media are far shorter.
+const cleanIDMax = 64
+
+// CleanID renders a packet-claimed identity safely: printable ASCII
+// passes through, everything else (control bytes, escapes, high bytes)
+// becomes '?', and the result is truncated to 64 bytes with a "..."
+// marker. Clean identities are returned without copying.
+func CleanID(id NodeID) string {
+	s := string(id)
+	clean := len(s) <= cleanIDMax
+	if clean {
+		for i := 0; i < len(s); i++ {
+			if s[i] < 0x20 || s[i] > 0x7e {
+				clean = false
+				break
+			}
+		}
+	}
+	if clean {
+		return s
+	}
+	var b strings.Builder
+	n := len(s)
+	truncated := n > cleanIDMax
+	if truncated {
+		n = cleanIDMax
+	}
+	b.Grow(n + 3)
+	for i := 0; i < n; i++ {
+		if s[i] < 0x20 || s[i] > 0x7e {
+			b.WriteByte('?')
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	if truncated {
+		b.WriteString("...")
+	}
+	return b.String()
+}
+
+// cleanPayloadMax is how many payload bytes CleanPayload previews.
+const cleanPayloadMax = 16
+
+const hexDigits = "0123456789abcdef"
+
+// CleanPayload renders a bounded hex preview of attacker-controlled
+// payload bytes: at most 16 bytes as hex, then the total length. The
+// raw bytes never reach the sink.
+func CleanPayload(p []byte) string {
+	n := len(p)
+	show := n
+	if show > cleanPayloadMax {
+		show = cleanPayloadMax
+	}
+	var b strings.Builder
+	b.Grow(2*show + 16)
+	for i := 0; i < show; i++ {
+		b.WriteByte(hexDigits[p[i]>>4])
+		b.WriteByte(hexDigits[p[i]&0x0f])
+	}
+	if show < n {
+		b.WriteString("..")
+	}
+	b.WriteByte('(')
+	b.WriteString(strconv.Itoa(n))
+	b.WriteString("B)")
+	return b.String()
+}
+
+// RSSI plausibility envelope in dBm: nothing a real radio reports falls
+// outside it.
+const (
+	rssiFloor = -120.0
+	rssiCeil  = 20.0
+)
+
+// ClampRSSI forces a claimed signal-strength reading into the plausible
+// dBm envelope [-120, 20]; NaN collapses to the floor. Detection
+// features averaging RSSI must clamp first or a single crafted frame
+// (NaN, ±Inf, 1e300) poisons the whole window.
+func ClampRSSI(v float64) float64 {
+	if math.IsNaN(v) || v < rssiFloor {
+		return rssiFloor
+	}
+	if v > rssiCeil {
+		return rssiCeil
+	}
+	return v
+}

@@ -1,0 +1,77 @@
+package packet
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCleanID(t *testing.T) {
+	long := strings.Repeat("a", 100)
+	cases := []struct {
+		name string
+		in   NodeID
+		want string
+	}{
+		{"clean passthrough", "node-7", "node-7"},
+		{"empty", "", ""},
+		{"terminal escape", "ok\x1b[31mred", "ok?[31mred"},
+		{"newline injection", "a\nfake log line", "a?fake log line"},
+		{"high bytes", "n\xff\xfe", "n??"},
+		{"truncated", NodeID(long), strings.Repeat("a", 64) + "..."},
+	}
+	for _, c := range cases {
+		if got := CleanID(c.in); got != c.want {
+			t.Errorf("%s: CleanID(%q) = %q, want %q", c.name, c.in, got, c.want)
+		}
+	}
+}
+
+// TestCleanIDNoAllocFastPath pins the hot-path contract: a clean
+// identity is returned without copying.
+func TestCleanIDNoAllocFastPath(t *testing.T) {
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = CleanID("node-7")
+	})
+	if allocs != 0 {
+		t.Errorf("CleanID fast path allocates %.0f times per run, want 0", allocs)
+	}
+}
+
+func TestCleanPayload(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+		want string
+	}{
+		{"empty", nil, "(0B)"},
+		{"short", []byte{0xde, 0xad}, "dead(2B)"},
+		{"exactly sixteen", make([]byte, 16), strings.Repeat("00", 16) + "(16B)"},
+		{"truncated", make([]byte, 40), strings.Repeat("00", 16) + "..(40B)"},
+	}
+	for _, c := range cases {
+		if got := CleanPayload(c.in); got != c.want {
+			t.Errorf("%s: CleanPayload = %q, want %q", c.name, got, c.want)
+		}
+	}
+}
+
+func TestClampRSSI(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64
+	}{
+		{"in range", -70, -70},
+		{"floor", -500, -120},
+		{"ceil", 1e300, 20},
+		{"nan", math.NaN(), -120},
+		{"neg inf", math.Inf(-1), -120},
+		{"pos inf", math.Inf(1), 20},
+	}
+	for _, c := range cases {
+		if got := ClampRSSI(c.in); got != c.want {
+			t.Errorf("%s: ClampRSSI(%v) = %v, want %v", c.name, c.in, got, c.want)
+		}
+	}
+}

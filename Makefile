@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos fuzz-short experiments examples telemetry-demo flow-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos crash-demo fuzz-short experiments examples telemetry-demo flow-demo clean
 
 all: build test lint
 
@@ -30,17 +30,29 @@ vet:
 	$(GO) vet ./...
 
 # Fault-scenario suite under the race detector: the scripted chaos
-# drill (partition + module panic + knowledge burst, see chaos_test.go)
-# plus the fault-injection, supervision and collective-resilience
+# drill (partition + module panic + knowledge burst, see chaos_test.go),
+# the crash-recovery drill (dirty crash mid-journal-write, warm vs cold
+# time-to-redetection, see crash_drill_test.go), plus the
+# fault-injection, supervision, collective-resilience and persistence
 # packages.
 chaos:
-	$(GO) test -race -timeout 5m -run TestChaosScenario -v .
-	$(GO) test -race -timeout 5m ./internal/fault/ ./internal/core/module/ ./internal/core/collective/
+	$(GO) test -race -timeout 5m -run 'TestChaosScenario|TestCrashRecoveryDrill' -v .
+	$(GO) test -race -timeout 5m ./internal/fault/ ./internal/core/module/ ./internal/core/collective/ ./internal/persist/
 
-# Short native-fuzz pass over the collective receive path (truncated /
-# corrupted / replayed datagrams must never panic or taint the KB).
+# The crash-recovery drill alone, verbose: tears the KB journal
+# mid-record, reboots warm (torn state dir) vs cold (fresh dir) against
+# the same recorded attack tail, and prints both times-to-redetection.
+crash-demo:
+	$(GO) test -run TestCrashRecoveryDrill -v .
+
+# Short native-fuzz passes: the collective receive path (truncated /
+# corrupted / replayed datagrams must never panic or taint the KB) and
+# the durable-state loaders (arbitrary snapshot/journal bytes must
+# never panic or partially apply).
 fuzz-short:
 	$(GO) test -fuzz=FuzzNodeReceive -fuzztime=30s -run '^$$' ./internal/core/collective/
+	$(GO) test -fuzz=FuzzSnapshotLoad -fuzztime=30s -run '^$$' ./internal/persist/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=30s -run '^$$' ./internal/persist/
 
 # Kalis-specific static analysis (see DESIGN.md "Static analysis &
 # invariants"): simulated-clock discipline, named bus topics, hot-path

@@ -52,6 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		trad          = fs.Bool("traditional", false, "run as the traditional-IDS baseline (no knowledge)")
 		list          = fs.Bool("list", false, "list built-in scenarios and exit")
 		telemetryAddr = fs.String("telemetry", "", "serve the runtime-telemetry admin endpoint on this address (e.g. 127.0.0.1:9090)")
+		stateDir      = fs.String("state-dir", "", "persist node state in this directory and warm-restart from it (empty: no persistence)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -75,11 +76,17 @@ func run(args []string, stdout io.Writer) error {
 		}
 		opts = append(opts, kalis.WithConfig(string(text)))
 	}
+	if *stateDir != "" {
+		opts = append(opts, kalis.WithStateDir(*stateDir))
+	}
 	node, err := kalis.New(opts...)
 	if err != nil {
 		return err
 	}
 	defer node.Close()
+	if *stateDir != "" {
+		fmt.Fprintf(stdout, "state: %s restart from %s\n", node.RecoveryOutcome(), *stateDir)
+	}
 
 	if *telemetryAddr != "" {
 		srv, err := node.ServeTelemetry(*telemetryAddr)

@@ -20,13 +20,14 @@ const DefaultWindow = 4096
 
 // Store is the Data Store of one Kalis node.
 type Store struct {
-	mu     sync.RWMutex
-	window []*packet.Captured // ring buffer
-	head   int                // next write position
-	size   int                // number of valid entries
-	total  uint64             // packets ever appended
-	logger *trace.Writer
-	met    StoreMetrics
+	mu      sync.RWMutex
+	window  []*packet.Captured // ring buffer
+	head    int                // next write position
+	size    int                // number of valid entries
+	total   uint64             // packets ever appended
+	logger  *trace.Writer
+	logSink io.Writer // raw writer behind logger, for sync/close
+	met     StoreMetrics
 }
 
 // StoreMetrics are the store's optional telemetry hooks; zero-value
@@ -61,6 +62,7 @@ func (s *Store) SetLog(w io.Writer) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.logger = trace.NewWriter(w)
+	s.logSink = w
 }
 
 // Append records a captured packet into the sliding window (and the
@@ -115,6 +117,31 @@ func (s *Store) FlushLog() error {
 	return s.logger.Flush()
 }
 
+// CloseLog flushes the disk log and, when the underlying writer is a
+// file or other closer, syncs and closes it — so a clean node shutdown
+// never strands the last buffered records in memory. The log is
+// detached either way; further appends are not logged.
+func (s *Store) CloseLog() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.logger == nil {
+		return nil
+	}
+	err := s.logger.Flush()
+	if f, ok := s.logSink.(interface{ Sync() error }); ok {
+		if serr := f.Sync(); err == nil {
+			err = serr
+		}
+	}
+	if c, ok := s.logSink.(io.Closer); ok {
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.logger, s.logSink = nil, nil
+	return err
+}
+
 // Recent returns up to n of the most recent packets, oldest first.
 // n <= 0 returns the whole window.
 func (s *Store) Recent(n int) []*packet.Captured {
@@ -153,6 +180,51 @@ func (s *Store) Capacity() int {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return len(s.window)
+}
+
+// SnapshotTo encodes the current sliding-window contents to w as a
+// Kalis trace stream, oldest first — the Data Store section of a
+// durable node snapshot reuses the trace-log encoding wholesale.
+// Synthetic captures whose outermost layer cannot re-encode are
+// skipped, exactly as the disk log skips them. It returns the number
+// of records written.
+func (s *Store) SnapshotTo(w io.Writer) (int, error) {
+	window := s.Recent(0) // copies under RLock; encode without the lock
+	tw := trace.NewWriter(w)
+	for _, c := range window {
+		raw := rawOf(c)
+		if raw == nil {
+			continue
+		}
+		rec := &trace.Record{Time: c.Time, Medium: c.Medium, RSSI: c.RSSI, Raw: raw, Truth: c.Truth}
+		if err := tw.Write(rec); err != nil {
+			return tw.Count(), fmt.Errorf("datastore: snapshot: %w", err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		return tw.Count(), fmt.Errorf("datastore: snapshot: %w", err)
+	}
+	return tw.Count(), nil
+}
+
+// Restore loads recovered trace records into the sliding window in
+// order, bypassing the disk log and telemetry (recovery runs before
+// either is wired). Records that fail protocol decoding are skipped
+// and counted. Restore is meant for an empty, pre-traffic store; the
+// window retains the most recent records if they exceed capacity.
+func (s *Store) Restore(recs []*trace.Record) (restored, skipped int) {
+	skipped = trace.Replay(recs, func(c *packet.Captured) {
+		restored++
+		s.mu.Lock()
+		s.window[s.head] = c
+		s.head = (s.head + 1) % len(s.window)
+		if s.size < len(s.window) {
+			s.size++
+		}
+		s.total++
+		s.mu.Unlock()
+	})
+	return restored, skipped
 }
 
 // Replay reads a trace stream and feeds every decodable record to fn in

@@ -10,6 +10,7 @@ package core
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"kalis/internal/core/collective"
 	"kalis/internal/core/datastore"
@@ -21,6 +22,7 @@ import (
 	"kalis/internal/core/sensing"
 	"kalis/internal/flow"
 	"kalis/internal/packet"
+	"kalis/internal/persist"
 	"kalis/internal/telemetry"
 )
 
@@ -52,6 +54,16 @@ type Config struct {
 	// updated once per packet before module fan-out and expired flows
 	// are exported on the flow.records bus topic.
 	Flow flow.Config
+	// StateDir, when non-empty, enables durable state: the Knowledge
+	// Base and Data Store window are recovered from this directory at
+	// startup (warm restart) and persisted across the node's lifetime
+	// via a write-ahead journal and periodic snapshots. Empty disables
+	// persistence entirely.
+	StateDir string
+	// PersistInterval is the snapshot-compaction interval on the
+	// capture clock; 0 selects persist.DefaultInterval. Ignored without
+	// StateDir.
+	PersistInterval time.Duration
 }
 
 // Kalis is one IDS node.
@@ -65,6 +77,7 @@ type Kalis struct {
 	flows    *flow.Table
 	coll     *collective.Node
 	tel      *telemetry.Registry
+	persist  *persist.Manager
 }
 
 // New builds a Kalis node.
@@ -125,9 +138,36 @@ func New(cfg Config) (*Kalis, error) {
 		flows:    flows,
 		tel:      tel,
 	}
+	// Durable state recovers BEFORE modules are installed and before
+	// any traffic flows: knowledge-driven activation at install time
+	// must see the recovered Knowledge Base, and recovery bulk-loads
+	// without firing knowledge events.
+	if cfg.StateDir != "" {
+		pm, err := persist.Open(persist.Config{
+			Dir:      cfg.StateDir,
+			Interval: cfg.PersistInterval,
+			Metrics: persist.Metrics{
+				Snapshots: tel.Counter("kalis_persist_snapshot_total",
+					"Durable snapshots written (periodic compaction and shutdown flush)."),
+				JournalBytes: tel.Gauge("kalis_persist_journal_bytes",
+					"Current size of the KB write-ahead journal in bytes."),
+				Recoveries: tel.CounterVec("kalis_persist_recoveries_total", "outcome",
+					"State recoveries at startup, by outcome (warm, truncated, cold)."),
+			},
+		}, kb, store)
+		if err != nil {
+			return nil, fmt.Errorf("kalis: persist: %w", err)
+		}
+		k.persist = pm
+	}
 	bus.Subscribe(event.TopicPacket, func(payload interface{}) {
 		if c, ok := payload.(*packet.Captured); ok {
 			manager.HandlePacket(c)
+			if k.persist != nil {
+				// Compaction runs on the capture clock, like every
+				// other time-driven behavior in the pipeline.
+				k.persist.Tick(c.Time)
+			}
 		}
 	})
 	alerts := tel.CounterVec("kalis_alerts_total", "attack",
@@ -374,19 +414,29 @@ func (k *Kalis) SuggestConfig() string {
 			cfg.Knowggets = append(cfg.Knowggets, kconfig.KnowggetDef{Label: label, Value: v})
 		}
 	}
-	for _, kg := range k.kb.QueryPrefix(k.id + "$" + knowledge.LabelMediums + ".") {
+	for _, kg := range k.kb.QueryPrefix(knowledge.EscapeComponent(k.id) + "$" + knowledge.LabelMediums + ".") {
 		cfg.Knowggets = append(cfg.Knowggets, kconfig.KnowggetDef{Label: kg.Label, Value: kg.Value})
 	}
 	return kconfig.Generate(cfg)
 }
 
+// Persistence returns the durable-state manager, or nil when the node
+// runs without a state directory.
+func (k *Kalis) Persistence() *persist.Manager { return k.persist }
+
 // Close shuts the node down: the flow table flushes its remaining
-// flows as records, the event bus drains, the traffic log flushes, and
-// the collective layer closes.
+// flows as records, the event bus drains, the traffic log flushes and
+// closes, durable state takes its final snapshot, and the collective
+// layer closes.
 func (k *Kalis) Close() error {
 	k.flows.Flush()
 	k.bus.Close()
-	err := k.store.FlushLog()
+	err := k.store.CloseLog()
+	if k.persist != nil {
+		if perr := k.persist.Stop(); err == nil {
+			err = perr
+		}
+	}
 	if k.coll != nil {
 		if cerr := k.coll.Close(); err == nil {
 			err = cerr

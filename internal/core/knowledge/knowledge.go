@@ -50,18 +50,23 @@ type Knowgget struct {
 	Collective bool
 }
 
-// Key returns the encoded storage key "creator$label@entity".
+// Key returns the encoded storage key "creator$label@entity". The
+// separator bytes '$' and '@' (and the escape byte '%') are
+// percent-escaped inside each component, so ParseKey(k.Key()) is
+// lossless for any creator/label/entity — the durable snapshot and
+// journal formats depend on this round trip.
 func (k Knowgget) Key() string {
 	//lint:ignore hotalloc storage keys are composite strings by design ("creator$label@entity", §V); Key runs per put/lookup, both change- or gate-bounded
-	key := k.Creator + "$" + k.Label
+	key := EscapeComponent(k.Creator) + "$" + EscapeComponent(k.Label)
 	if k.Entity != "" {
 		//lint:ignore hotalloc see above: composite storage keys are the KB's string-keyed design
-		key += "@" + k.Entity
+		key += "@" + EscapeComponent(k.Entity)
 	}
 	return key
 }
 
 // ParseKey decodes a storage key back into (creator, label, entity).
+// It is the exact inverse of Knowgget.Key.
 func ParseKey(key string) (creator, label, entity string) {
 	if i := strings.IndexByte(key, '$'); i >= 0 {
 		creator, key = key[:i], key[i+1:]
@@ -69,7 +74,66 @@ func ParseKey(key string) (creator, label, entity string) {
 	if i := strings.LastIndexByte(key, '@'); i >= 0 {
 		key, entity = key[:i], key[i+1:]
 	}
-	return creator, key, entity
+	return unescapeComponent(creator), unescapeComponent(key), unescapeComponent(entity)
+}
+
+// keyReserved are the bytes that cannot appear raw inside a key
+// component: the two separators and the escape byte itself.
+const keyReserved = "$@%"
+
+// EscapeComponent percent-escapes the key-reserved bytes of one key
+// component. Components without reserved bytes (the overwhelmingly
+// common case) are returned unchanged without allocating.
+func EscapeComponent(s string) string {
+	if !strings.ContainsAny(s, keyReserved) {
+		return s
+	}
+	//lint:ignore hotalloc escape slow path: only taken for components carrying separator bytes, which no built-in module emits
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c == '$' || c == '@' || c == '%' {
+			b.WriteByte('%')
+			b.WriteString(hexDigits[c>>4 : c>>4+1])
+			b.WriteString(hexDigits[c&0xf : c&0xf+1])
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return b.String()
+}
+
+const hexDigits = "0123456789abcdef"
+
+// unescapeComponent reverses EscapeComponent; malformed escapes are
+// kept verbatim (ParseKey never fails — garbage in, garbage out).
+func unescapeComponent(s string) string {
+	if !strings.ContainsRune(s, '%') {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		if s[i] == '%' && i+2 < len(s) {
+			hi := strings.IndexByte(hexDigits, lowerHex(s[i+1]))
+			lo := strings.IndexByte(hexDigits, lowerHex(s[i+2]))
+			if hi >= 0 && lo >= 0 {
+				b.WriteByte(byte(hi<<4 | lo))
+				i += 2
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func lowerHex(c byte) byte {
+	if c >= 'A' && c <= 'F' {
+		return c + ('a' - 'A')
+	}
+	return c
 }
 
 // SubscribeFunc is notified of a knowgget change (insert or update).
@@ -79,16 +143,31 @@ type SubscribeFunc func(Knowgget)
 // peer Kalis nodes; it is installed by the collective-knowledge layer.
 type SyncFunc func(Knowgget)
 
+// Journal operations, as seen by a JournalFunc.
+const (
+	// OpPut records an accepted insert or update.
+	OpPut = byte(1)
+	// OpDelete records a removal; only the key accompanies it.
+	OpDelete = byte(2)
+)
+
+// JournalFunc receives every accepted mutation of the Knowledge Base —
+// OpPut with the stored knowgget, or OpDelete with only the key set on
+// a zero knowgget via Key(). The persistence layer installs it as the
+// KB's write-ahead hook; rejected or no-op mutations are not reported.
+type JournalFunc func(op byte, key string, k Knowgget)
+
 // Base is the Knowledge Base of one Kalis node.
 type Base struct {
 	local string
 
-	mu      sync.RWMutex
-	entries map[string]Knowgget
-	static  map[string]bool // labels provided as a-priori knowledge
-	subsAll []SubscribeFunc
-	subs    map[string][]SubscribeFunc // by label
-	syncFn  SyncFunc
+	mu        sync.RWMutex
+	entries   map[string]Knowgget
+	static    map[string]bool // labels provided as a-priori knowledge
+	subsAll   []SubscribeFunc
+	subs      map[string][]SubscribeFunc // by label
+	syncFn    SyncFunc
+	journalFn JournalFunc
 }
 
 // NewBase creates a Knowledge Base for the Kalis node with the given
@@ -131,6 +210,15 @@ func (b *Base) SetSync(fn SyncFunc) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.syncFn = fn
+}
+
+// SetJournal installs the write-ahead hook notified of every accepted
+// Put and Delete. Install it after any Restore, so recovered state is
+// not re-journaled.
+func (b *Base) SetJournal(fn JournalFunc) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.journalFn = fn
 }
 
 // Put stores a local knowgget with the given label and value. It
@@ -185,8 +273,12 @@ func (b *Base) store(k Knowgget) bool {
 	b.entries[key] = k
 	subs := b.notifyList(k.Label)
 	syncFn := b.syncFn
+	journalFn := b.journalFn
 	b.mu.Unlock()
 
+	if journalFn != nil {
+		journalFn(OpPut, key, k)
+	}
 	for _, fn := range subs {
 		fn(k)
 	}
@@ -213,11 +305,16 @@ func (b *Base) notifyList(label string) []SubscribeFunc {
 // Delete removes a knowgget by key. It returns true if present.
 func (b *Base) Delete(key string) bool {
 	b.mu.Lock()
-	defer b.mu.Unlock()
 	if _, ok := b.entries[key]; !ok {
+		b.mu.Unlock()
 		return false
 	}
 	delete(b.entries, key)
+	journalFn := b.journalFn
+	b.mu.Unlock()
+	if journalFn != nil {
+		journalFn(OpDelete, key, Knowgget{})
+	}
 	return true
 }
 
@@ -232,14 +329,14 @@ func (b *Base) Get(key string) (Knowgget, bool) {
 // Value returns the raw string value of a local knowgget by label.
 func (b *Base) Value(label string) (string, bool) {
 	//lint:ignore hotalloc one small key concat per KB read; an interned-key index is not worth the complexity at current gate-check rates
-	k, ok := b.Get(b.local + "$" + label)
+	k, ok := b.Get(EscapeComponent(b.local) + "$" + EscapeComponent(label))
 	return k.Value, ok
 }
 
 // EntityValue returns the raw string value of a local entity-specific
 // knowgget.
 func (b *Base) EntityValue(label, entity string) (string, bool) {
-	k, ok := b.Get(b.local + "$" + label + "@" + entity)
+	k, ok := b.Get(Knowgget{Creator: b.local, Label: label, Entity: entity}.Key())
 	return k.Value, ok
 }
 
@@ -314,7 +411,7 @@ func (b *Base) QueryPrefix(prefix string) []Knowgget {
 }
 
 // QueryLocal returns all knowggets created by the local node.
-func (b *Base) QueryLocal() []Knowgget { return b.QueryPrefix(b.local + "$") }
+func (b *Base) QueryLocal() []Knowgget { return b.QueryPrefix(EscapeComponent(b.local) + "$") }
 
 // QueryCollective returns all knowggets created by peer nodes.
 func (b *Base) QueryCollective() []Knowgget {
@@ -336,7 +433,7 @@ func (b *Base) QueryEntity(entity string) []Knowgget {
 	b.mu.RLock()
 	defer b.mu.RUnlock()
 	var out []Knowgget
-	suffix := "@" + entity
+	suffix := "@" + EscapeComponent(entity)
 	for key, k := range b.entries {
 		if strings.HasSuffix(key, suffix) {
 			out = append(out, k)
@@ -349,7 +446,7 @@ func (b *Base) QueryEntity(entity string) []Knowgget {
 // Children returns the sub-knowggets of a local multilevel knowgget:
 // all local knowggets whose label begins with "label.".
 func (b *Base) Children(label string) []Knowgget {
-	return b.QueryPrefix(b.local + "$" + label + ".")
+	return b.QueryPrefix(EscapeComponent(b.local) + "$" + EscapeComponent(label) + ".")
 }
 
 // Subscribe registers fn to be notified of changes to knowggets with
@@ -368,6 +465,36 @@ func (b *Base) SubscribeAll(fn SubscribeFunc) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	b.subsAll = append(b.subsAll, fn)
+}
+
+// Restore bulk-loads recovered state into the Base: every knowgget is
+// stored under its key and the given labels are marked static. It
+// fires no subscribers, no sync, and no journal hook — recovery runs
+// before any of them are installed, and replayed state must not be
+// re-propagated or re-journaled. Restore is the warm-start half of the
+// durable-state design; it is not meant for use after traffic flows.
+func (b *Base) Restore(entries []Knowgget, staticLabels []string) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, k := range entries {
+		b.entries[k.Key()] = k
+	}
+	for _, label := range staticLabels {
+		b.static[label] = true
+	}
+}
+
+// StaticLabels returns the labels provided as a-priori knowledge,
+// sorted — the static half of the state a snapshot must carry.
+func (b *Base) StaticLabels() []string {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make([]string, 0, len(b.static))
+	for label := range b.static {
+		out = append(out, label)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Snapshot returns a copy of every knowgget, sorted by key.

@@ -249,24 +249,60 @@ func TestFigure5Representation(t *testing.T) {
 	}
 }
 
+// TestQuickKeyRoundTrip is the property the durable snapshot format
+// depends on: ParseKey(k.Key()) recovers creator/label/entity exactly,
+// for ANY component contents — separator bytes included, thanks to
+// percent-escaping in Key.
 func TestQuickKeyRoundTrip(t *testing.T) {
 	prop := func(label, creator, entity string) bool {
-		// Keys assume $ and @ do not appear in components.
-		for _, s := range []string{label, creator, entity} {
-			for _, r := range s {
-				if r == '$' || r == '@' {
-					return true // skip invalid inputs
-				}
-			}
-		}
 		if label == "" || creator == "" {
-			return true
+			return true // components required non-empty by the put API
 		}
 		k := Knowgget{Label: label, Creator: creator, Entity: entity}
 		c, l, e := ParseKey(k.Key())
 		return c == creator && l == label && e == entity
 	}
-	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+	if err := quick.Check(prop, &quick.Config{MaxCount: 2000}); err != nil {
 		t.Error(err)
+	}
+}
+
+// TestKeySeparatorEscaping pins the previously-broken separator cases
+// and the injectivity escaping buys: distinct triples must never
+// collide on the same key.
+func TestKeySeparatorEscaping(t *testing.T) {
+	cases := []Knowgget{
+		{Creator: "K1", Label: "L", Entity: "a@b"},
+		{Creator: "K1", Label: "L", Entity: "a@b@c"},
+		{Creator: "K1", Label: "L@x", Entity: ""},
+		{Creator: "K$1", Label: "L", Entity: "e"},
+		{Creator: "K1", Label: "100%", Entity: "%40"},
+		{Creator: "K1", Label: "TrafficFrequency.TCP@SYN", Entity: "fe80::1%eth0"},
+		{Creator: "usr@host", Label: "L", Entity: "$"},
+	}
+	seen := make(map[string]Knowgget)
+	for _, k := range cases {
+		key := k.Key()
+		c, l, e := ParseKey(key)
+		if c != k.Creator || l != k.Label || e != k.Entity {
+			t.Errorf("ParseKey(%q) = (%q,%q,%q), want (%q,%q,%q)",
+				key, c, l, e, k.Creator, k.Label, k.Entity)
+		}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("key collision: %+v and %+v both encode to %q", prev, k, key)
+		}
+		seen[key] = k
+	}
+	// Escaped keys stay queryable through the component-based APIs.
+	b := NewBase("K1")
+	b.PutEntity("Sig@nal", "a@b", "-67")
+	if v, ok := b.EntityValue("Sig@nal", "a@b"); !ok || v != "-67" {
+		t.Errorf("EntityValue through escaped key = (%q,%v)", v, ok)
+	}
+	if got := b.QueryEntity("a@b"); len(got) != 1 {
+		t.Errorf("QueryEntity(a@b) = %d knowggets, want 1", len(got))
+	}
+	if got := b.QueryEntity("b"); len(got) != 0 {
+		t.Errorf("QueryEntity(b) matched an escaped entity suffix: %d", len(got))
 	}
 }

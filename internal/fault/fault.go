@@ -19,19 +19,20 @@ import (
 
 // Fault kinds, as counted by Counts and kalis_fault_injected_total.
 const (
-	KindDrop      = "drop"
-	KindDuplicate = "duplicate"
-	KindReorder   = "reorder"
-	KindCorrupt   = "corrupt"
-	KindDelay     = "delay"
-	KindPartition = "partition"
-	KindFrameLoss = "frameloss"
-	KindCrash     = "crash"
+	KindDrop       = "drop"
+	KindDuplicate  = "duplicate"
+	KindReorder    = "reorder"
+	KindCorrupt    = "corrupt"
+	KindDelay      = "delay"
+	KindPartition  = "partition"
+	KindFrameLoss  = "frameloss"
+	KindCrash      = "crash"
+	KindCrashDirty = "crashdirty"
 )
 
 var kinds = []string{
 	KindDrop, KindDuplicate, KindReorder, KindCorrupt,
-	KindDelay, KindPartition, KindFrameLoss, KindCrash,
+	KindDelay, KindPartition, KindFrameLoss, KindCrash, KindCrashDirty,
 }
 
 // Scheduler defers work on the virtual clock; *netsim.Sim satisfies

@@ -73,3 +73,29 @@ func (i *Injector) CrashNode(sim *netsim.Sim, name string, after, downFor time.D
 		sim.After(after+downFor, func() { node.Restore() })
 	}
 }
+
+// CrashNodeDirty is CrashNode for a node with durable state: at crash
+// time it additionally invokes dirty, which models the power cut
+// hitting mid-write — typically persist.Tear on the node's journal
+// plus abandoning the node without Close, so no shutdown flush ever
+// runs. The restart (when downFor > 0) only restores the radio; the
+// drill itself decides whether the rebooted IDS reopens its torn state
+// dir (warm/truncated recovery) or a fresh one (cold).
+func (i *Injector) CrashNodeDirty(sim *netsim.Sim, name string, after, downFor time.Duration, dirty func()) {
+	node := sim.Node(name)
+	if node == nil {
+		return
+	}
+	sim.After(after, func() {
+		node.Revoke()
+		if dirty != nil {
+			dirty()
+		}
+		i.mu.Lock()
+		i.recordLocked(KindCrashDirty)
+		i.mu.Unlock()
+	})
+	if downFor > 0 {
+		sim.After(after+downFor, func() { node.Restore() })
+	}
+}

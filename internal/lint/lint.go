@@ -100,7 +100,7 @@ func DefaultAnalyzers() []Analyzer {
 			// site: it converts module crashes into quarantine state.
 			RecoverExempt: []string{"internal/core/module/supervisor.go"},
 		},
-		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/proto", "kalis/cmd", "kalis/examples")},
+		&ErrCheck{Scope: PathScope("kalis/internal/core", "kalis/internal/persist", "kalis/internal/proto", "kalis/cmd", "kalis/examples")},
 		&HotAlloc{
 			RootScope: PathScope("kalis/internal/core"),
 			WalkScope: PathScope("kalis/internal/core", "kalis/internal/flow"),

@@ -1,0 +1,224 @@
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+
+	"kalis/internal/core/knowledge"
+)
+
+// JournalMagic identifies a Kalis KB write-ahead journal.
+var JournalMagic = [4]byte{'K', 'J', 'N', 'L'}
+
+// JournalVersion is the current journal format version.
+const JournalVersion = 1
+
+// journalHeaderLen is magic + version.
+const journalHeaderLen = 5
+
+// maxJournalRecord bounds one journal record's payload; larger claims
+// are treated as a torn tail, not an allocation request.
+const maxJournalRecord = 1 << 20
+
+// ErrJournalHeader means the journal file exists but its magic or
+// version does not verify — unlike a torn tail, this is not
+// recoverable by truncation and degrades the node to a cold start.
+var ErrJournalHeader = errors.New("persist: bad journal header")
+
+// JournalEntry is one replayed KB mutation.
+type JournalEntry struct {
+	// Op is knowledge.OpPut or knowledge.OpDelete.
+	Op byte
+	// Key is set for deletes (the encoded storage key).
+	Key string
+	// Knowgget is set for puts.
+	Knowgget knowledge.Knowgget
+}
+
+// journalWriter appends framed, checksummed records to an open file.
+// Records are buffered; Flush pushes them to the kernel and Sync makes
+// them durable. Frame layout, following the trace/snapshot framing:
+//
+//	uvarint payload length | payload | crc32(payload) LE
+//
+// payload = op byte, then for OpPut flags+creator/label/entity/value,
+// for OpDelete the storage key.
+type journalWriter struct {
+	f       *os.File
+	w       *bufio.Writer
+	bytes   int64 // total bytes written including header
+	scratch []byte
+}
+
+// newJournalWriter creates (truncates) the journal file and writes its
+// header. The header is flushed and synced immediately, so a crash
+// right after rotation still leaves a well-formed, empty journal.
+func newJournalWriter(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	jw := &journalWriter{f: f, w: bufio.NewWriter(f)}
+	if _, err := jw.w.Write(JournalMagic[:]); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := jw.w.WriteByte(JournalVersion); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := jw.w.Flush(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return nil, err
+	}
+	jw.bytes = journalHeaderLen
+	return jw, nil
+}
+
+// append encodes and buffers one mutation record.
+func (jw *journalWriter) append(op byte, key string, k knowledge.Knowgget) error {
+	payload := jw.scratch[:0]
+	payload = append(payload, op)
+	switch op {
+	case knowledge.OpPut:
+		payload = appendKnowgget(payload, k)
+	case knowledge.OpDelete:
+		payload = appendString(payload, key)
+	default:
+		return fmt.Errorf("persist: journal: unknown op %d", op)
+	}
+	jw.scratch = payload // keep the grown buffer for the next append
+
+	var frame [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(frame[:], uint64(len(payload)))
+	if _, err := jw.w.Write(frame[:n]); err != nil {
+		return err
+	}
+	if _, err := jw.w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	if _, err := jw.w.Write(sum[:]); err != nil {
+		return err
+	}
+	jw.bytes += int64(n + len(payload) + 4)
+	return nil
+}
+
+// flush pushes buffered records to the kernel.
+func (jw *journalWriter) flush() error { return jw.w.Flush() }
+
+// sync flushes and makes the journal durable.
+func (jw *journalWriter) sync() error {
+	if err := jw.w.Flush(); err != nil {
+		return err
+	}
+	return jw.f.Sync()
+}
+
+// close flushes, syncs and closes the journal file.
+func (jw *journalWriter) close() error {
+	err := jw.sync()
+	if cerr := jw.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// replayJournal reads the journal byte stream and returns every intact
+// entry plus the byte offset of the verified prefix. A torn or
+// corrupt record ends the replay at the last good offset with
+// truncated=true — the write-ahead contract: a crash mid-append loses
+// at most the record being written, never an earlier one. A bad
+// header returns ErrJournalHeader instead (cold start).
+func replayJournal(r io.Reader) (entries []JournalEntry, goodBytes int64, truncated bool, err error) {
+	br := bufio.NewReader(r)
+	var header [journalHeaderLen]byte
+	if _, herr := io.ReadFull(br, header[:]); herr != nil {
+		return nil, 0, false, fmt.Errorf("%w: %v", ErrJournalHeader, herr)
+	}
+	if [4]byte(header[:4]) != JournalMagic || header[4] != JournalVersion {
+		return nil, 0, false, ErrJournalHeader
+	}
+	goodBytes = journalHeaderLen
+	for {
+		entry, n, rerr := readJournalRecord(br)
+		if errors.Is(rerr, io.EOF) {
+			return entries, goodBytes, false, nil
+		}
+		if rerr != nil {
+			// Torn tail or bit rot: keep the verified prefix.
+			return entries, goodBytes, true, nil
+		}
+		entries = append(entries, entry)
+		goodBytes += n
+	}
+}
+
+// readJournalRecord reads one frame; io.EOF means a clean end exactly
+// on a record boundary, any other error a torn/corrupt record.
+func readJournalRecord(br *bufio.Reader) (JournalEntry, int64, error) {
+	var entry JournalEntry
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		if errors.Is(err, io.EOF) {
+			return entry, 0, io.EOF
+		}
+		return entry, 0, err
+	}
+	if n == 0 || n > maxJournalRecord {
+		return entry, 0, fmt.Errorf("persist: journal record length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(br, payload); err != nil {
+		return entry, 0, fmt.Errorf("persist: journal body: %w", err)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(br, sum[:]); err != nil {
+		return entry, 0, fmt.Errorf("persist: journal checksum: %w", err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.ChecksumIEEE(payload) {
+		return entry, 0, errors.New("persist: journal checksum mismatch")
+	}
+	frameLen := int64(uvarintLen(n)) + int64(n) + 4
+
+	entry.Op = payload[0]
+	body := payload[1:]
+	switch entry.Op {
+	case knowledge.OpPut:
+		k, rest, err := readKnowgget(body)
+		if err != nil || len(rest) != 0 {
+			return entry, 0, errors.New("persist: malformed put record")
+		}
+		entry.Knowgget = k
+	case knowledge.OpDelete:
+		key, rest, err := readString(body)
+		if err != nil || len(rest) != 0 {
+			return entry, 0, errors.New("persist: malformed delete record")
+		}
+		entry.Key = key
+	default:
+		return entry, 0, fmt.Errorf("persist: unknown journal op %d", entry.Op)
+	}
+	return entry, frameLen, nil
+}
+
+// uvarintLen is the encoded size of v as a uvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}

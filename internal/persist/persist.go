@@ -1,0 +1,510 @@
+// Package persist is Kalis' crash-safe durable-state layer: a
+// versioned binary snapshot of the Knowledge Base and the Data Store
+// window, plus an append-only write-ahead journal of every accepted KB
+// mutation. Together they give a production node what fault.CrashNode
+// only pretended it had — a warm restart: a node rebooted from its
+// state directory comes back with the knowledge it had collectively
+// and locally learned, instead of re-learning the network from
+// nothing while an attack is in progress (HADES-IoT applies the same
+// persisted-whitelist requirement to host-based IoT detection).
+//
+// Crash-safety argument, in three invariants:
+//
+//  1. Snapshots are atomic: written to a temp file, fsynced, then
+//     renamed over the previous snapshot (and the directory fsynced).
+//     A crash mid-write leaves either the old snapshot or the new one,
+//     never a loadable-but-corrupt hybrid; every section additionally
+//     carries a CRC32 so bit rot is caught on load.
+//  2. The journal is append-only with per-record checksums: a crash
+//     mid-append loses at most the record being written. Replay stops
+//     at the first torn or checksum-failing record and truncates the
+//     file there.
+//  3. Recovery validates everything before applying anything: the
+//     snapshot and the journal's verified prefix are fully decoded
+//     first, then installed into the KB/Data Store in one step — a
+//     corrupt input can never leave a partially-applied KB.
+//
+// The recovery decision ladder (see DESIGN.md §9): intact snapshot and
+// clean journal → warm; intact snapshot with a torn journal tail (or a
+// journal-only state with a torn tail) → truncated, the verified
+// prefix applies; missing or corrupt snapshot → cold, prior files are
+// archived aside and the node starts from nothing.
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"kalis/internal/core/datastore"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/telemetry"
+	"kalis/internal/trace"
+)
+
+// Outcome classifies one recovery, as exported on
+// kalis_persist_recoveries_total{outcome=...}.
+type Outcome string
+
+// Recovery outcomes, from best to worst.
+const (
+	// OutcomeWarm means the snapshot and journal verified completely.
+	OutcomeWarm Outcome = "warm"
+	// OutcomeTruncated means recovery succeeded from the verified
+	// prefix: a torn or corrupt journal tail was truncated.
+	OutcomeTruncated Outcome = "truncated"
+	// OutcomeCold means no usable prior state: nothing on disk, or a
+	// snapshot that failed verification (archived aside, never
+	// partially applied).
+	OutcomeCold Outcome = "cold"
+)
+
+// DefaultInterval is the default snapshot-compaction interval on the
+// capture clock.
+const DefaultInterval = 30 * time.Second
+
+// Metrics are the persistence layer's optional telemetry hooks; all
+// telemetry types are nil-safe, so the zero value disables them.
+type Metrics struct {
+	// Snapshots counts snapshots written (kalis_persist_snapshot_total).
+	Snapshots *telemetry.Counter
+	// JournalBytes tracks the current journal size in bytes
+	// (kalis_persist_journal_bytes).
+	JournalBytes *telemetry.Gauge
+	// Recoveries counts recoveries by outcome
+	// (kalis_persist_recoveries_total{outcome=warm|cold|truncated}).
+	Recoveries *telemetry.CounterVec
+}
+
+// Config configures a Manager.
+type Config struct {
+	// Dir is the node's state directory; created if absent.
+	Dir string
+	// Interval is the snapshot-compaction interval on the capture
+	// clock; 0 selects DefaultInterval.
+	Interval time.Duration
+	// Metrics are the telemetry hooks.
+	Metrics Metrics
+}
+
+// SnapshotPath returns the snapshot file path inside a state dir.
+func SnapshotPath(dir string) string { return filepath.Join(dir, "snapshot.ksnp") }
+
+// JournalPath returns the journal file path inside a state dir.
+func JournalPath(dir string) string { return filepath.Join(dir, "journal.kjnl") }
+
+// Manager owns one node's durable state: it recovers it at Open,
+// journals every accepted KB mutation, compacts the journal into a
+// fresh snapshot on the capture clock, and flushes everything at Stop.
+type Manager struct {
+	dir      string
+	interval time.Duration
+	kb       *knowledge.Base
+	store    *datastore.Store
+	met      Metrics
+
+	mu          sync.Mutex
+	journal     *journalWriter
+	lastCompact time.Time
+	clockSet    bool
+	closed      bool
+	err         error // sticky first I/O failure
+
+	outcome   Outcome
+	recovered int // knowggets restored from the snapshot+journal
+	replayed  int // journal entries applied on top of the snapshot
+	window    int // window records restored
+}
+
+// Open recovers any prior state from cfg.Dir into kb and store,
+// installs the KB write-ahead hook, and returns the manager. Open
+// must run before modules are installed and before traffic flows:
+// recovery bulk-loads the KB without firing subscribers.
+//
+// Open never fails on corrupt state — that is the point of the
+// recovery ladder — only on environmental errors (unwritable
+// directory, fsync failures).
+func Open(cfg Config, kb *knowledge.Base, store *datastore.Store) (*Manager, error) {
+	if cfg.Interval <= 0 {
+		cfg.Interval = DefaultInterval
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: state dir: %w", err)
+	}
+	m := &Manager{
+		dir:      cfg.Dir,
+		interval: cfg.Interval,
+		kb:       kb,
+		store:    store,
+		met:      cfg.Metrics,
+	}
+	if err := m.recover(); err != nil {
+		return nil, err
+	}
+	m.met.Recoveries.With(string(m.outcome)).Inc()
+	m.met.JournalBytes.Set(m.journalBytesLocked())
+	kb.SetJournal(m.record)
+	return m, nil
+}
+
+// recover runs the decision ladder and leaves an append-ready journal.
+func (m *Manager) recover() error {
+	snap, snapErr := loadSnapshotFile(SnapshotPath(m.dir))
+	entries, goodBytes, torn, jErr := loadJournalFile(JournalPath(m.dir))
+
+	switch {
+	case snapErr == nil && snap == nil && jErr == nil && entries == nil && !torn && goodBytes == 0:
+		// Nothing on disk: a brand-new node.
+		m.outcome = OutcomeCold
+	case snapErr != nil:
+		// A snapshot existed but failed verification. Journal deltas
+		// without their base state must not be applied either: archive
+		// both and start cold — never a partial load.
+		m.outcome = OutcomeCold
+		archiveCorrupt(SnapshotPath(m.dir))
+		archiveCorrupt(JournalPath(m.dir))
+	case jErr != nil:
+		// Journal header unreadable: its deltas are lost wholesale.
+		// With a verified snapshot the base state still applies
+		// (truncated-warm); without one this is a cold start.
+		archiveCorrupt(JournalPath(m.dir))
+		if snap != nil {
+			m.outcome = OutcomeTruncated
+			if err := m.apply(snap, nil); err != nil {
+				m.outcome = OutcomeCold
+				archiveCorrupt(SnapshotPath(m.dir))
+			}
+		} else {
+			m.outcome = OutcomeCold
+		}
+	default:
+		// Base state (possibly absent) plus a verified journal prefix.
+		if err := m.apply(snap, entries); err != nil {
+			m.outcome = OutcomeCold
+			archiveCorrupt(SnapshotPath(m.dir))
+			archiveCorrupt(JournalPath(m.dir))
+		} else if torn {
+			m.outcome = OutcomeTruncated
+			if err := os.Truncate(JournalPath(m.dir), goodBytes); err != nil {
+				return fmt.Errorf("persist: truncate torn journal: %w", err)
+			}
+		} else if snap == nil && entries == nil && goodBytes <= journalHeaderLen {
+			m.outcome = OutcomeCold
+		} else {
+			m.outcome = OutcomeWarm
+		}
+	}
+
+	// Compact the recovered state into a fresh snapshot BEFORE the
+	// journal is rotated: rotation truncates the journal, so the
+	// snapshot must already hold the replayed deltas — a crash between
+	// the two steps then loses nothing (same ordering argument as
+	// compactLocked, in reverse direction).
+	if m.outcome != OutcomeCold {
+		if err := m.writeSnapshotLocked(); err != nil {
+			return fmt.Errorf("persist: post-recovery snapshot: %w", err)
+		}
+	}
+	jw, err := newJournalWriter(JournalPath(m.dir))
+	if err != nil {
+		return fmt.Errorf("persist: journal: %w", err)
+	}
+	m.journal = jw
+	return nil
+}
+
+// loadSnapshotFile reads and fully verifies the snapshot. (nil, nil)
+// means no snapshot exists; an error means one exists but is unusable.
+func loadSnapshotFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return DecodeSnapshot(f)
+}
+
+// loadJournalFile replays the journal. All-nil/zero returns mean no
+// journal exists; jErr non-nil means the header itself is bad.
+func loadJournalFile(path string) (entries []JournalEntry, goodBytes int64, torn bool, jErr error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, 0, false, nil
+	}
+	if err != nil {
+		return nil, 0, false, err
+	}
+	defer f.Close()
+	return replayJournal(f)
+}
+
+// apply validates the full recovered state and installs it into the
+// KB and the Data Store in one step. Any decode failure aborts before
+// the KB is touched.
+func (m *Manager) apply(snap *Snapshot, entries []JournalEntry) error {
+	var recs []*trace.Record
+	var statics []string
+	state := make(map[string]knowledge.Knowgget)
+	if snap != nil {
+		if len(snap.WindowTrace) > 0 {
+			var err error
+			recs, err = trace.ReadAll(bytes.NewReader(snap.WindowTrace))
+			if err != nil {
+				return fmt.Errorf("persist: window trace: %w", err)
+			}
+		}
+		for _, k := range snap.Knowggets {
+			state[k.Key()] = k
+		}
+		statics = snap.StaticLabels
+	}
+	for _, e := range entries {
+		switch e.Op {
+		case knowledge.OpPut:
+			state[e.Knowgget.Key()] = e.Knowgget
+		case knowledge.OpDelete:
+			delete(state, e.Key)
+		}
+	}
+	// Everything decoded — apply.
+	ks := make([]knowledge.Knowgget, 0, len(state))
+	for _, k := range state {
+		ks = append(ks, k)
+	}
+	m.kb.Restore(ks, statics)
+	m.recovered = len(ks)
+	m.replayed = len(entries)
+	m.window, _ = m.store.Restore(recs)
+	return nil
+}
+
+// archiveCorrupt moves a failed state file aside (path → path.corrupt)
+// so post-mortems can inspect it; the node itself starts cold. A
+// missing file or a failed rename simply leaves nothing to archive.
+func archiveCorrupt(path string) {
+	if _, err := os.Stat(path); err != nil {
+		return
+	}
+	// Best-effort: recovery proceeds cold whether or not this worked.
+	_ = os.Rename(path, path+".corrupt")
+}
+
+// record is the KB write-ahead hook: it appends one accepted mutation
+// to the journal. Failures are sticky — the first I/O error disables
+// journaling and is reported by Err and Stop.
+func (m *Manager) record(op byte, key string, k knowledge.Knowgget) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.err != nil || m.journal == nil {
+		return
+	}
+	if err := m.journal.append(op, key, k); err != nil {
+		m.err = fmt.Errorf("persist: journal append: %w", err)
+		return
+	}
+	// Flush each record to the kernel: KB mutations are change-gated
+	// and orders of magnitude rarer than packets, so the write-ahead
+	// guarantee ("lose at most the record being written") is worth the
+	// syscall. Durability against power loss is interval-bounded by
+	// the fsync at each compaction.
+	if err := m.journal.flush(); err != nil {
+		m.err = fmt.Errorf("persist: journal flush: %w", err)
+		return
+	}
+	m.met.JournalBytes.Set(m.journal.bytes)
+}
+
+// Tick drives compaction from the capture clock: when now has advanced
+// a full interval past the last compaction, the journal is flushed
+// into a fresh snapshot. A clock that jumps backwards (trace replay
+// restarting, bench loops) just re-bases the interval. The fast path
+// is one lock and one time comparison per packet.
+func (m *Manager) Tick(now time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed || m.err != nil {
+		return
+	}
+	if !m.clockSet || now.Before(m.lastCompact) {
+		m.lastCompact = now
+		m.clockSet = true
+		return
+	}
+	if now.Sub(m.lastCompact) < m.interval {
+		return
+	}
+	if err := m.compactLocked(); err != nil {
+		m.err = err
+		return
+	}
+	m.lastCompact = now
+}
+
+// Compact forces one snapshot compaction immediately.
+func (m *Manager) Compact() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return errors.New("persist: closed")
+	}
+	if m.err != nil {
+		return m.err
+	}
+	if err := m.compactLocked(); err != nil {
+		m.err = err
+		return err
+	}
+	return nil
+}
+
+// compactLocked snapshots the current KB + window atomically, then
+// rotates the journal. Ordering is the crash-safety argument: the
+// snapshot is durable (fsync + rename + dir fsync) before the journal
+// is reset, so a crash between the two replays journal records whose
+// effects the snapshot already holds — puts are idempotent and deletes
+// of absent keys are no-ops.
+func (m *Manager) compactLocked() error {
+	if err := m.writeSnapshotLocked(); err != nil {
+		return err
+	}
+	if err := m.journal.close(); err != nil {
+		return fmt.Errorf("persist: journal rotate: %w", err)
+	}
+	jw, err := newJournalWriter(JournalPath(m.dir))
+	if err != nil {
+		return fmt.Errorf("persist: journal rotate: %w", err)
+	}
+	m.journal = jw
+	m.met.Snapshots.Inc()
+	m.met.JournalBytes.Set(jw.bytes)
+	return nil
+}
+
+// writeSnapshotLocked writes the snapshot via temp + fsync + rename.
+func (m *Manager) writeSnapshotLocked() error {
+	var window bytes.Buffer
+	if _, err := m.store.SnapshotTo(&window); err != nil {
+		return err
+	}
+	snap := &Snapshot{
+		Knowggets:    m.kb.Snapshot(),
+		StaticLabels: m.kb.StaticLabels(),
+		WindowTrace:  window.Bytes(),
+	}
+	final := SnapshotPath(m.dir)
+	tmp := final + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("persist: snapshot temp: %w", err)
+	}
+	if err := EncodeSnapshot(f, snap); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: snapshot write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		return fmt.Errorf("persist: snapshot fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("persist: snapshot close: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return fmt.Errorf("persist: snapshot rename: %w", err)
+	}
+	if err := syncDir(m.dir); err != nil {
+		return fmt.Errorf("persist: state dir fsync: %w", err)
+	}
+	return nil
+}
+
+// syncDir fsyncs the directory so the rename itself is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stop flushes everything: one final compaction (so a clean shutdown
+// always restarts warm with an empty journal) and a synced, closed
+// journal. The manager journals nothing afterwards.
+func (m *Manager) Stop() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return m.err
+	}
+	m.closed = true
+	err := m.err
+	if err == nil {
+		err = m.compactLocked()
+	}
+	if m.journal != nil {
+		if cerr := m.journal.close(); err == nil {
+			err = cerr
+		}
+		m.journal = nil
+	}
+	return err
+}
+
+// Outcome reports how the last recovery classified (warm, truncated,
+// cold).
+func (m *Manager) Outcome() Outcome { return m.outcome }
+
+// Recovered reports the recovery volume: knowggets restored into the
+// KB, journal entries applied on top of the snapshot, and window
+// records restored into the Data Store.
+func (m *Manager) Recovered() (knowggets, journalEntries, windowRecords int) {
+	return m.recovered, m.replayed, m.window
+}
+
+// Err returns the sticky first I/O failure, if any.
+func (m *Manager) Err() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// JournalBytes returns the current journal size in bytes.
+func (m *Manager) JournalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.journalBytesLocked()
+}
+
+func (m *Manager) journalBytesLocked() int64 {
+	if m.journal == nil {
+		return 0
+	}
+	return m.journal.bytes
+}
+
+// Tear simulates a power loss mid-journal-write for chaos drills: it
+// flushes nothing and chops the given number of bytes off the journal
+// file's tail, leaving a torn final record exactly as a crash during
+// an append would. It is invoked by fault.CrashNodeDirty's dirty hook.
+func Tear(dir string, dropBytes int64) error {
+	path := JournalPath(dir)
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	size := info.Size() - dropBytes
+	if size < 0 {
+		size = 0
+	}
+	return os.Truncate(path, size)
+}

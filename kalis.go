@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"time"
 
 	"kalis/internal/core"
 	"kalis/internal/core/collective"
@@ -130,6 +131,23 @@ func WithoutKnowledge() Option {
 // install modules explicitly with InstallModule (or via WithConfig).
 func WithoutDefaultModules() Option {
 	return func(c *core.Config) { c.InstallAll = false }
+}
+
+// WithStateDir enables durable state in the given directory: the node
+// recovers its Knowledge Base and Data Store window from a previous
+// run at startup (warm restart), journals every accepted knowledge
+// mutation, and compacts the journal into a crash-safe snapshot
+// periodically and at Close. A corrupt snapshot or torn journal
+// degrades gracefully — a truncated or cold start, never a failure.
+func WithStateDir(dir string) Option {
+	return func(c *core.Config) { c.StateDir = dir }
+}
+
+// WithPersistInterval sets the snapshot-compaction interval on the
+// capture clock (default 30s of observed traffic time). Only
+// meaningful together with WithStateDir.
+func WithPersistInterval(d time.Duration) Option {
+	return func(c *core.Config) { c.PersistInterval = d }
 }
 
 // Node is one Kalis IDS node.
@@ -332,6 +350,19 @@ func (n *Node) ServeTelemetry(addr string) (*telemetry.AdminServer, error) {
 // discovery.
 func (n *Node) SuggestConfig() string { return n.inner.SuggestConfig() }
 
-// Close shuts the node down, draining the event bus and closing the
-// collective layer.
+// RecoveryOutcome reports how the node's durable state recovered at
+// startup: "warm" (snapshot and journal verified), "truncated" (a torn
+// journal tail was dropped, the verified prefix applied) or "cold"
+// (no usable prior state). Empty when the node runs without a state
+// directory.
+func (n *Node) RecoveryOutcome() string {
+	if p := n.inner.Persistence(); p != nil {
+		return string(p.Outcome())
+	}
+	return ""
+}
+
+// Close shuts the node down, draining the event bus, flushing and
+// closing the traffic log, taking the final durable-state snapshot,
+// and closing the collective layer.
 func (n *Node) Close() error { return n.inner.Close() }

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos crash-demo fuzz-short experiments examples telemetry-demo flow-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos crash-demo fuzz-short experiments examples telemetry-demo flow-demo scale-demo clean
 
 all: build test lint
 
@@ -94,6 +94,12 @@ telemetry-demo:
 # flows expire — the per-flow feature pipeline end to end.
 flow-demo:
 	$(GO) run ./examples/flowexport
+
+# Sharded-ingestion scaling table: sweep shard counts up to NumCPU,
+# scrape each node's live /metrics for delivered packets, drops and
+# batch sizes, and print shards vs throughput (EXPERIMENTS.md "Scaling").
+scale-demo:
+	$(GO) run ./cmd/kalis-bench -exp scale
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,175 @@
+package main
+
+// The scale experiment measures aggregate ingestion throughput as the
+// shard count grows — the system-level counterpart of
+// BenchmarkKalisThroughput. Each row builds a fresh node with
+// WithShards(n), pushes the same pre-decoded mixed-WSN workload from
+// concurrent producers (one per shard, single producer at n=1 to
+// honor the synchronous dispatch contract), drains, and scrapes the
+// node's own live /metrics endpoint for the delivered-packet count,
+// ingest drops and mean batch size — so the table reports what an
+// operator's Prometheus would, not internal counters.
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"regexp"
+	"strconv"
+	"sync"
+	"time"
+
+	"kalis"
+	"kalis/internal/netsim"
+	"kalis/internal/packet"
+	"kalis/internal/proto/stack"
+)
+
+// scaleWorkload pre-decodes the capture set once: 64 distinct 802.15.4
+// sources sending CTP data, the same shape as BenchmarkKalisThroughput.
+func scaleWorkload() ([]*kalis.Captured, error) {
+	var caps []*kalis.Captured
+	for i := 0; i < 256; i++ {
+		src := uint16(2 + i%64)
+		raw := stack.BuildCTPData(src, 1, src, uint8(i), 0, 10, []byte{0x01, uint8(i)})
+		c, err := stack.Decode(packet.MediumIEEE802154, raw)
+		if err != nil {
+			return nil, err
+		}
+		c.Time = netsim.Epoch.Add(time.Duration(i) * 10 * time.Millisecond)
+		c.RSSI = -60 - float64(i%4)
+		caps = append(caps, c)
+	}
+	return caps, nil
+}
+
+// runScale sweeps shard counts 1, 2, 4, ... up to maxShards and prints
+// the shards-vs-throughput table.
+func runScale(out io.Writer, maxShards, packets int) error {
+	if maxShards < 1 {
+		maxShards = 1
+	}
+	if packets <= 0 {
+		packets = 200000
+	}
+	caps, err := scaleWorkload()
+	if err != nil {
+		return err
+	}
+	var counts []int
+	for n := 1; n <= maxShards; n *= 2 {
+		counts = append(counts, n)
+	}
+	if last := counts[len(counts)-1]; last != maxShards {
+		counts = append(counts, maxShards)
+	}
+
+	fmt.Fprintf(out, "Scaling — sharded ingestion throughput (%d packets, 64 sources, lossless backpressure)\n", packets)
+	fmt.Fprintf(out, "%-8s %-10s %-12s %-9s %-7s %s\n",
+		"shards", "wall(s)", "pkts/s", "speedup", "drops", "mean-batch")
+	var base float64
+	for _, n := range counts {
+		row, err := scaleRow(n, packets, caps)
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = row.pktsPerSec
+		}
+		fmt.Fprintf(out, "%-8d %-10.3f %-12.0f %-9.2f %-7d %.1f\n",
+			n, row.wall.Seconds(), row.pktsPerSec, row.pktsPerSec/base, row.drops, row.meanBatch)
+	}
+	return nil
+}
+
+type scaleResult struct {
+	wall       time.Duration
+	pktsPerSec float64
+	drops      uint64
+	meanBatch  float64
+}
+
+// scaleRow measures one shard count end to end and scrapes the node's
+// live telemetry endpoint for the row's counters.
+func scaleRow(shards, packets int, caps []*kalis.Captured) (*scaleResult, error) {
+	opts := []kalis.Option{kalis.WithNodeID("K1")}
+	if shards > 1 {
+		opts = append(opts, kalis.WithShards(shards), kalis.WithIngestBlocking())
+	}
+	node, err := kalis.New(opts...)
+	if err != nil {
+		return nil, err
+	}
+	defer node.Close()
+	srv, err := node.ServeTelemetry("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	defer srv.Close()
+
+	// Warm up knowledge-driven module activation outside the clock.
+	for _, c := range caps {
+		node.HandleCapture(c)
+	}
+	node.DrainIngest()
+
+	producers := shards
+	if producers < 1 {
+		producers = 1
+	}
+	per := packets / producers
+	start := time.Now()
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			i := p * 64
+			for j := 0; j < per; j++ {
+				node.HandleCapture(caps[i%len(caps)])
+				i++
+			}
+		}(p)
+	}
+	wg.Wait()
+	node.DrainIngest()
+	wall := time.Since(start)
+
+	scrape, err := httpGet("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	res := &scaleResult{
+		wall:       wall,
+		pktsPerSec: float64(per*producers) / wall.Seconds(),
+		drops:      uint64(promSum(scrape, `kalis_ingest_drops_total\{shard="\d+"\}`)),
+	}
+	if count := promSum(scrape, `kalis_ingest_batch_size_count`); count > 0 {
+		res.meanBatch = promSum(scrape, `kalis_ingest_batch_size_sum`) / count
+	}
+	return res, nil
+}
+
+func httpGet(url string) (string, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	return string(body), err
+}
+
+// promSum sums the sample values of every exposition line whose metric
+// (with labels) matches the pattern.
+func promSum(exposition, pattern string) float64 {
+	re := regexp.MustCompile(`(?m)^` + pattern + ` (\S+)$`)
+	var sum float64
+	for _, m := range re.FindAllStringSubmatch(exposition, -1) {
+		v, err := strconv.ParseFloat(m[len(m)-1], 64)
+		if err == nil {
+			sum += v
+		}
+	}
+	return sum
+}

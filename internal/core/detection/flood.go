@@ -26,39 +26,13 @@ var (
 	tcpSYNMask    = flow.MaskOf(packet.KindTCPSYN)
 )
 
-// alertGate applies a module's per-victim alert policy — event threshold
-// plus cooldown — over a victim window shared through the flow table.
-// The window is common state (several modules read the same evidence);
-// whether and when to alert on it stays module-local, so one attack
-// burst yields one alert per module.
-type alertGate struct {
-	min      int
-	cooldown time.Duration
-	suppress map[packet.NodeID]time.Time
-}
-
-func newAlertGate(minEvents int, cooldown time.Duration) *alertGate {
-	return &alertGate{min: minEvents, cooldown: cooldown}
-}
-
-func (g *alertGate) reset() {
-	g.suppress = make(map[packet.NodeID]time.Time)
-}
-
-// pass reports whether an alert for the victim may fire at now given n
-// in-window events, arming the cooldown when the threshold is crossed
-// (even if a downstream knowledge veto then withholds the alert,
-// matching the one-alert-per-burst semantics).
-func (g *alertGate) pass(victim packet.NodeID, n int, now time.Time) bool {
-	if n < g.min {
-		return false
-	}
-	if until, ok := g.suppress[victim]; ok && now.Before(until) {
-		return false
-	}
-	g.suppress[victim] = now.Add(g.cooldown)
-	return true
-}
+// The per-victim alert policy — event threshold plus cooldown — is
+// enforced by flow.VictimWindow.Gate, keyed by module name so the
+// several modules reading one shared window gate independently, and
+// armed in the same critical section as the threshold check so a
+// sharded node (whose per-shard module instances share the window, see
+// flow.Trackers) raises one alert per burst per module, not one per
+// shard.
 
 // eventRSSIs extracts the RSSI samples of a victim window.
 func eventRSSIs(evs []flow.Event) []float64 {
@@ -127,9 +101,10 @@ func parseRateParams(params map[string]string, defMin int) (window time.Duration
 // (traditional-IDS baseline) it is a naive symptom-only detector.
 type ICMPFlood struct {
 	base
-	window time.Duration
-	gate   *alertGate
-	win    *flow.VictimWindow
+	window    time.Duration
+	minEvents int
+	cooldown  time.Duration
+	win       *flow.VictimWindow
 	// self marks a standalone (table-less) window the module must
 	// observe packets into itself.
 	self bool
@@ -144,7 +119,7 @@ func NewICMPFlood(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &ICMPFlood{window: w, gate: newAlertGate(n, cd)}, nil
+	return &ICMPFlood{window: w, minEvents: n, cooldown: cd}, nil
 }
 
 // Name implements module.Module.
@@ -162,12 +137,12 @@ func (d *ICMPFlood) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *ICMPFlood) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.gate.reset()
 	if ctx.Flows != nil {
 		d.win, d.self = ctx.Flows.VictimWindow(echoReplyMask, d.window), false
 	} else {
 		d.win, d.self = flow.NewVictimWindow(echoReplyMask, d.window), true
 	}
+	d.win.ResetGate(d.Name())
 }
 
 // Deactivate implements module.Module.
@@ -188,10 +163,10 @@ func (d *ICMPFlood) HandlePacket(c *packet.Captured) {
 	if c.Kind != packet.KindICMPEchoReply {
 		return
 	}
-	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
+	if !d.win.Gate(d.Name(), c.Dst, d.minEvents, d.cooldown, c.Time) {
 		return
 	}
-	evs := d.win.Events(c.Dst)
+	evs := d.win.Events(c.Dst, c.Time)
 	confidence := 0.7
 	if d.knowledgeDriven() {
 		if boolIs(d.ctx.KB, knowledge.LabelMultihop, true) {
@@ -246,10 +221,11 @@ func (d *ICMPFlood) suspects(evs []flow.Event) []packet.NodeID {
 // ambiguity the paper attributes to the traditional IDS.
 type Smurf struct {
 	base
-	window time.Duration
-	gate   *alertGate
-	win    *flow.VictimWindow
-	self   bool
+	window    time.Duration
+	minEvents int
+	cooldown  time.Duration
+	win       *flow.VictimWindow
+	self      bool
 	// edges is the module-local communication graph used for the
 	// 2-hop suspect heuristic (maintained from observed traffic, so it
 	// works even without a Knowledge Base).
@@ -264,7 +240,7 @@ func NewSmurf(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Smurf{window: w, gate: newAlertGate(n, cd)}, nil
+	return &Smurf{window: w, minEvents: n, cooldown: cd}, nil
 }
 
 // Name implements module.Module.
@@ -286,13 +262,13 @@ func (d *Smurf) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *Smurf) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.gate.reset()
 	d.edges = make(map[packet.NodeID]map[packet.NodeID]bool)
 	if ctx.Flows != nil {
 		d.win, d.self = ctx.Flows.VictimWindow(echoReplyMask, d.window), false
 	} else {
 		d.win, d.self = flow.NewVictimWindow(echoReplyMask, d.window), true
 	}
+	d.win.ResetGate(d.Name())
 }
 
 // Deactivate implements module.Module.
@@ -314,10 +290,10 @@ func (d *Smurf) HandlePacket(c *packet.Captured) {
 	if c.Kind != packet.KindICMPEchoReply {
 		return
 	}
-	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
+	if !d.win.Gate(d.Name(), c.Dst, d.minEvents, d.cooldown, c.Time) {
 		return
 	}
-	evs := d.win.Events(c.Dst)
+	evs := d.win.Events(c.Dst, c.Time)
 	confidence := 0.7
 	if d.knowledgeDriven() {
 		// Smurf replies come from several distinct amplifiers. The
@@ -398,11 +374,12 @@ func (d *Smurf) suspects(victim packet.NodeID) []packet.NodeID {
 // come from the flow layer's shared trackers.
 type SYNFlood struct {
 	base
-	window time.Duration
-	gate   *alertGate
-	win    *flow.VictimWindow
-	hs     *flow.TCPHandshakes
-	self   bool
+	window    time.Duration
+	minEvents int
+	cooldown  time.Duration
+	win       *flow.VictimWindow
+	hs        *flow.TCPHandshakes
+	self      bool
 }
 
 var _ module.Module = (*SYNFlood)(nil)
@@ -414,7 +391,7 @@ func NewSYNFlood(params map[string]string) (module.Module, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &SYNFlood{window: w, gate: newAlertGate(n, cd)}, nil
+	return &SYNFlood{window: w, minEvents: n, cooldown: cd}, nil
 }
 
 // Name implements module.Module.
@@ -431,7 +408,6 @@ func (d *SYNFlood) Required(kb *knowledge.Base) bool {
 // Activate implements module.Module.
 func (d *SYNFlood) Activate(ctx *module.Context) {
 	d.base.Activate(ctx)
-	d.gate.reset()
 	if ctx.Flows != nil {
 		d.win = ctx.Flows.VictimWindow(tcpSYNMask, d.window)
 		d.hs = ctx.Flows.Handshakes(d.window)
@@ -441,6 +417,7 @@ func (d *SYNFlood) Activate(ctx *module.Context) {
 		d.hs = flow.NewTCPHandshakes(d.window)
 		d.self = true
 	}
+	d.win.ResetGate(d.Name())
 }
 
 // Deactivate implements module.Module.
@@ -463,10 +440,10 @@ func (d *SYNFlood) HandlePacket(c *packet.Captured) {
 	if c.Kind != packet.KindTCPSYN {
 		return
 	}
-	if !d.gate.pass(c.Dst, d.win.Len(c.Dst), c.Time) {
+	if !d.win.Gate(d.Name(), c.Dst, d.minEvents, d.cooldown, c.Time) {
 		return
 	}
-	evs := d.win.Events(c.Dst)
+	evs := d.win.Events(c.Dst, c.Time)
 	// A legitimate burst completes handshakes; a flood leaves them
 	// half-open.
 	if d.hs.Completions(c.Dst, c.Time) >= len(evs)/2 {

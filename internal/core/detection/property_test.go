@@ -72,13 +72,11 @@ func TestWatchdogAlwaysCatchesTotalDrop(t *testing.T) {
 
 // TestRateWindowInvariant: the victim window (shared through the flow
 // layer) never reports an event older than its configured bound, and
-// the module-local alert gate never passes during cooldown.
+// the window's per-owner alert gate never passes during cooldown.
 func TestRateWindowInvariant(t *testing.T) {
 	prop := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		win := flow.NewVictimWindow(flow.MaskOf(packet.KindICMPEchoReply), 5*time.Second)
-		gate := newAlertGate(10, 10*time.Second)
-		gate.reset()
 		at := t0
 		var lastAlert time.Time
 		for i := 0; i < 300; i++ {
@@ -86,10 +84,10 @@ func TestRateWindowInvariant(t *testing.T) {
 			win.Observe(&packet.Captured{
 				Kind: packet.KindICMPEchoReply, Time: at, RSSI: -60, Src: "s", Dst: "victim",
 			})
-			if !gate.pass("victim", win.Len("victim"), at) {
+			if !win.Gate("mod", "victim", 10, 10*time.Second, at) {
 				continue
 			}
-			for _, e := range win.Events("victim") {
+			for _, e := range win.Events("victim", at) {
 				if at.Sub(e.At) > 5*time.Second {
 					return false // stale event survived pruning
 				}

@@ -164,6 +164,7 @@ type Base struct {
 	mu        sync.RWMutex
 	entries   map[string]Knowgget
 	static    map[string]bool // labels provided as a-priori knowledge
+	defaults  map[string]bool // keys whose current value is an absence-default
 	subsAll   []SubscribeFunc
 	subs      map[string][]SubscribeFunc // by label
 	syncFn    SyncFunc
@@ -174,10 +175,11 @@ type Base struct {
 // identifier.
 func NewBase(localID string) *Base {
 	return &Base{
-		local:   localID,
-		entries: make(map[string]Knowgget),
-		static:  make(map[string]bool),
-		subs:    make(map[string][]SubscribeFunc),
+		local:    localID,
+		entries:  make(map[string]Knowgget),
+		static:   make(map[string]bool),
+		defaults: make(map[string]bool),
+		subs:     make(map[string][]SubscribeFunc),
 	}
 }
 
@@ -249,6 +251,27 @@ func (b *Base) PutFloat(label string, v float64) bool {
 	return b.Put(label, strconv.FormatFloat(v, 'g', -1, 64))
 }
 
+// PutBoolDefault stores an absence-default boolean: a sensing module's
+// declaration that, having watched enough traffic without evidence of
+// a feature, the feature is absent. Unlike PutBool it never overwrites
+// an evidence-backed value — on a sharded node each shard runs its own
+// sensing instances over a partition of the traffic, and one shard's
+// "never saw multihop forwarding" must not clobber another shard's
+// forwarding-chain proof. Defaults may replace defaults; any regular
+// Put pins the key so later defaults are ignored. Provenance is kept
+// in memory only, so values restored from a snapshot count as pinned.
+func (b *Base) PutBoolDefault(label string, v bool) bool {
+	return b.storeWith(Knowgget{Label: label, Value: strconv.FormatBool(v), Creator: b.local}, putDefault)
+}
+
+// PutIntMax stores an integer-valued local knowgget only if the label
+// is unset or v exceeds the stored value. Per-shard sensing instances
+// each count their own traffic partition; a shared high-water mark is
+// a sound lower bound on the union where last-writer-wins is not.
+func (b *Base) PutIntMax(label string, v int) bool {
+	return b.storeWith(Knowgget{Label: label, Value: strconv.Itoa(v), Creator: b.local}, putMax)
+}
+
 // AcceptRemote stores a knowgget received from the peer Kalis node
 // identified by from. Per §IV-B3, a node can only update knowggets
 // that it originally generated: the knowgget is rejected unless its
@@ -262,10 +285,41 @@ func (b *Base) AcceptRemote(from string, k Knowgget) bool {
 	return b.store(k)
 }
 
-func (b *Base) store(k Knowgget) bool {
+// Write modes for storeWith: evidence always wins and pins the key,
+// defaults yield to anything non-default, max writes are monotonic.
+type putMode int
+
+const (
+	putEvidence putMode = iota
+	putDefault
+	putMax
+)
+
+func (b *Base) store(k Knowgget) bool { return b.storeWith(k, putEvidence) }
+
+func (b *Base) storeWith(k Knowgget, mode putMode) bool {
 	key := k.Key()
 	b.mu.Lock()
 	old, existed := b.entries[key]
+	switch mode {
+	case putDefault:
+		if existed && !b.defaults[key] {
+			b.mu.Unlock()
+			return false
+		}
+		b.defaults[key] = true
+	case putMax:
+		if existed {
+			cur, err := strconv.Atoi(old.Value)
+			next, err2 := strconv.Atoi(k.Value)
+			if err == nil && err2 == nil && next <= cur {
+				b.mu.Unlock()
+				return false
+			}
+		}
+	default:
+		delete(b.defaults, key)
+	}
 	if existed && old.Value == k.Value && old.Collective == k.Collective {
 		b.mu.Unlock()
 		return false
@@ -310,6 +364,7 @@ func (b *Base) Delete(key string) bool {
 		return false
 	}
 	delete(b.entries, key)
+	delete(b.defaults, key)
 	journalFn := b.journalFn
 	b.mu.Unlock()
 	if journalFn != nil {

@@ -306,3 +306,65 @@ func TestKeySeparatorEscaping(t *testing.T) {
 		t.Errorf("QueryEntity(b) matched an escaped entity suffix: %d", len(got))
 	}
 }
+
+// TestDefaultVsEvidence: absence-defaults (PutBoolDefault) never
+// overwrite evidence (Put*), evidence always overwrites defaults, and
+// defaults may replace defaults. On a sharded node per-shard sensing
+// instances see only a partition of the traffic, so one shard's "no
+// evidence seen" declaration must not clobber another's proof.
+func TestDefaultVsEvidence(t *testing.T) {
+	b := NewBase("K1")
+
+	// Default lands when the label is unset.
+	if !b.PutBoolDefault("Multihop", false) {
+		t.Fatal("default rejected on empty label")
+	}
+	if v, ok := b.Bool("Multihop"); !ok || v {
+		t.Fatalf("Multihop = %v, %v after default, want false", v, ok)
+	}
+	// A later default may replace a default.
+	if !b.PutBoolDefault("Multihop", true) {
+		t.Fatal("default did not replace an earlier default")
+	}
+	// Evidence overwrites and pins.
+	if !b.PutBool("Multihop", false) {
+		t.Fatal("evidence rejected over a default")
+	}
+	if b.PutBoolDefault("Multihop", true) {
+		t.Fatal("default clobbered evidence")
+	}
+	if v, _ := b.Bool("Multihop"); v {
+		t.Fatal("evidence value lost to a default")
+	}
+	// Evidence with the same value as the standing default still pins.
+	b2 := NewBase("K1")
+	b2.PutBoolDefault("Mobility", false)
+	b2.PutBool("Mobility", false) // no value change, but now evidence
+	if b2.PutBoolDefault("Mobility", true) {
+		t.Fatal("same-value evidence did not pin the key")
+	}
+	// Delete clears provenance: a fresh default may land again.
+	k := Knowgget{Label: "Mobility", Creator: "K1"}
+	b2.Delete(k.Key())
+	if !b2.PutBoolDefault("Mobility", true) {
+		t.Fatal("default rejected after delete")
+	}
+}
+
+// TestPutIntMax: high-water-mark writes are monotonic, so per-shard
+// instances each publishing their own count cannot regress the label.
+func TestPutIntMax(t *testing.T) {
+	b := NewBase("K1")
+	if !b.PutIntMax("MonitoredNodes", 5) {
+		t.Fatal("first max write rejected")
+	}
+	if b.PutIntMax("MonitoredNodes", 3) {
+		t.Fatal("smaller value accepted")
+	}
+	if !b.PutIntMax("MonitoredNodes", 8) {
+		t.Fatal("larger value rejected")
+	}
+	if n, _ := b.Int("MonitoredNodes"); n != 8 {
+		t.Fatalf("MonitoredNodes = %d, want 8", n)
+	}
+}

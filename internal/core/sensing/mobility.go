@@ -196,10 +196,17 @@ func (m *Mobility) HandlePacket(c *packet.Captured) {
 	// sufficient history).
 	quietLongEnough := !m.lastMove.IsZero() && c.Time.Sub(m.lastMove) > m.quiet
 	neverMoved := m.lastMove.IsZero() && m.samples[id] >= m.minSamples*2
-	if (quietLongEnough || neverMoved) && (!m.declared || m.mobile) {
+	if quietLongEnough && (!m.declared || m.mobile) {
 		m.declared = true
 		m.mobile = false
 		kb.PutBool(knowledge.LabelMobility, false)
+	} else if neverMoved && (!m.declared || m.mobile) {
+		m.declared = true
+		m.mobile = false
+		// Absence-default: no movement in this instance's partition is
+		// not proof of a static network — another shard may have seen
+		// the node move.
+		kb.PutBoolDefault(knowledge.LabelMobility, false)
 	}
 }
 

@@ -118,7 +118,10 @@ func (t *Topology) HandlePacket(c *packet.Captured) {
 	}
 	if !t.declared && t.packets >= t.singleHopAfter {
 		t.declared = true
-		kb.PutBool(knowledge.LabelMultihop, false)
+		// Absence-default: this instance saw enough traffic without a
+		// forwarding chain. On a sharded node another instance may hold
+		// the proof, so the default must not clobber evidence.
+		kb.PutBoolDefault(knowledge.LabelMultihop, false)
 	}
 	// Link-layer security is a prevention-technique feature (§III-B2):
 	// devices that encrypt are immune to data alteration, so observing
@@ -134,7 +137,10 @@ func (t *Topology) observeNode(id packet.NodeID) {
 		return
 	}
 	t.nodes[id] = true
-	t.ctx.KB.PutInt(knowledge.LabelMonitoredNodes, len(t.nodes))
+	// High-water mark: per-shard instances each see a traffic
+	// partition, so last-writer-wins would undercount on whichever
+	// shard wrote last.
+	t.ctx.KB.PutIntMax(knowledge.LabelMonitoredNodes, len(t.nodes))
 }
 
 func (t *Topology) observeEdge(from, to packet.NodeID) {

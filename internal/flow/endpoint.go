@@ -17,11 +17,12 @@ import (
 // This file holds the endpoint-level aggregate trackers: flow state
 // keyed by victim, initiator or transmitter identity rather than by
 // 5-tuple, serving the detection modules their traffic statistics in
-// O(1) per packet. Trackers are acquired from a Table (deduplicated by
-// configuration and reference-counted, so e.g. the ICMP-flood and Smurf
-// modules share one victim window and the table updates it once per
-// packet), or created standalone for direct-construction unit tests.
-// All pruning runs on capture timestamps (simclock discipline).
+// O(1) per packet. Trackers are acquired from a Table's registry
+// (deduplicated by configuration and reference-counted, so e.g. the
+// ICMP-flood and Smurf modules share one victim window updated once per
+// packet; see Trackers for cross-shard sharing), or created standalone
+// for direct-construction unit tests. All pruning runs on capture
+// timestamps (simclock discipline).
 
 // KindMask is a bitmask over packet.Kind values (the kind space is
 // small and stable; see packet.Kind).
@@ -53,58 +54,62 @@ type victimKey struct {
 }
 
 // VictimWindow keeps, per destination, the sliding window of matching
-// packets — the rate evidence behind the flood detectors. Pruning
-// happens on insert, so the per-packet cost is amortized O(1) and
-// independent of the window length.
+// packets — the rate evidence behind the flood detectors. Storage is
+// time-sorted and cap-bounded; windowing is applied read-side against
+// the reader's own capture clock (see Observe), so per-packet cost is
+// amortized O(1) on insert and O(log n) per threshold probe.
 type VictimWindow struct {
 	mask   KindMask
 	window time.Duration
 
-	mu    sync.Mutex
-	byDst map[packet.NodeID][]Event
+	mu       sync.Mutex
+	byDst    map[packet.NodeID][]Event
+	suppress map[gateID]time.Time
 
-	table *Table
-	vkey  victimKey
-	refs  int
+	reg  *Trackers
+	vkey victimKey
+	refs int
+}
+
+// gateID keys an armed alert cooldown: the policy owner (module name)
+// and the victim it alerted for.
+type gateID struct {
+	owner  string
+	victim packet.NodeID
 }
 
 // NewVictimWindow creates a standalone victim window (not attached to a
 // table); the owner calls Observe itself.
 func NewVictimWindow(mask KindMask, window time.Duration) *VictimWindow {
-	return &VictimWindow{mask: mask, window: window, byDst: make(map[packet.NodeID][]Event)}
+	return &VictimWindow{
+		mask:     mask,
+		window:   window,
+		byDst:    make(map[packet.NodeID][]Event),
+		suppress: make(map[gateID]time.Time),
+	}
 }
 
 // VictimWindow acquires the table's shared victim window for the given
 // kind mask and window, creating it on first use. Release the handle
-// when done (module Deactivate).
+// when done (module Deactivate). Tables sharing a registry
+// (Config.Trackers) return the same window.
 func (t *Table) VictimWindow(mask KindMask, window time.Duration) *VictimWindow {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	k := victimKey{mask: mask, window: window}
-	w := t.victims[k]
-	if w == nil {
-		w = NewVictimWindow(mask, window)
-		w.table, w.vkey = t, k
-		t.victims[k] = w
-		t.addTrackerLocked(w)
-	}
-	w.refs++
-	return w
+	return t.trk.VictimWindow(mask, window)
 }
 
 // Release returns the handle; the last release detaches the tracker
-// from its table (standalone windows ignore Release).
+// from its registry (standalone windows ignore Release).
 func (w *VictimWindow) Release() {
-	if w.table == nil {
+	if w.reg == nil {
 		return
 	}
-	t := w.table
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	r := w.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	w.refs--
 	if w.refs <= 0 {
-		delete(t.victims, w.vkey)
-		t.dropTrackerLocked(w)
+		delete(r.victims, w.vkey)
+		r.dropLocked(w)
 	}
 }
 
@@ -114,32 +119,97 @@ func (w *VictimWindow) Observe(c *packet.Captured) {
 		return
 	}
 	w.mu.Lock()
-	evs := append(w.byDst[c.Dst], Event{At: c.Time, RSSI: c.RSSI, Src: c.Src})
-	cut := 0
-	for cut < len(evs) && c.Time.Sub(evs[cut].At) > w.window {
-		cut++
+	evs := w.byDst[c.Dst]
+	// Concurrent shard workers deliver captures out of timestamp order,
+	// and a shard that races ahead in an accelerated replay can be a
+	// full episode past a laggard. Storage is therefore time-sorted and
+	// cap-bounded, never time-pruned: pruning on insert against any
+	// "current" time would destroy a slower shard's still-live window.
+	// Readers count within their own [now-window, now] instead. The
+	// backward scan is O(1) for in-order arrival and bounded by shard
+	// lag otherwise.
+	i := len(evs)
+	for i > 0 && evs[i-1].At.After(c.Time) {
+		i--
 	}
-	evs = evs[cut:]
+	//lint:ignore hotalloc amortized growth of the map-stored per-victim slice, cap-bounded at maxVictimEvents
+	evs = append(evs, Event{})
+	copy(evs[i+1:], evs[i:])
+	evs[i] = Event{At: c.Time, RSSI: c.RSSI, Src: c.Src}
+	if len(evs) > maxVictimEvents {
+		evs = evs[len(evs)-maxVictimEvents:]
+	}
 	w.byDst[c.Dst] = evs
 	w.mu.Unlock()
 }
 
-// Len returns the current window size for a destination without
-// copying — the cheap threshold probe.
-func (w *VictimWindow) Len(dst packet.NodeID) int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.byDst[dst])
+// maxVictimEvents bounds retained events per destination (storage is
+// not time-pruned; see Observe). 1024 comfortably exceeds any
+// per-window flood threshold while capping memory per victim.
+const maxVictimEvents = 1024
+
+// windowSpan returns the half-open index range [lo, hi) of evs (sorted
+// by At) falling inside [now-window, now] — events from shards that
+// have raced ahead of the reader are excluded just as events the
+// reader has outlived are.
+func windowSpan(evs []Event, window time.Duration, now time.Time) (int, int) {
+	oldest := now.Add(-window)
+	lo := sort.Search(len(evs), func(i int) bool { return !evs[i].At.Before(oldest) })
+	hi := sort.Search(len(evs), func(i int) bool { return evs[i].At.After(now) })
+	return lo, hi
 }
 
-// Events returns a copy of the destination's current window (called on
-// the cold, threshold-crossed branch only).
-func (w *VictimWindow) Events(dst packet.NodeID) []Event {
+// Len returns how many events fall inside the window ending at now for
+// a destination, without copying — the cheap threshold probe.
+func (w *VictimWindow) Len(dst packet.NodeID, now time.Time) int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	evs := w.byDst[dst]
-	out := make([]Event, len(evs))
-	copy(out, evs)
+	lo, hi := windowSpan(w.byDst[dst], w.window, now)
+	return hi - lo
+}
+
+// Gate reports whether owner (a module name) may alert for victim at
+// now: the window must hold at least min matching events and the
+// owner's per-victim cooldown must have lapsed. Passing arms the
+// cooldown — even if a downstream knowledge veto then withholds the
+// alert, preserving one-alert-per-burst semantics. Threshold check and
+// cooldown arming are one critical section on the shared window, so on
+// a sharded node concurrent shard workers agree on a single alert per
+// burst per module instead of one per shard.
+func (w *VictimWindow) Gate(owner string, victim packet.NodeID, min int, cooldown time.Duration, now time.Time) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lo, hi := windowSpan(w.byDst[victim], w.window, now)
+	if hi-lo < min {
+		return false
+	}
+	k := gateID{owner: owner, victim: victim}
+	if until, ok := w.suppress[k]; ok && now.Before(until) {
+		return false
+	}
+	w.suppress[k] = now.Add(cooldown)
+	return true
+}
+
+// ResetGate clears the owner's armed cooldowns (module reactivation).
+func (w *VictimWindow) ResetGate(owner string) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for k := range w.suppress {
+		if k.owner == owner {
+			delete(w.suppress, k)
+		}
+	}
+}
+
+// Events returns a copy of the destination's events inside the window
+// ending at now (called on the cold, threshold-crossed branch only).
+func (w *VictimWindow) Events(dst packet.NodeID, now time.Time) []Event {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	lo, hi := windowSpan(w.byDst[dst], w.window, now)
+	out := make([]Event, hi-lo)
+	copy(out, w.byDst[dst][lo:hi])
 	return out
 }
 
@@ -153,8 +223,8 @@ type TCPHandshakes struct {
 	pending map[hsKey]bool
 	comps   map[packet.NodeID][]time.Time
 
-	table *Table
-	refs  int
+	reg  *Trackers
+	refs int
 }
 
 // hsKey identifies a half-open handshake by its endpoint pair. A
@@ -177,31 +247,21 @@ func NewTCPHandshakes(window time.Duration) *TCPHandshakes {
 // Handshakes acquires the table's shared handshake tracker for the
 // given completion window.
 func (t *Table) Handshakes(window time.Duration) *TCPHandshakes {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	h := t.handshakes[window]
-	if h == nil {
-		h = NewTCPHandshakes(window)
-		h.table = t
-		t.handshakes[window] = h
-		t.addTrackerLocked(h)
-	}
-	h.refs++
-	return h
+	return t.trk.Handshakes(window)
 }
 
 // Release returns the handle (see VictimWindow.Release).
 func (h *TCPHandshakes) Release() {
-	if h.table == nil {
+	if h.reg == nil {
 		return
 	}
-	t := h.table
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	r := h.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	h.refs--
 	if h.refs <= 0 {
-		delete(t.handshakes, h.window)
-		t.dropTrackerLocked(h)
+		delete(r.handshakes, h.window)
+		r.dropLocked(h)
 	}
 }
 
@@ -224,25 +284,39 @@ func (h *TCPHandshakes) Observe(c *packet.Captured) {
 		h.mu.Lock()
 		if h.pending[key] {
 			delete(h.pending, key)
-			h.comps[c.Dst] = append(h.comps[c.Dst], c.Time)
+			// Time-ordered insert, as in VictimWindow.Observe: ACKs
+			// from initiators on different shards can arrive out of
+			// timestamp order and Completions prunes from the front.
+			comps := h.comps[c.Dst]
+			i := len(comps)
+			for i > 0 && comps[i-1].After(c.Time) {
+				i--
+			}
+			//lint:ignore hotalloc amortized growth of the map-stored per-responder slice, cap-bounded at maxVictimEvents
+			comps = append(comps, time.Time{})
+			copy(comps[i+1:], comps[i:])
+			comps[i] = c.Time
+			if len(comps) > maxVictimEvents {
+				comps = comps[len(comps)-maxVictimEvents:]
+			}
+			h.comps[c.Dst] = comps
 		}
 		h.mu.Unlock()
 	}
 }
 
 // Completions returns how many handshakes completed towards dst within
-// the window ending at now (pruning as it counts).
+// the window ending at now. As with VictimWindow, storage is sorted
+// and cap-bounded rather than pruned, so slower shards' reads stay
+// correct while others race ahead.
 func (h *TCPHandshakes) Completions(dst packet.NodeID, now time.Time) int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	comps := h.comps[dst]
-	cut := 0
-	for cut < len(comps) && now.Sub(comps[cut]) > h.window {
-		cut++
-	}
-	comps = comps[cut:]
-	h.comps[dst] = comps
-	return len(comps)
+	oldest := now.Add(-h.window)
+	lo := sort.Search(len(comps), func(i int) bool { return !comps[i].Before(oldest) })
+	hi := sort.Search(len(comps), func(i int) bool { return comps[i].After(now) })
+	return hi - lo
 }
 
 // identityKey deduplicates identity-stats trackers by configuration.
@@ -262,9 +336,9 @@ type IdentityStats struct {
 	start time.Time
 	ids   map[packet.NodeID]*identStat
 
-	table *Table
-	ikey  identityKey
-	refs  int
+	reg  *Trackers
+	ikey identityKey
+	refs int
 }
 
 // identStat is one identity's fingerprint state, held in a single map
@@ -287,32 +361,21 @@ func NewIdentityStats(alpha float64, medium packet.Medium) *IdentityStats {
 // IdentityStats acquires the table's shared identity tracker for the
 // given EWMA smoothing factor and medium.
 func (t *Table) IdentityStats(alpha float64, medium packet.Medium) *IdentityStats {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	k := identityKey{alpha: alpha, medium: medium}
-	s := t.identities[k]
-	if s == nil {
-		s = NewIdentityStats(alpha, medium)
-		s.table, s.ikey = t, k
-		t.identities[k] = s
-		t.addTrackerLocked(s)
-	}
-	s.refs++
-	return s
+	return t.trk.IdentityStats(alpha, medium)
 }
 
 // Release returns the handle (see VictimWindow.Release).
 func (s *IdentityStats) Release() {
-	if s.table == nil {
+	if s.reg == nil {
 		return
 	}
-	t := s.table
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	r := s.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	s.refs--
 	if s.refs <= 0 {
-		delete(t.identities, s.ikey)
-		t.dropTrackerLocked(s)
+		delete(r.identities, s.ikey)
+		r.dropLocked(s)
 	}
 }
 
@@ -404,8 +467,8 @@ type IdentityMotion struct {
 	mu     sync.Mutex
 	tracks map[packet.NodeID]*motionTrack
 
-	table *Table
-	refs  int
+	reg  *Trackers
+	refs int
 }
 
 // MotionSnapshot is the race-safe read of one identity's current
@@ -429,31 +492,21 @@ func NewIdentityMotion(cfg MotionConfig) *IdentityMotion {
 // configuration (the static and mobile replication modules share one
 // tracker when configured alike, so the state updates once per packet).
 func (t *Table) Motion(cfg MotionConfig) *IdentityMotion {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	m := t.motions[cfg]
-	if m == nil {
-		m = NewIdentityMotion(cfg)
-		m.table = t
-		t.motions[cfg] = m
-		t.addTrackerLocked(m)
-	}
-	m.refs++
-	return m
+	return t.trk.Motion(cfg)
 }
 
 // Release returns the handle (see VictimWindow.Release).
 func (m *IdentityMotion) Release() {
-	if m.table == nil {
+	if m.reg == nil {
 		return
 	}
-	t := m.table
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	r := m.reg
+	r.mu.Lock()
+	defer r.mu.Unlock()
 	m.refs--
 	if m.refs <= 0 {
-		delete(t.motions, m.cfg)
-		t.dropTrackerLocked(m)
+		delete(r.motions, m.cfg)
+		r.dropLocked(m)
 	}
 }
 

@@ -28,7 +28,7 @@ func TestVictimWindowMaskAndPrune(t *testing.T) {
 
 	// Non-matching kinds never enter the window.
 	w.Observe(&packet.Captured{Kind: packet.KindICMPEchoRequest, Dst: "v", Time: t0})
-	if w.Len("v") != 0 {
+	if w.Len("v", t0) != 0 {
 		t.Fatal("masked-out kind entered the window")
 	}
 
@@ -37,13 +37,14 @@ func TestVictimWindowMaskAndPrune(t *testing.T) {
 	}
 	w.Observe(mk("a", t0, -50))
 	w.Observe(mk("b", t0.Add(3*time.Second), -55))
-	// 7s after the first event: the insert prunes it ("b" at age 4s
-	// survives the 5s window).
+	// Read 7s after the first event: "a" has aged out of the 5s
+	// window, "b" at age 4s survives (windowing is read-side, against
+	// the reader's clock — storage is never time-pruned).
 	w.Observe(mk("c", t0.Add(7*time.Second), -60))
-	if got := w.Len("v"); got != 2 {
-		t.Errorf("Len = %d, want 2 (stale event not pruned)", got)
+	if got := w.Len("v", t0.Add(7*time.Second)); got != 2 {
+		t.Errorf("Len = %d, want 2 (stale event counted in window)", got)
 	}
-	evs := w.Events("v")
+	evs := w.Events("v", t0.Add(7*time.Second))
 	if len(evs) != 2 || evs[0].Src != "b" || evs[1].Src != "c" {
 		t.Errorf("Events = %+v, want b then c", evs)
 	}
@@ -51,7 +52,7 @@ func TestVictimWindowMaskAndPrune(t *testing.T) {
 		t.Errorf("event metadata lost: %+v", evs)
 	}
 	// Windows are per destination.
-	if w.Len("other") != 0 {
+	if w.Len("other", t0.Add(7*time.Second)) != 0 {
 		t.Error("window leaked across destinations")
 	}
 	// Standalone trackers ignore Release.
@@ -256,7 +257,7 @@ func TestTrackerDedupAndRelease(t *testing.T) {
 	c := cap1("atk", "v", t0)
 	c.Kind = packet.KindICMPEchoReply
 	tbl.Update(c)
-	if got := w1.Len("v"); got != 1 {
+	if got := w1.Len("v", t0); got != 1 {
 		t.Errorf("table did not drive tracker: Len = %d, want 1", got)
 	}
 
@@ -265,7 +266,7 @@ func TestTrackerDedupAndRelease(t *testing.T) {
 	c2 := cap1("atk", "v", t0.Add(time.Second))
 	c2.Kind = packet.KindICMPEchoReply
 	tbl.Update(c2)
-	if got := w1.Len("v"); got != 2 {
+	if got := w1.Len("v", t0.Add(time.Second)); got != 2 {
 		t.Errorf("tracker detached while still held: Len = %d, want 2", got)
 	}
 
@@ -275,7 +276,7 @@ func TestTrackerDedupAndRelease(t *testing.T) {
 	c3 := cap1("atk", "v", t0.Add(2*time.Second))
 	c3.Kind = packet.KindICMPEchoReply
 	tbl.Update(c3)
-	if got := w1.Len("v"); got != 2 {
+	if got := w1.Len("v", t0.Add(2*time.Second)); got != 2 {
 		t.Errorf("released tracker still observed packets: Len = %d", got)
 	}
 	if w4 := tbl.VictimWindow(mask, 5*time.Second); w4 == w1 {

@@ -27,6 +27,12 @@ type Config struct {
 	// selects DefaultFeatures; an explicit empty, non-nil slice runs
 	// none. Unknown names are ignored.
 	Features []string
+	// Trackers is the endpoint-tracker registry the table serves and
+	// observes. Nil creates a private one; sharded nodes pass one shared
+	// registry to every per-shard table so endpoint-keyed evidence
+	// (victim windows, handshake ledgers, identity fingerprints) stays
+	// global under source-hash sharding (see Trackers).
+	Trackers *Trackers
 }
 
 func (cfg Config) withDefaults() Config {
@@ -88,17 +94,14 @@ type Table struct {
 	lastSeen   time.Time
 	met        Metrics
 
-	// exports and trackers are copy-on-write: Update snapshots the
-	// slice headers under mu and iterates after unlock.
-	exports  []ExportFunc
-	trackers []Tracker
+	// exports is copy-on-write: Update snapshots the slice header under
+	// mu and iterates after unlock.
+	exports []ExportFunc
 
-	// Endpoint-tracker registries, deduplicated by configuration and
-	// reference-counted (see endpoint.go).
-	victims    map[victimKey]*VictimWindow
-	handshakes map[time.Duration]*TCPHandshakes
-	identities map[identityKey]*IdentityStats
-	motions    map[MotionConfig]*IdentityMotion
+	// trk is the endpoint-tracker registry (private or shared across
+	// tables, see Config.Trackers). It locks independently of t.mu and
+	// the two are never nested.
+	trk *Trackers
 
 	expirations, evictions uint64
 }
@@ -107,13 +110,13 @@ type Table struct {
 func NewTable(cfg Config) *Table {
 	cfg = cfg.withDefaults()
 	t := &Table{
-		cfg:        cfg,
-		flows:      make(map[Key]*Flow),
-		toSweep:    cfg.SweepEvery,
-		victims:    make(map[victimKey]*VictimWindow),
-		handshakes: make(map[time.Duration]*TCPHandshakes),
-		identities: make(map[identityKey]*IdentityStats),
-		motions:    make(map[MotionConfig]*IdentityMotion),
+		cfg:     cfg,
+		flows:   make(map[Key]*Flow),
+		toSweep: cfg.SweepEvery,
+		trk:     cfg.Trackers,
+	}
+	if t.trk == nil {
+		t.trk = NewTrackers()
 	}
 	regMu.RLock()
 	for _, name := range cfg.Features {
@@ -219,11 +222,10 @@ func (t *Table) Update(c *packet.Captured) {
 		t.lastActive = n
 		t.met.Active.Set(int64(n))
 	}
-	trackers := t.trackers
 	exports := t.exports
 	t.mu.Unlock()
 
-	for _, tr := range trackers {
+	for _, tr := range t.trk.snapshot() {
 		tr.Observe(c)
 	}
 	if len(exported) > 0 {
@@ -319,23 +321,4 @@ func (t *Table) unlinkLocked(f *Flow) {
 		t.lruTail = f.prev
 	}
 	f.prev, f.next = nil, nil
-}
-
-// addTrackerLocked appends a tracker copy-on-write so Update can
-// iterate a snapshot outside the lock.
-func (t *Table) addTrackerLocked(tr Tracker) {
-	trackers := make([]Tracker, len(t.trackers), len(t.trackers)+1)
-	copy(trackers, t.trackers)
-	t.trackers = append(trackers, tr)
-}
-
-// dropTrackerLocked removes a tracker copy-on-write.
-func (t *Table) dropTrackerLocked(tr Tracker) {
-	trackers := make([]Tracker, 0, len(t.trackers))
-	for _, x := range t.trackers {
-		if x != tr {
-			trackers = append(trackers, x)
-		}
-	}
-	t.trackers = trackers
 }

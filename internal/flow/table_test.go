@@ -269,7 +269,7 @@ func TestChurnRace(t *testing.T) {
 			vw := tbl.VictimWindow(MaskOf(packet.KindICMPEchoRequest), 5*time.Second)
 			hs := tbl.Handshakes(5 * time.Second)
 			ids := tbl.IdentityStats(0.3, packet.MediumWiFi)
-			_ = vw.Len("sink")
+			_ = vw.Len("sink", t0)
 			hs.Release()
 			ids.Release()
 			vw.Release()

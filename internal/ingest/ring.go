@@ -1,0 +1,110 @@
+package ingest
+
+import (
+	"sync/atomic"
+
+	"kalis/internal/packet"
+)
+
+// ring is a bounded lock-free queue of captured packets (Vyukov's
+// bounded MPMC design, specialized to a single consumer): every slot
+// carries a sequence number that encodes whether it is free for the
+// producer at a given position or published for the consumer, so
+// enqueue and dequeue never share a mutex and never allocate.
+//
+// The ingestion pipeline routes every packet of a given source through
+// one producer goroutine (the capture path) to one shard, so in steady
+// state the ring runs single-producer/single-consumer; the CAS on the
+// enqueue cursor only ever retries when multiple capture goroutines
+// feed sources that hash to the same shard.
+//
+// Memory model: a producer publishes a slot with seq.Store(pos+1)
+// (release) after writing the packet pointer; the consumer observes
+// that store with seq.Load (acquire) before reading the pointer, and
+// frees the slot for the next lap with seq.Store(pos+capacity). Go's
+// sync/atomic guarantees these establish happens-before, which is also
+// what keeps the ordering regression test clean under -race.
+type ring struct {
+	mask  uint64
+	slots []slot
+	_     [48]byte // keep the cursors off the slots' cache lines
+	enq   atomic.Uint64
+	_     [56]byte // producers and the consumer don't false-share cursors
+	deq   atomic.Uint64
+}
+
+// slot is one ring cell: the published packet and its lap sequence.
+type slot struct {
+	seq atomic.Uint64
+	c   *packet.Captured
+}
+
+// newRing creates a ring with the given capacity, rounded up to a
+// power of two (minimum 2).
+func newRing(capacity int) *ring {
+	size := 2
+	for size < capacity {
+		size <<= 1
+	}
+	r := &ring{mask: uint64(size - 1), slots: make([]slot, size)}
+	for i := range r.slots {
+		r.slots[i].seq.Store(uint64(i))
+	}
+	return r
+}
+
+// push enqueues one packet; it reports false when the ring is full.
+// Safe for concurrent producers.
+func (r *ring) push(c *packet.Captured) bool {
+	pos := r.enq.Load()
+	for {
+		s := &r.slots[pos&r.mask]
+		seq := s.seq.Load()
+		switch diff := int64(seq) - int64(pos); {
+		case diff == 0:
+			if r.enq.CompareAndSwap(pos, pos+1) {
+				s.c = c
+				s.seq.Store(pos + 1)
+				return true
+			}
+			pos = r.enq.Load()
+		case diff < 0:
+			// The slot still holds last lap's packet: full.
+			return false
+		default:
+			// Another producer claimed this position; reload.
+			pos = r.enq.Load()
+		}
+	}
+}
+
+// pop dequeues up to len(out) packets in FIFO order and returns how
+// many it wrote. Single consumer only.
+func (r *ring) pop(out []*packet.Captured) int {
+	pos := r.deq.Load()
+	n := 0
+	for n < len(out) {
+		s := &r.slots[pos&r.mask]
+		if int64(s.seq.Load())-int64(pos+1) < 0 {
+			break // not yet published
+		}
+		out[n] = s.c
+		s.c = nil
+		s.seq.Store(pos + uint64(len(r.slots)))
+		pos++
+		n++
+	}
+	if n > 0 {
+		r.deq.Store(pos)
+	}
+	return n
+}
+
+// depth approximates the number of packets currently queued.
+func (r *ring) depth() int {
+	d := int64(r.enq.Load()) - int64(r.deq.Load())
+	if d < 0 {
+		d = 0
+	}
+	return int(d)
+}

@@ -1,0 +1,36 @@
+// Package shardroot violates hotalloc from the sharded ingestion
+// worker's dispatch loop: drainShard is a packet-path root by name, so
+// per-packet heap allocations inside it — or its transitive callees —
+// are on the per-packet budget even though no HandlePacket or
+// HandleCapture reaches it on the call graph.
+package shardroot
+
+import "kalis/internal/packet"
+
+// perPacket is per-packet scratch state.
+type perPacket struct {
+	seen int
+}
+
+// worker mimics one ingestion shard's drain loop owner.
+type worker struct {
+	counts map[string]int
+}
+
+// drainShard is a packet-path root by name: the shard worker's batch
+// dispatch loop.
+func (w *worker) drainShard(batch []*packet.Captured) {
+	for _, c := range batch {
+		s := &perPacket{seen: 1} // want hotalloc
+		s.seen++
+		key := string(c.Src) + "|" + string(c.Dst) // want hotalloc
+		w.counts[key] += s.seen
+		w.tally(c)
+	}
+}
+
+// tally is reached transitively from the drainShard root.
+func (w *worker) tally(c *packet.Captured) {
+	ids := []string{string(c.Src)} // want hotalloc
+	w.counts["n"] += len(ids)
+}

@@ -1,0 +1,35 @@
+// Package shardroot violates hotpath from the sharded ingestion
+// worker's dispatch loop: drainShard is a packet-path root by name
+// (every packet on a sharded node flows through it), so formatting,
+// blocking sends and telemetry Vec.With lookups inside it — or its
+// transitive callees — are on the per-packet budget even though no
+// HandlePacket/HandleCapture reaches it on the call graph.
+package shardroot
+
+import (
+	"fmt"
+
+	"kalis/internal/packet"
+	"kalis/internal/telemetry"
+)
+
+// worker mimics one ingestion shard's drain loop owner.
+type worker struct {
+	delivered *telemetry.CounterVec
+	out       chan string
+}
+
+// drainShard is a packet-path root by name: the shard worker's batch
+// dispatch loop.
+func (w *worker) drainShard(batch []*packet.Captured) {
+	for _, c := range batch {
+		w.delivered.With(c.Medium.String()).Inc() // want hotpath
+		w.out <- string(c.Src)                    // want hotpath
+		w.describe(c)
+	}
+}
+
+// describe is reached transitively from the drainShard root.
+func (w *worker) describe(c *packet.Captured) {
+	_ = fmt.Sprintf("batch packet from %s", c.Src) // want hotpath
+}

@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos crash-demo fuzz-short experiments examples telemetry-demo flow-demo scale-demo clean
+.PHONY: all build test race bench benchdiff vet fmt lint lint-json callgraph chaos crash-demo fuzz-short experiments examples telemetry-demo flow-demo scale-demo fleet-demo clean
 
 all: build test lint
 
@@ -100,6 +100,13 @@ flow-demo:
 # batch sizes, and print shards vs throughput (EXPERIMENTS.md "Scaling").
 scale-demo:
 	$(GO) run ./cmd/kalis-bench -exp scale
+
+# Fleet-scale collective: anti-entropy digest gossip vs legacy snapshot
+# push on 1k-10k simulated nodes, with live kalis_collective_* scrapes,
+# a partition convergence curve and the loss/partition fault matrix
+# (EXPERIMENTS.md "Fleet scaling").
+fleet-demo:
+	$(GO) run ./cmd/kalis-bench -exp fleet
 
 clean:
 	$(GO) clean ./...

@@ -30,7 +30,7 @@ func main() {
 
 func run() error {
 	var (
-		exp           = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|overhead|delivery|scale|all (scale runs only when named)")
+		exp           = flag.String("exp", "all", "experiment: table1|fig3|table2|fig8|reactivity|wormhole|countermeasure|overhead|delivery|scale|fleet|all (scale and fleet run only when named)")
 		episodes      = flag.Int("episodes", 0, "symptom instances per scenario (0 = paper default of 50)")
 		seed          = flag.Int64("seed", 1, "simulation seed")
 		rules         = flag.Int("snort-rules", 0, "snort-like community ruleset size (0 = default 3000)")
@@ -136,11 +136,17 @@ func run() error {
 		eval.WriteDelivery(out, res)
 		fmt.Fprintln(out)
 	}
-	// scale is a wall-clock throughput demo, not an evaluation table:
-	// it runs only when named, never as part of -exp all.
+	// scale and fleet are wall-clock demos over large node counts, not
+	// evaluation tables: they run only when named, never as -exp all.
 	if *exp == "scale" {
 		ran = true
 		if err := runScale(out, *shards, *packets); err != nil {
+			return err
+		}
+	}
+	if *exp == "fleet" {
+		ran = true
+		if err := runFleet(out, *seed); err != nil {
 			return err
 		}
 	}

@@ -52,6 +52,8 @@ func TestFacadeCollectiveUDP(t *testing.T) {
 		if hasRemoteSuspect(nodeB) {
 			return
 		}
+		// The suspicion is buffered until node A's next gossip round.
+		nodeA.GossipNow()
 		time.Sleep(5 * time.Millisecond)
 	}
 	t.Fatal("collective knowgget never reached node B")

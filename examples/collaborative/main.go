@@ -83,6 +83,10 @@ func run() error {
 	end := sim.Now().Add(4 * time.Minute)
 	for sim.Now().Before(end) {
 		sim.RunFor(5 * time.Second)
+		// Flush each node's buffered collective updates: one gossip
+		// round per simulated slice.
+		nodeA.GossipNow()
+		nodeB.GossipNow()
 		time.Sleep(2 * time.Millisecond)
 	}
 

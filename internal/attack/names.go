@@ -18,10 +18,15 @@ const (
 	Sinkhole            = "sinkhole"
 	Wormhole            = "wormhole"
 	DataAlteration      = "data-alteration"
+	// CoordinatedQuarantine is the fleet-level symptom of the same
+	// detection module being crashed into quarantine on many nodes at
+	// once — crafted traffic opening a detection hole fleet-wide.
+	CoordinatedQuarantine = "coordinated-quarantine"
 )
 
 // All lists every canonical attack name.
 var All = []string{
 	ICMPFlood, Smurf, SYNFlood, SelectiveForwarding, Blackhole,
 	Replication, Sybil, Sinkhole, Wormhole, DataAlteration,
+	CoordinatedQuarantine,
 }

@@ -1,0 +1,73 @@
+package collective
+
+import (
+	"fmt"
+	"strconv"
+	"testing"
+
+	"kalis/internal/core/knowledge"
+)
+
+var benchSink []byte
+
+// BenchmarkDigestEncode measures encoding a fleet-sized gossip
+// message: a 256-creator version vector plus a 32-entry piggyback
+// section — the per-round, per-target serialization cost.
+func BenchmarkDigestEncode(b *testing.B) {
+	msg := &wireMsg{kind: kindGossip, sender: "K0"}
+	msg.digest = make([]digestEntry, 0, 256)
+	for i := 0; i < 256; i++ {
+		msg.digest = append(msg.digest, digestEntry{creator: fmt.Sprintf("node-%04d", i), version: uint64(i * 7)})
+	}
+	sec := deltaSection{creator: "K0", from: 100, upTo: 132}
+	for i := 0; i < 32; i++ {
+		sec.entries = append(sec.entries, knowledge.Knowgget{
+			Label:   "SignalStrength",
+			Entity:  fmt.Sprintf("0x%04x", i),
+			Value:   "-67.5",
+			Version: uint64(101 + i),
+		})
+	}
+	msg.sections = []deltaSection{sec}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchSink = encodeWire(msg)
+	}
+}
+
+// BenchmarkGossipRound measures one full anti-entropy round from the
+// sender's side — dirty flush, digest build, encode, seal, fan-out
+// send — against a 64-peer table with one dirty key per round.
+func BenchmarkGossipRound(b *testing.B) {
+	hub := NewHub()
+	kb := knowledge.NewBase("K0")
+	n, err := NewNode(kb, hub.Endpoint("p0"), "secret")
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 1; i <= 64; i++ {
+		addr := fmt.Sprintf("p%d", i)
+		hub.Endpoint(addr) // sink endpoint: no handler, datagrams dropped
+		n.AddPeer(fmt.Sprintf("K%d", i), addr)
+	}
+	// Collective state from 32 creators so the digest has fleet shape.
+	for c := 1; c <= 32; c++ {
+		creator := fmt.Sprintf("K%d", c)
+		for k := 0; k < 4; k++ {
+			n.kb.AcceptGossip(creator, knowledge.Knowgget{
+				Label:   "TrafficFrequency.TCPSYN",
+				Entity:  fmt.Sprintf("0x%04x", k),
+				Value:   "12.5",
+				Creator: creator,
+				Version: uint64(k + 1),
+			})
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kb.PutCollective("MonitoredNodes", "", strconv.Itoa(i))
+		n.Gossip()
+	}
+}

@@ -1,6 +1,7 @@
 package collective
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -38,15 +39,21 @@ func TestDiscoveryAndSync(t *testing.T) {
 	}
 
 	kb1.PutCollective("SuspectBlackhole", "0x0005", "7,8")
+	// Updates are buffered until the next gossip tick.
+	if _, ok := kb2.Get("K1$SuspectBlackhole@0x0005"); ok {
+		t.Fatal("update propagated before the gossip tick")
+	}
+	n1.Gossip()
 	kg, ok := kb2.Get("K1$SuspectBlackhole@0x0005")
 	if !ok {
 		t.Fatal("collective knowgget not propagated")
 	}
-	if kg.Value != "7,8" || kg.Creator != "K1" {
+	if kg.Value != "7,8" || kg.Creator != "K1" || kg.Version == 0 {
 		t.Errorf("knowgget = %+v", kg)
 	}
 	// Local-only knowggets must not propagate.
 	kb1.Put("Multihop", "true")
+	n1.Gossip()
 	if _, ok := kb2.Get("K1$Multihop"); ok {
 		t.Error("non-collective knowgget propagated")
 	}
@@ -71,23 +78,123 @@ func TestInitialSyncOnDiscovery(t *testing.T) {
 	}
 }
 
-func TestUpdatePropagatesChanges(t *testing.T) {
+// TestUpdateCoalescing: repeated changes to one key between gossip
+// ticks flush as a single latest-version entry, not one send per
+// change (the sent-counter blow-up of the old per-update push).
+func TestUpdateCoalescing(t *testing.T) {
 	kb1, n1, kb2, n2 := pair(t)
 	n1.Beacon()
 	n2.Beacon()
+	sent0, _, _ := n1.Stats()
 	kb1.PutCollective("SignalStrength", "SensorA", "-67")
+	kb1.PutCollective("SignalStrength", "SensorA", "-73")
 	kb1.PutCollective("SignalStrength", "SensorA", "-80")
+	n1.Gossip()
 	kg, _ := kb2.Get("K1$SignalStrength@SensorA")
 	if kg.Value != "-80" {
 		t.Errorf("value = %q, want -80", kg.Value)
 	}
 	sent, _, _ := n1.Stats()
-	if sent < 2 {
-		t.Errorf("sent = %d", sent)
+	if got := sent - sent0; got != 1 {
+		t.Errorf("sent %d entries for 3 coalesced updates, want 1", got)
 	}
 	_, received, rejected := n2.Stats()
-	if received < 2 || rejected != 0 {
+	if received < 1 || rejected != 0 {
 		t.Errorf("received=%d rejected=%d", received, rejected)
+	}
+}
+
+// TestGossipRelayAndPull: knowledge hops creator→B→C even though A and
+// C never talk directly, via B relaying in its digest and C pulling
+// the delta.
+func TestGossipRelayAndPull(t *testing.T) {
+	hub := NewHub()
+	kbA := knowledge.NewBase("KA")
+	kbB := knowledge.NewBase("KB")
+	kbC := knowledge.NewBase("KC")
+	nA, _ := NewNode(kbA, hub.Endpoint("a"), "secret")
+	nB, _ := NewNode(kbB, hub.Endpoint("b"), "secret")
+	nC, _ := NewNode(kbC, hub.Endpoint("c"), "secret")
+	nA.AddPeer("KB", "b")
+	nB.AddPeer("KA", "a")
+	nB.AddPeer("KC", "c")
+	nC.AddPeer("KB", "b")
+
+	kbA.PutCollective("EmergentSource", "0x0009", "7")
+	nA.Gossip() // A → B (piggybacked dirty flush)
+	if _, ok := kbB.Get("KA$EmergentSource@0x0009"); !ok {
+		t.Fatal("first hop failed")
+	}
+	if _, ok := kbC.Get("KA$EmergentSource@0x0009"); ok {
+		t.Fatal("C knows before any B round")
+	}
+	nC.Gossip() // C's digest lacks KA; B pushes the delta back
+	kg, ok := kbC.Get("KA$EmergentSource@0x0009")
+	if !ok {
+		t.Fatal("relay to C failed")
+	}
+	if kg.Creator != "KA" || kg.Value != "7" {
+		t.Errorf("knowgget = %+v", kg)
+	}
+	if vv := nC.VersionVector(); vv["KA"] != 1 {
+		t.Errorf("C watermark for KA = %d, want 1", vv["KA"])
+	}
+}
+
+// TestFanoutCap: a gossip round contacts at most fanout peers.
+func TestFanoutCap(t *testing.T) {
+	hub := NewHub()
+	kb := knowledge.NewBase("K0")
+	n, _ := NewNode(kb, hub.Endpoint("p0"), "secret")
+	n.SetFanout(3)
+	const peers = 10
+	got := 0
+	for i := 1; i <= peers; i++ {
+		ep := hub.Endpoint(fmt.Sprintf("p%d", i))
+		ep.SetHandler(func(_ string, _ []byte) { got++ })
+		n.AddPeer(fmt.Sprintf("K%d", i), fmt.Sprintf("p%d", i))
+	}
+	kb.PutCollective("X", "", "1")
+	n.Gossip()
+	if got != 3 {
+		t.Fatalf("gossip round reached %d peers, want 3", got)
+	}
+	ds, _, _, _ := n.GossipStats()
+	if ds != 3 {
+		t.Fatalf("digestsSent = %d, want 3", ds)
+	}
+}
+
+// TestDigestPullRecovery: a peer that missed piggybacked flushes (it
+// was not among the fan-out targets, or the datagram was lost)
+// catches up through the digest exchange of its own next round.
+func TestDigestPullRecovery(t *testing.T) {
+	kb1, n1, kb2, n2 := pair(t)
+	n1.Beacon()
+	n2.Beacon()
+	// Flush while K2's receive path drops everything: the piggyback
+	// datagram vanishes in flight.
+	dropping := true
+	n2.transport.SetHandler(func(from string, data []byte) {
+		if dropping {
+			return
+		}
+		n2.receive(from, data)
+	})
+	kb1.PutCollective("Mediums.wifi", "", "true")
+	n1.Gossip()
+	dropping = false
+	if _, ok := kb2.Get("K1$Mediums.wifi"); ok {
+		t.Fatal("flush survived the dropped datagram")
+	}
+	// K2's own round advertises its stale digest; K1 answers with the
+	// missing delta.
+	n2.Gossip()
+	if _, ok := kb2.Get("K1$Mediums.wifi"); !ok {
+		t.Fatal("digest exchange did not recover the missed delta")
+	}
+	if vv := n2.VersionVector(); vv["K1"] == 0 {
+		t.Error("K2 watermark for K1 not advanced")
 	}
 }
 

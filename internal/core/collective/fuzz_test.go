@@ -10,43 +10,73 @@ import (
 // fuzzSeal produces a valid sealed envelope from a peer node, so the
 // corpus starts from well-formed ciphertext the mutator can truncate,
 // bit-flip and splice.
-func fuzzSeal(f *testing.F, msg *message) []byte {
+func fuzzSeal(f *testing.F, payload []byte) []byte {
 	f.Helper()
 	kb := knowledge.NewBase("K9")
 	n, err := NewNode(kb, NewHub().Endpoint("seed"), "secret")
 	if err != nil {
 		f.Fatal(err)
 	}
-	data, err := n.seal(msg)
+	data, err := n.seal(payload)
 	if err != nil {
 		f.Fatal(err)
 	}
 	return data
 }
 
-// FuzzNodeReceive drives the collective decrypt/decode path with
-// arbitrary datagrams: truncated, corrupted and replayed inputs must
-// never panic and never mutate the Knowledge Base (malformed inputs
-// change nothing; authenticated replays are idempotent).
+// FuzzNodeReceive drives the collective decrypt + binary-decode path
+// with arbitrary datagrams: truncated, corrupted and replayed inputs
+// must never panic, never partially apply (decodeWire validates the
+// whole message before anything touches the KB), and never mutate the
+// Knowledge Base on malformed input. The seeds cover every message
+// kind plus structurally-broken variants (bad CRC, truncated section,
+// oversized counts).
 func FuzzNodeReceive(f *testing.F) {
-	beacon := fuzzSeal(f, &message{Type: msgBeacon, NodeID: "K9"})
-	update := fuzzSeal(f, &message{
-		Type:      msgUpdate,
-		NodeID:    "K9",
-		Knowggets: []wireKnowgget{{Label: "SuspectBlackhole", Value: "7", Creator: "K9", Entity: "0x0005"}},
+	beacon := encodeWire(&wireMsg{kind: kindBeacon, sender: "K9"})
+	gossip := encodeWire(&wireMsg{
+		kind:   kindGossip,
+		sender: "K9",
+		digest: []digestEntry{{creator: "K9", version: 3}, {creator: "K7", version: 12}},
+		sections: []deltaSection{{
+			creator: "K9", from: 2, upTo: 3,
+			entries: []knowledge.Knowgget{{Label: "SuspectBlackhole", Entity: "0x0005", Value: "7", Version: 3}},
+		}},
 	})
-	forged := fuzzSeal(f, &message{
-		Type:      msgUpdate,
-		NodeID:    "K9",
-		Knowggets: []wireKnowgget{{Label: "Multihop", Value: "false", Creator: "K1"}},
+	deltaReq := encodeWire(&wireMsg{
+		kind:   kindDeltaReq,
+		sender: "K9",
+		want:   []digestEntry{{creator: "K1", version: 0}, {creator: "K7", version: 4}},
 	})
+	delta := encodeWire(&wireMsg{
+		kind:   kindDelta,
+		sender: "K9",
+		sections: []deltaSection{{
+			creator: "K7", from: 0, upTo: 2,
+			entries: []knowledge.Knowgget{
+				{Label: "Mediums.wifi", Value: "true", Version: 1},
+				{Label: "EmergentSource", Entity: "0x0009", Value: "7", Version: 2},
+			},
+		}},
+	})
+	forged := encodeWire(&wireMsg{
+		kind:   kindDelta,
+		sender: "K9",
+		sections: []deltaSection{{
+			creator: "K1", from: 0, upTo: 9,
+			entries: []knowledge.Knowgget{{Label: "Multihop", Value: "false", Version: 9}},
+		}},
+	})
+	badCRC := append([]byte(nil), gossip...)
+	badCRC[len(badCRC)-1] ^= 0xFF
+
 	f.Add([]byte{})
 	f.Add([]byte{0x01})
-	f.Add(beacon)
-	f.Add(update)
-	f.Add(forged)
-	f.Add(beacon[:len(beacon)/2])
-	f.Add(append([]byte("garbage prefix"), update...))
+	for _, payload := range [][]byte{beacon, gossip, deltaReq, delta, forged, badCRC} {
+		f.Add(fuzzSeal(f, payload))
+	}
+	sealed := fuzzSeal(f, gossip)
+	f.Add(sealed[:len(sealed)/2])
+	f.Add(append([]byte("garbage prefix"), sealed...))
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		kb := knowledge.NewBase("K1")
@@ -65,7 +95,7 @@ func FuzzNodeReceive(f *testing.F) {
 		}
 
 		// Replay: delivering the identical datagram again must be
-		// idempotent — authenticated updates re-apply the same values,
+		// idempotent — version-guarded deltas re-apply nothing, and
 		// forgeries and junk stay rejected.
 		n.receive("peer", data)
 		replayed := kb.Snapshot()
@@ -74,9 +104,45 @@ func FuzzNodeReceive(f *testing.F) {
 		}
 
 		// The local knowgget is ours alone; no datagram may overwrite it
-		// (creator verification, §IV-B3).
+		// — AcceptGossip rejects any section claiming our creator ID.
 		if kg, ok := kb.Get("K1$Multihop"); !ok || kg.Value != "true" {
 			t.Fatalf("local knowgget overwritten: %+v ok=%v", kg, ok)
+		}
+	})
+}
+
+// FuzzDecodeWire fuzzes the raw binary codec under the envelope:
+// arbitrary bytes either decode to a message that re-encodes
+// byte-identically (for canonical inputs) or fail cleanly — no panics,
+// no unbounded allocations (the decode caps).
+func FuzzDecodeWire(f *testing.F) {
+	f.Add(encodeWire(&wireMsg{kind: kindBeacon, sender: "K9"}))
+	f.Add(encodeWire(&wireMsg{
+		kind:   kindGossip,
+		sender: "K9",
+		digest: []digestEntry{{creator: "K9", version: 3}},
+	}))
+	f.Add(encodeWire(&wireMsg{
+		kind:   kindDelta,
+		sender: "K9",
+		sections: []deltaSection{{
+			creator: "K7", from: 1, upTo: 2,
+			entries: []knowledge.Knowgget{{Label: "L", Entity: "E", Value: "V", Version: 2}},
+		}},
+	}))
+	f.Add([]byte{})
+	f.Add([]byte{wireVersion, kindGossip})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := decodeWire(data)
+		if err != nil {
+			return
+		}
+		// Round-trip: any message that decodes must re-encode to the
+		// exact input (the codec is canonical — one representation per
+		// message).
+		if got := encodeWire(m); !reflect.DeepEqual(got, data) {
+			t.Fatalf("decode/encode not canonical:\nin  %x\nout %x", data, got)
 		}
 	})
 }

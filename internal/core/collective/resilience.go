@@ -129,6 +129,8 @@ func (n *Node) sweep() {
 func (n *Node) sendReliable(addr string, data []byte) bool {
 	n.mu.Lock()
 	retries, backoff, sleep := n.retries, n.retryBackoff, n.sleep
+	n.bytesSent += uint64(len(data))
+	n.met.BytesSent.Add(uint64(len(data)))
 	n.mu.Unlock()
 	for attempt := 0; ; attempt++ {
 		err := n.transport.Send(addr, data)
@@ -141,6 +143,8 @@ func (n *Node) sendReliable(addr string, data []byte) bool {
 		n.mu.Lock()
 		n.retried++
 		n.met.SendRetries.Inc()
+		n.bytesSent += uint64(len(data))
+		n.met.BytesSent.Add(uint64(len(data)))
 		n.mu.Unlock()
 		sleep(backoff * time.Duration(attempt+1))
 	}

@@ -75,8 +75,9 @@ func TestUpdatesCountAsLiveness(t *testing.T) {
 	n1.Beacon()
 	n2.Beacon()
 	clock.advance(20 * time.Second)
-	// An update (not a beacon) from K2 must refresh its liveness.
+	// A gossip round (not a beacon) from K2 must refresh its liveness.
 	kb2.PutCollective("EmergentSource", "0x0009", "7")
+	n2.Gossip()
 	clock.advance(20 * time.Second)
 	n1.Beacon() // 40s since beacon, 20s since update: keep
 	if got := n1.Peers(); len(got) != 1 {
@@ -165,6 +166,7 @@ func flakyPair(t *testing.T, failures int, perm bool) (*knowledge.Base, *knowled
 func TestSendRetryRecoversTransientFailure(t *testing.T) {
 	kb1, kb2, n1, ft := flakyPair(t, 2, false)
 	kb1.PutCollective("SuspectBlackhole", "0x0005", "7")
+	n1.Gossip()
 	if kg, ok := kb2.Get("K1$SuspectBlackhole@0x0005"); !ok || kg.Value != "7" {
 		t.Fatalf("update lost despite retry budget: %+v ok=%v", kg, ok)
 	}
@@ -179,6 +181,7 @@ func TestSendRetryRecoversTransientFailure(t *testing.T) {
 func TestSendPermanentFailureNotRetried(t *testing.T) {
 	kb1, kb2, n1, ft := flakyPair(t, 1, true)
 	kb1.PutCollective("SuspectBlackhole", "0x0005", "7")
+	n1.Gossip()
 	if _, ok := kb2.Get("K1$SuspectBlackhole@0x0005"); ok {
 		t.Fatal("update delivered despite permanent failure")
 	}

@@ -111,6 +111,7 @@ func (t *MemTransport) Send(addr string, data []byte) error {
 	dst := t.hub.endpoints[addr]
 	t.hub.mu.Unlock()
 	if dst == nil {
+		//lint:ignore hotalloc,hotpath unknown-endpoint error path, not the per-round send path
 		return &PermanentError{Err: fmt.Errorf("collective: no endpoint %q", addr)}
 	}
 	dst.deliver(t.addr, data)
@@ -139,6 +140,12 @@ func (t *MemTransport) Broadcast(data []byte) error {
 	return nil
 }
 
+// deliver runs the receiver's handler synchronously on the sender's
+// goroutine — a test/simulation artifact; the real UDP receive path
+// runs on its own readLoop goroutine, so the receive side is not part
+// of the sender's gossip hot path.
+//
+//lint:coldpath in-memory test transport; real UDP receive runs on its own readLoop goroutine
 func (t *MemTransport) deliver(from string, data []byte) {
 	t.mu.Lock()
 	h := t.handler
@@ -235,6 +242,7 @@ func (t *UDPTransport) Send(addr string, data []byte) error {
 		var err error
 		dst, err = net.ResolveUDPAddr("udp", addr)
 		if err != nil {
+			//lint:ignore hotalloc,hotpath resolve-failure error path, hit once per bad peer address
 			return &PermanentError{Err: fmt.Errorf("collective: resolve %q: %w", addr, err)}
 		}
 		t.mu.Lock()
@@ -242,6 +250,7 @@ func (t *UDPTransport) Send(addr string, data []byte) error {
 		t.mu.Unlock()
 	}
 	if _, err := t.conn.WriteToUDP(data, dst); err != nil {
+		//lint:ignore hotpath socket-write error path; the happy path formats nothing
 		return fmt.Errorf("collective: send to %q: %w", addr, err)
 	}
 	return nil

@@ -1,0 +1,273 @@
+package collective
+
+// Binary wire format for the anti-entropy gossip protocol, following
+// the repo's compact-codec conventions (internal/trace,
+// internal/persist): uvarint length-prefixed strings and a CRC32-IEEE
+// trailer over the whole payload. The envelope around it is still the
+// pre-shared-passphrase AES-GCM seal, so the checksum guards against
+// protocol bugs and in-sim corruption, not attackers.
+//
+//	[0]     format version (wireVersion)
+//	[1]     message kind
+//	string  sender node ID
+//	kind-specific body:
+//	  beacon:   (empty)
+//	  gossip:   digest, delta sections (piggybacked dirty flush)
+//	  deltaReq: digest (creator → since watermark, i.e. "send me
+//	            everything newer than this")
+//	  delta:    delta sections
+//	[..4]   crc32(IEEE) over all preceding bytes, little-endian
+//
+//	digest:  uvarint n, then n × (string creator, uvarint version)
+//	delta sections: uvarint n, then n ×
+//	  (string creator, uvarint from, uvarint upTo, uvarint m,
+//	   m × knowgget)
+//	knowgget: string label, string entity, string value,
+//	          uvarint version  (creator implied by the section)
+//
+// A delta section is a *watermark-contiguous* state delta: it asserts
+// "these entries are everything of creator C you are missing between
+// version from and version upTo" (same-key superseded versions are
+// elided — their effect is overwritten anyway). The receiver advances
+// its watermark vv[C] to upTo only when vv[C] >= from; a gap means a
+// previous chunk was lost, so values are still applied
+// (version-guarded) but the watermark stays put and the next digest
+// exchange pulls the gap. This keeps watermarks honest under loss and
+// reordering: a node never claims contiguous knowledge it does not
+// hold.
+//
+// Decoding is strict and fully validating: caps bound every count so a
+// corrupt length claim cannot force a giant allocation, trailing bytes
+// are an error, and nothing is applied until the whole message has
+// decoded — malformed datagrams are counted and dropped, never
+// partially applied.
+
+import (
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
+
+	"kalis/internal/core/knowledge"
+)
+
+const wireVersion = byte(1)
+
+const (
+	kindBeacon   = byte(1)
+	kindGossip   = byte(2)
+	kindDeltaReq = byte(3)
+	kindDelta    = byte(4)
+)
+
+// Decode caps. A digest entry is ≥3 bytes and a knowgget ≥5, so these
+// also bound the decoded size of any datagram that passes the CRC.
+const (
+	maxWireString     = 64 << 10
+	maxDigestEntries  = 4096
+	maxDeltaSections  = 256
+	maxSectionEntries = 4096
+)
+
+// errWire is the single decode error: the receive path counts
+// malformed datagrams, it never inspects why they were malformed.
+var errWire = errors.New("collective: malformed wire message")
+
+// digestEntry is one creator's slot in a version vector.
+type digestEntry struct {
+	creator string
+	version uint64
+}
+
+// deltaSection carries one creator's watermark-contiguous state delta.
+type deltaSection struct {
+	creator    string
+	from, upTo uint64
+	entries    []knowledge.Knowgget // Creator implied by the section
+}
+
+// wireMsg is one decoded protocol message.
+type wireMsg struct {
+	kind     byte
+	sender   string
+	digest   []digestEntry  // kindGossip: sender's full version vector
+	want     []digestEntry  // kindDeltaReq: creator → since watermark
+	sections []deltaSection // kindGossip piggyback and kindDelta
+}
+
+func appendWireString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func appendDigest(buf []byte, d []digestEntry) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(d)))
+	for _, e := range d {
+		buf = appendWireString(buf, e.creator)
+		buf = binary.AppendUvarint(buf, e.version)
+	}
+	return buf
+}
+
+func appendSections(buf []byte, secs []deltaSection) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(secs)))
+	for _, s := range secs {
+		buf = appendWireString(buf, s.creator)
+		buf = binary.AppendUvarint(buf, s.from)
+		buf = binary.AppendUvarint(buf, s.upTo)
+		buf = binary.AppendUvarint(buf, uint64(len(s.entries)))
+		for _, k := range s.entries {
+			buf = appendWireString(buf, k.Label)
+			buf = appendWireString(buf, k.Entity)
+			buf = appendWireString(buf, k.Value)
+			buf = binary.AppendUvarint(buf, k.Version)
+		}
+	}
+	return buf
+}
+
+// encodeWire serializes a message and appends the CRC trailer. It is
+// on the gossip-round hot path, so it avoids fmt and grows one
+// pre-sized buffer.
+func encodeWire(m *wireMsg) []byte {
+	buf := make([]byte, 0, 512)
+	buf = append(buf, wireVersion, m.kind)
+	buf = appendWireString(buf, m.sender)
+	switch m.kind {
+	case kindGossip:
+		buf = appendDigest(buf, m.digest)
+		buf = appendSections(buf, m.sections)
+	case kindDeltaReq:
+		buf = appendDigest(buf, m.want)
+	case kindDelta:
+		buf = appendSections(buf, m.sections)
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(buf))
+	return append(buf, sum[:]...)
+}
+
+func readWireUvarint(buf []byte) (uint64, []byte, error) {
+	v, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return 0, nil, errWire
+	}
+	return v, buf[n:], nil
+}
+
+func readWireString(buf []byte) (string, []byte, error) {
+	n, buf, err := readWireUvarint(buf)
+	if err != nil {
+		return "", nil, err
+	}
+	if n > maxWireString || n > uint64(len(buf)) {
+		return "", nil, errWire
+	}
+	return string(buf[:n]), buf[n:], nil
+}
+
+func readDigest(buf []byte) ([]digestEntry, []byte, error) {
+	n, buf, err := readWireUvarint(buf)
+	if err != nil || n > maxDigestEntries {
+		return nil, nil, errWire
+	}
+	out := make([]digestEntry, 0, min(int(n), 64))
+	for i := uint64(0); i < n; i++ {
+		var e digestEntry
+		if e.creator, buf, err = readWireString(buf); err != nil {
+			return nil, nil, err
+		}
+		if e.version, buf, err = readWireUvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		out = append(out, e)
+	}
+	return out, buf, nil
+}
+
+func readSections(buf []byte) ([]deltaSection, []byte, error) {
+	n, buf, err := readWireUvarint(buf)
+	if err != nil || n > maxDeltaSections {
+		return nil, nil, errWire
+	}
+	out := make([]deltaSection, 0, min(int(n), 16))
+	for i := uint64(0); i < n; i++ {
+		var s deltaSection
+		if s.creator, buf, err = readWireString(buf); err != nil {
+			return nil, nil, err
+		}
+		if s.from, buf, err = readWireUvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		if s.upTo, buf, err = readWireUvarint(buf); err != nil {
+			return nil, nil, err
+		}
+		var m uint64
+		if m, buf, err = readWireUvarint(buf); err != nil || m > maxSectionEntries {
+			return nil, nil, errWire
+		}
+		s.entries = make([]knowledge.Knowgget, 0, min(int(m), 64))
+		for j := uint64(0); j < m; j++ {
+			var k knowledge.Knowgget
+			if k.Label, buf, err = readWireString(buf); err != nil {
+				return nil, nil, err
+			}
+			if k.Entity, buf, err = readWireString(buf); err != nil {
+				return nil, nil, err
+			}
+			if k.Value, buf, err = readWireString(buf); err != nil {
+				return nil, nil, err
+			}
+			if k.Version, buf, err = readWireUvarint(buf); err != nil {
+				return nil, nil, err
+			}
+			s.entries = append(s.entries, k)
+		}
+		out = append(out, s)
+	}
+	return out, buf, nil
+}
+
+// decodeWire parses and fully validates one sealed payload. It either
+// returns a complete message or errWire — never a partial result.
+func decodeWire(data []byte) (*wireMsg, error) {
+	if len(data) < 7 { // version + kind + empty sender + crc
+		return nil, errWire
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(tail) != crc32.ChecksumIEEE(body) {
+		return nil, errWire
+	}
+	if body[0] != wireVersion {
+		return nil, errWire
+	}
+	m := &wireMsg{kind: body[1]}
+	buf := body[2:]
+	var err error
+	if m.sender, buf, err = readWireString(buf); err != nil {
+		return nil, err
+	}
+	switch m.kind {
+	case kindBeacon:
+	case kindGossip:
+		if m.digest, buf, err = readDigest(buf); err != nil {
+			return nil, err
+		}
+		if m.sections, buf, err = readSections(buf); err != nil {
+			return nil, err
+		}
+	case kindDeltaReq:
+		if m.want, buf, err = readDigest(buf); err != nil {
+			return nil, err
+		}
+	case kindDelta:
+		if m.sections, buf, err = readSections(buf); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, errWire
+	}
+	if len(buf) != 0 {
+		return nil, errWire
+	}
+	return m, nil
+}

@@ -1,0 +1,180 @@
+package detection
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"kalis/internal/attack"
+	"kalis/internal/core/knowledge"
+	"kalis/internal/core/module"
+	"kalis/internal/packet"
+)
+
+// HealthCorrName is the registry name of the cross-node module-health
+// correlation module.
+const HealthCorrName = "HealthCorrModule"
+
+// HealthCorr correlates ModuleHealth knowggets across the collective:
+// every Kalis node publishes its supervisor transitions as collective
+// ModuleHealth.<module> knowggets, which the anti-entropy gossip layer
+// spreads through the fleet. One node quarantining a module is a local
+// software fault; the *same* module quarantining on many nodes within a
+// short window is a coordinated symptom — crafted traffic crashing a
+// specific detector fleet-wide to open a detection hole. This module
+// raises a coordinated-quarantine alert naming the reporting nodes.
+type HealthCorr struct {
+	base
+	// minPeers is how many distinct nodes (local node included) must
+	// report the same module quarantined before alerting.
+	minPeers int
+	// window bounds the correlation: reports older than this no longer
+	// count toward the threshold.
+	window   time.Duration
+	cooldown time.Duration
+
+	// quarantines maps module name → reporting creator → when the
+	// quarantine report arrived here. Maintained incrementally from
+	// Knowledge Base subscriptions; reports are removed when a creator
+	// later reports the module healthy/probing again.
+	quarantines map[string]map[string]time.Time
+	suppress    map[string]time.Time
+	subbed      bool
+}
+
+var _ module.Module = (*HealthCorr)(nil)
+
+// NewHealthCorr creates the module. Parameters: "minPeers" (int,
+// default 3), "window" (duration, default 60s), "cooldown" (duration,
+// default 5m).
+func NewHealthCorr(params map[string]string) (module.Module, error) {
+	d := &HealthCorr{minPeers: 3, window: time.Minute, cooldown: 5 * time.Minute}
+	var err error
+	if v, ok := params["minPeers"]; ok {
+		if d.minPeers, err = strconv.Atoi(v); err != nil {
+			return nil, fmt.Errorf("minPeers: %w", err)
+		}
+	}
+	if v, ok := params["window"]; ok {
+		if d.window, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("window: %w", err)
+		}
+	}
+	if v, ok := params["cooldown"]; ok {
+		if d.cooldown, err = time.ParseDuration(v); err != nil {
+			return nil, fmt.Errorf("cooldown: %w", err)
+		}
+	}
+	return d, nil
+}
+
+// Name implements module.Module.
+func (d *HealthCorr) Name() string { return HealthCorrName }
+
+// WatchLabels implements module.Module: peer count changes gate the
+// module on and off; health reports drive it.
+func (d *HealthCorr) WatchLabels() []string {
+	return []string{"Peers", knowledge.LabelModuleHealth}
+}
+
+// Required implements module.Module: correlating health across nodes
+// only makes sense while the collective layer has peers.
+func (d *HealthCorr) Required(kb *knowledge.Base) bool {
+	v, ok := kb.Int("Peers")
+	return ok && v > 0
+}
+
+// Activate implements module.Module.
+func (d *HealthCorr) Activate(ctx *module.Context) {
+	d.base.Activate(ctx)
+	d.quarantines = make(map[string]map[string]time.Time)
+	d.suppress = make(map[string]time.Time)
+	// Seed from health reports that predate activation (their arrival
+	// time is unknown; dating them "now" keeps them inside the window,
+	// which errs toward detection), then track changes incrementally.
+	for _, kg := range ctx.KB.Snapshot() {
+		//lint:ignore simclock gossiped health reports arrive on wall time (UDP receive), not capture time; the window is over wall arrival
+		d.record(kg, time.Now())
+	}
+	if !d.subbed {
+		d.subbed = true
+		ctx.KB.Subscribe(knowledge.LabelModuleHealth, d.onKnowledge)
+	}
+}
+
+// onKnowledge fires on every ModuleHealth.<module> change, local or
+// gossiped. It runs off the packet path (Knowledge Base notification),
+// so correlation happens here — the module needs no packet evidence.
+func (d *HealthCorr) onKnowledge(kg knowledge.Knowgget) {
+	if !d.active() {
+		return
+	}
+	//lint:ignore simclock gossiped health reports arrive on wall time (UDP receive), not capture time; the window is over wall arrival
+	now := time.Now()
+	if mod := d.record(kg, now); mod != "" {
+		d.correlate(mod, now)
+	}
+}
+
+// record mirrors one health knowgget into the quarantine table and
+// returns the module name if the report was a quarantine.
+func (d *HealthCorr) record(kg knowledge.Knowgget, now time.Time) string {
+	if !strings.HasPrefix(kg.Label, knowledge.LabelModuleHealth+".") || kg.Creator == "" {
+		return ""
+	}
+	mod := kg.Label[len(knowledge.LabelModuleHealth)+1:]
+	if kg.Value == "quarantined" {
+		if d.quarantines[mod] == nil {
+			d.quarantines[mod] = make(map[string]time.Time)
+		}
+		d.quarantines[mod][kg.Creator] = now
+		return mod
+	}
+	// Recovery (probing/healthy/shed) retires this creator's report.
+	delete(d.quarantines[mod], kg.Creator)
+	return ""
+}
+
+// correlate checks one module's quarantine reports against the
+// threshold, expiring reports that fell out of the window.
+func (d *HealthCorr) correlate(mod string, now time.Time) {
+	if !d.knowledgeDriven() {
+		return // cross-node correlation is knowledge; the baseline has none
+	}
+	reporters := d.quarantines[mod]
+	fresh := make([]string, 0, len(reporters))
+	for creator, at := range reporters {
+		if now.Sub(at) > d.window {
+			delete(reporters, creator)
+			continue
+		}
+		fresh = append(fresh, creator)
+	}
+	if len(fresh) < d.minPeers {
+		return
+	}
+	if until, ok := d.suppress[mod]; ok && now.Before(until) {
+		return
+	}
+	d.suppress[mod] = now.Add(d.cooldown)
+	sort.Strings(fresh)
+	suspects := make([]packet.NodeID, len(fresh))
+	for i, c := range fresh {
+		suspects[i] = packet.NodeID(c)
+	}
+	d.ctx.Emit(module.Alert{
+		Time:       now,
+		Attack:     attack.CoordinatedQuarantine,
+		Module:     d.Name(),
+		Suspects:   suspects,
+		Confidence: 0.8,
+		Details: fmt.Sprintf("module %s quarantined on %d nodes within %s",
+			mod, len(fresh), d.window),
+	})
+}
+
+// HandlePacket implements module.Module: this module is driven
+// entirely by Knowledge Base notifications, not packets.
+func (d *HealthCorr) HandlePacket(c *packet.Captured) {}

@@ -17,6 +17,7 @@ func Register(r *module.Registry) {
 	r.Register(WormholeName, NewWormhole)
 	r.Register(DataAlterationName, NewDataAlteration)
 	r.Register(TrafficAnomalyName, NewTrafficAnomaly)
+	r.Register(HealthCorrName, NewHealthCorr)
 }
 
 // Names lists the registry names of all detection modules.
@@ -26,6 +27,6 @@ func Names() []string {
 		SelectiveForwardingName, BlackholeName,
 		ReplicationStaticName, ReplicationMobileName,
 		SybilName, SinkholeName, WormholeName, DataAlterationName,
-		TrafficAnomalyName,
+		TrafficAnomalyName, HealthCorrName,
 	}
 }

@@ -641,6 +641,18 @@ func (k *Kalis) EnableCollective(t collective.Transport, passphrase string) erro
 			"Retransmissions after transient peer-send failures."),
 		Malformed: k.tel.Counter("kalis_collective_malformed_total",
 			"Datagrams discarded as malformed (failed decrypt or parse)."),
+		DigestsSent: k.tel.Counter("kalis_collective_digests_sent_total",
+			"Anti-entropy gossip digests sent to fan-out peers."),
+		DigestsReceived: k.tel.Counter("kalis_collective_digests_received_total",
+			"Anti-entropy gossip digests received from peers."),
+		DeltasSent: k.tel.Counter("kalis_collective_deltas_sent_total",
+			"Delta messages sent (piggybacked flushes, pulls, bootstraps)."),
+		DeltasReceived: k.tel.Counter("kalis_collective_deltas_received_total",
+			"Delta sections applied from peers."),
+		BytesSent: k.tel.Counter("kalis_collective_bytes_sent_total",
+			"Sealed collective wire bytes sent."),
+		BytesReceived: k.tel.Counter("kalis_collective_bytes_received_total",
+			"Sealed collective wire bytes received."),
 	})
 	k.coll = n
 	return nil

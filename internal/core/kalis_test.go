@@ -34,8 +34,8 @@ func TestNewInstallsFullLibrary(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer k.Close()
-	if got := len(k.Manager().Installed()); got != 15 { // 3 sensing + 12 detection
-		t.Errorf("installed = %d, want 15", got)
+	if got := len(k.Manager().Installed()); got != 16 { // 3 sensing + 13 detection
+		t.Errorf("installed = %d, want 16", got)
 	}
 	// Only sensing modules may be active with an empty Knowledge Base.
 	for _, name := range k.ActiveModules() {

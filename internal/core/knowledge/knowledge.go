@@ -48,6 +48,12 @@ type Knowgget struct {
 	// Collective marks the knowgget for synchronization to peer Kalis
 	// nodes.
 	Collective bool
+	// Version is the creator-local monotonic version of this knowgget,
+	// assigned when the creator accepts a collective change. The
+	// anti-entropy gossip layer compares per-creator version vectors
+	// built from these to pull only missing deltas. Version 0 means
+	// "unversioned" (local, non-collective state never gossiped).
+	Version uint64
 }
 
 // Key returns the encoded storage key "creator$label@entity". The
@@ -165,6 +171,7 @@ type Base struct {
 	entries   map[string]Knowgget
 	static    map[string]bool // labels provided as a-priori knowledge
 	defaults  map[string]bool // keys whose current value is an absence-default
+	localVer  uint64          // last version assigned to a local collective change
 	subsAll   []SubscribeFunc
 	subs      map[string][]SubscribeFunc // by label
 	syncFn    SyncFunc
@@ -285,6 +292,94 @@ func (b *Base) AcceptRemote(from string, k Knowgget) bool {
 	return b.store(k)
 }
 
+// AcceptGossip stores a collective knowgget received through the
+// anti-entropy gossip layer. Unlike AcceptRemote it admits relayed
+// knowggets whose creator is a third node (epidemic dissemination
+// depends on relaying — the shared-passphrase envelope is the trust
+// boundary), but it keeps the §IV-B3 ownership invariant where it
+// matters: a knowgget claiming the local node as creator is always
+// rejected, so no peer can overwrite local knowledge. Staleness is
+// resolved by the creator-local version: the knowgget is rejected
+// unless its Version is strictly newer than the stored entry's.
+// Gossiped state never collides with the local default-vs-evidence
+// provenance because remote creators key their own namespace. It
+// returns true if the knowgget was accepted (stored or refreshed).
+func (b *Base) AcceptGossip(from string, k Knowgget) bool {
+	if from == b.local || k.Creator == b.local || k.Creator == "" || k.Version == 0 {
+		return false
+	}
+	k.Collective = true
+	key := k.Key()
+	b.mu.Lock()
+	old, existed := b.entries[key]
+	if existed && old.Version >= k.Version {
+		b.mu.Unlock()
+		return false
+	}
+	b.entries[key] = k
+	changed := !existed || old.Value != k.Value
+	var subs []SubscribeFunc
+	if changed {
+		subs = b.notifyList(k.Label)
+	}
+	journalFn := b.journalFn
+	b.mu.Unlock()
+
+	if journalFn != nil {
+		journalFn(OpPut, key, k)
+	}
+	for _, fn := range subs {
+		fn(k)
+	}
+	return true
+}
+
+// Digest returns the per-creator version vector over the collective
+// knowggets: for every creator (the local node included) the highest
+// Version held. The gossip layer exchanges these digests instead of
+// snapshots; a creator missing from the map is simply unknown here.
+func (b *Base) Digest() map[string]uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	out := make(map[string]uint64, 8)
+	for _, k := range b.entries {
+		if !k.Collective || k.Version == 0 {
+			continue
+		}
+		if k.Version > out[k.Creator] {
+			out[k.Creator] = k.Version
+		}
+	}
+	return out
+}
+
+// CollectiveSince returns the collective knowggets created by creator
+// with Version > since, sorted by ascending Version. Because versions
+// are assigned per accepted change and stale versions of a key are
+// overwritten in place, this slice is exactly the delta a peer whose
+// watermark for creator is since needs to catch up.
+func (b *Base) CollectiveSince(creator string, since uint64) []Knowgget {
+	b.mu.RLock()
+	var out []Knowgget
+	for _, k := range b.entries {
+		if k.Collective && k.Creator == creator && k.Version > since {
+			out = append(out, k)
+		}
+	}
+	b.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Version < out[j].Version })
+	return out
+}
+
+// LocalVersion returns the last version assigned to a local collective
+// change — the local node's own entry in the digest, tracked even when
+// the highest-versioned knowggets have been overwritten in place.
+func (b *Base) LocalVersion() uint64 {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	return b.localVer
+}
+
 // Write modes for storeWith: evidence always wins and pins the key,
 // defaults yield to anything non-default, max writes are monotonic.
 type putMode int
@@ -323,6 +418,13 @@ func (b *Base) storeWith(k Knowgget, mode putMode) bool {
 	if existed && old.Value == k.Value && old.Collective == k.Collective {
 		b.mu.Unlock()
 		return false
+	}
+	if k.Collective && k.Creator == b.local {
+		// Every accepted local collective change gets the next
+		// creator-local version; no-op puts (caught above) never burn
+		// one, so the version stream is dense per accepted change.
+		b.localVer++
+		k.Version = b.localVer
 	}
 	b.entries[key] = k
 	subs := b.notifyList(k.Label)
@@ -533,6 +635,11 @@ func (b *Base) Restore(entries []Knowgget, staticLabels []string) {
 	defer b.mu.Unlock()
 	for _, k := range entries {
 		b.entries[k.Key()] = k
+		// Resume the local version counter past every recovered local
+		// collective change so post-restart versions stay monotonic.
+		if k.Creator == b.local && k.Version > b.localVer {
+			b.localVer = k.Version
+		}
 	}
 	for _, label := range staticLabels {
 		b.static[label] = true

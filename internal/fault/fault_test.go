@@ -135,11 +135,13 @@ func TestPartitionBlocksBothDirectionsUntilHeal(t *testing.T) {
 	}
 
 	ft1.Partition("addr2")
-	kb1.PutCollective("SuspectBlackhole", "0x0005", "7") // outbound: blocked
+	kb1.PutCollective("SuspectBlackhole", "0x0005", "7")
+	n1.Gossip() // outbound: blocked
 	if _, ok := kb2.Get("K1$SuspectBlackhole@0x0005"); ok {
 		t.Fatal("update crossed an outbound partition")
 	}
-	kb2.PutCollective("EmergentSource", "0x0009", "3") // inbound: blocked
+	kb2.PutCollective("EmergentSource", "0x0009", "3")
+	n2.Gossip() // inbound: blocked on K1's wrapped side
 	if _, ok := kb1.Get("K2$EmergentSource@0x0009"); ok {
 		t.Fatal("update crossed an inbound partition")
 	}
@@ -149,8 +151,18 @@ func TestPartitionBlocksBothDirectionsUntilHeal(t *testing.T) {
 
 	ft1.Heal()
 	kb1.PutCollective("SuspectBlackhole", "0x0006", "8")
+	n1.Gossip()
 	if _, ok := kb2.Get("K1$SuspectBlackhole@0x0006"); !ok {
 		t.Fatal("update lost after heal")
+	}
+	// The digest ride-along also recovered everything that was lost
+	// inside the partition window, in both directions.
+	if _, ok := kb2.Get("K1$SuspectBlackhole@0x0005"); !ok {
+		t.Fatal("partition-window update not recovered by anti-entropy")
+	}
+	n2.Gossip()
+	if _, ok := kb1.Get("K2$EmergentSource@0x0009"); !ok {
+		t.Fatal("inbound partition-window update not recovered")
 	}
 }
 

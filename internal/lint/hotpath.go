@@ -35,11 +35,15 @@ type HotPath struct {
 // sharded ingestion worker's dispatch loop: on sharded nodes every
 // packet flows through it (ring pop → Manager.HandleBatch), so it is a
 // packet-path root even though goroutine launches cut the graph walk
-// from HandleCapture to the worker body.
+// from HandleCapture to the worker body. gossipRound is the collective
+// anti-entropy fan-out: at fleet scale it fires once per beacon tick on
+// every node and its digest encode sits on the bytes-on-wire budget, so
+// it is policed like the packet path.
 var rootMethodNames = map[string]bool{
 	"HandlePacket":  true,
 	"HandleCapture": true,
 	"drainShard":    true,
+	"gossipRound":   true,
 }
 
 // vecWithMethods are the telemetry child lookups banned on the path.

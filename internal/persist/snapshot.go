@@ -103,11 +103,18 @@ func appendKnowgget(buf []byte, k knowledge.Knowgget) []byte {
 	if k.Collective {
 		flags |= 1
 	}
+	if k.Version != 0 {
+		flags |= 2
+	}
 	buf = append(buf, flags)
 	buf = appendString(buf, k.Creator)
 	buf = appendString(buf, k.Label)
 	buf = appendString(buf, k.Entity)
-	return appendString(buf, k.Value)
+	buf = appendString(buf, k.Value)
+	if k.Version != 0 {
+		buf = binary.AppendUvarint(buf, k.Version)
+	}
+	return buf
 }
 
 func appendString(buf []byte, s string) []byte {
@@ -225,7 +232,8 @@ func readKnowgget(buf []byte) (knowledge.Knowgget, []byte, error) {
 	if len(buf) < 1 {
 		return k, nil, fmt.Errorf("%w: knowgget flags", ErrSnapshotCorrupt)
 	}
-	k.Collective = buf[0]&1 != 0
+	flags := buf[0]
+	k.Collective = flags&1 != 0
 	buf = buf[1:]
 	var err error
 	if k.Creator, buf, err = readString(buf); err != nil {
@@ -239,6 +247,14 @@ func readKnowgget(buf []byte) (knowledge.Knowgget, []byte, error) {
 	}
 	if k.Value, buf, err = readString(buf); err != nil {
 		return k, nil, err
+	}
+	// Flag bit 2 (added with the gossip version vectors) marks a
+	// trailing creator-local version; records written before it decode
+	// unchanged with Version 0.
+	if flags&2 != 0 {
+		if k.Version, buf, err = readUvarint(buf); err != nil {
+			return k, nil, err
+		}
 	}
 	return k, buf, nil
 }

@@ -1,0 +1,41 @@
+package persist
+
+import (
+	"bytes"
+	"testing"
+
+	"kalis/internal/core/knowledge"
+)
+
+// TestKnowggetVersionRoundTrip pins the flags-bit-2 version encoding:
+// versioned knowggets round-trip exactly and unversioned records keep
+// the pre-version wire shape (no trailing uvarint).
+func TestKnowggetVersionRoundTrip(t *testing.T) {
+	in := []knowledge.Knowgget{
+		{Creator: "K1", Label: "A", Value: "1"},
+		{Creator: "K1", Label: "B", Value: "2", Collective: true, Version: 7},
+		{Creator: "K2", Label: "C", Entity: "0x01", Value: "3", Collective: true, Version: 1 << 40},
+	}
+	raw := EncodeSnapshotBytes(&Snapshot{Knowggets: in})
+	snap, err := DecodeSnapshot(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(snap.Knowggets) != len(in) {
+		t.Fatalf("got %d knowggets, want %d", len(snap.Knowggets), len(in))
+	}
+	for i, k := range snap.Knowggets {
+		if k != in[i] {
+			t.Errorf("knowgget %d = %+v, want %+v", i, k, in[i])
+		}
+	}
+
+	// An unversioned record encodes byte-identically with and without
+	// the version field in the struct zero state — i.e. old snapshots
+	// (flags bit 2 never set) parse unchanged.
+	oldWire := appendKnowgget(nil, knowledge.Knowgget{Creator: "K1", Label: "A", Value: "1"})
+	k, rest, err := readKnowgget(oldWire)
+	if err != nil || len(rest) != 0 || k.Version != 0 {
+		t.Fatalf("legacy record decode: k=%+v rest=%d err=%v", k, len(rest), err)
+	}
+}

@@ -1,0 +1,160 @@
+package siem
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// FleetAggregator rolls per-node collective digests up into one
+// fleet-level view — the hierarchical aggregation point of the gossip
+// design: individual Kalis nodes exchange digests peer-to-peer, and a
+// SIEM-side aggregator merges the digests it is handed (by a scraper,
+// a log shipper, or the nodes themselves) into the fleet-wide maximum
+// version vector. A node whose digest lags the fleet maximum has not
+// yet converged; persistent laggards localize partitions or dead links
+// without inspecting any knowgget payloads.
+type FleetAggregator struct {
+	mu sync.Mutex
+	// digests maps reporting node → creator → highest version that node
+	// holds contiguously.
+	digests map[string]map[string]uint64
+	// reported maps reporting node → when its digest last arrived.
+	reported map[string]time.Time
+	now      func() time.Time
+}
+
+// NewFleetAggregator creates an empty aggregator.
+func NewFleetAggregator() *FleetAggregator {
+	return &FleetAggregator{
+		digests:  make(map[string]map[string]uint64),
+		reported: make(map[string]time.Time),
+		now:      time.Now,
+	}
+}
+
+// SetClock overrides the wall clock (tests, virtual-time simulations).
+func (f *FleetAggregator) SetClock(now func() time.Time) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = now
+}
+
+// ReportDigest records one node's current digest (creator → version),
+// replacing any earlier report from the same node.
+func (f *FleetAggregator) ReportDigest(nodeID string, digest map[string]uint64) {
+	cp := make(map[string]uint64, len(digest))
+	for c, v := range digest {
+		cp[c] = v
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.digests[nodeID] = cp
+	f.reported[nodeID] = f.now()
+}
+
+// FleetDigest max-merges every reported digest: the fleet-wide highest
+// version seen per creator.
+func (f *FleetAggregator) FleetDigest() map[string]uint64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.fleetDigestLocked()
+}
+
+func (f *FleetAggregator) fleetDigestLocked() map[string]uint64 {
+	out := make(map[string]uint64)
+	for _, d := range f.digests {
+		for c, v := range d {
+			if v > out[c] {
+				out[c] = v
+			}
+		}
+	}
+	return out
+}
+
+// NodeLag describes how far one node trails the fleet maximum.
+type NodeLag struct {
+	Node string `json:"node"`
+	// Behind counts creators for which the node's version trails the
+	// fleet maximum (including creators it has never heard of).
+	Behind int `json:"behind"`
+	// Lag sums the version gap across all trailing creators.
+	Lag uint64 `json:"lag"`
+	// Reported is when the node's digest last arrived.
+	Reported time.Time `json:"reported"`
+}
+
+// FleetSummary is the aggregate convergence picture.
+type FleetSummary struct {
+	Nodes     int `json:"nodes"`
+	Creators  int `json:"creators"`
+	Converged int `json:"converged"`
+	// Laggards lists non-converged nodes, worst first.
+	Laggards []NodeLag `json:"laggards,omitempty"`
+}
+
+// Summary computes the convergence picture across all reports.
+func (f *FleetAggregator) Summary() FleetSummary {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	fleet := f.fleetDigestLocked()
+	s := FleetSummary{Nodes: len(f.digests), Creators: len(fleet)}
+	for node, d := range f.digests {
+		lag := NodeLag{Node: node, Reported: f.reported[node]}
+		for c, top := range fleet {
+			if v := d[c]; v < top {
+				lag.Behind++
+				lag.Lag += top - v
+			}
+		}
+		if lag.Behind == 0 {
+			s.Converged++
+			continue
+		}
+		s.Laggards = append(s.Laggards, lag)
+	}
+	sort.Slice(s.Laggards, func(i, j int) bool {
+		a, b := s.Laggards[i], s.Laggards[j]
+		if a.Lag != b.Lag {
+			return a.Lag > b.Lag
+		}
+		return a.Node < b.Node
+	})
+	return s
+}
+
+// Export writes the summary followed by one NDJSON record per laggard
+// — the same one-object-per-line form the alert Exporter emits, so the
+// fleet view rides the existing SIEM ingestion path.
+func (f *FleetAggregator) Export(w io.Writer) error {
+	s := f.Summary()
+	head, err := json.Marshal(struct {
+		Record string `json:"record"`
+		FleetSummary
+	}{Record: "fleet-summary", FleetSummary: FleetSummary{
+		Nodes: s.Nodes, Creators: s.Creators, Converged: s.Converged,
+	}})
+	if err != nil {
+		return err
+	}
+	if _, err := w.Write(append(head, '\n')); err != nil {
+		return fmt.Errorf("siem: fleet export: %w", err)
+	}
+	for _, lag := range s.Laggards {
+		line, err := json.Marshal(struct {
+			Record string `json:"record"`
+			NodeLag
+		}{Record: "fleet-laggard", NodeLag: lag})
+		if err != nil {
+			return err
+		}
+		if _, err := w.Write(append(line, '\n')); err != nil {
+			return fmt.Errorf("siem: fleet export: %w", err)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package siem
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func TestFleetAggregatorMergesAndFindsLaggards(t *testing.T) {
+	f := NewFleetAggregator()
+	tick := time.Unix(1700000000, 0).UTC()
+	f.SetClock(func() time.Time { return tick })
+
+	f.ReportDigest("N1", map[string]uint64{"A": 5, "B": 3})
+	f.ReportDigest("N2", map[string]uint64{"A": 5, "B": 3})
+	f.ReportDigest("N3", map[string]uint64{"A": 2}) // behind on A, missing B
+
+	fleet := f.FleetDigest()
+	if fleet["A"] != 5 || fleet["B"] != 3 {
+		t.Fatalf("fleet digest = %v", fleet)
+	}
+
+	s := f.Summary()
+	if s.Nodes != 3 || s.Creators != 2 || s.Converged != 2 {
+		t.Fatalf("summary = %+v", s)
+	}
+	if len(s.Laggards) != 1 || s.Laggards[0].Node != "N3" {
+		t.Fatalf("laggards = %+v", s.Laggards)
+	}
+	if s.Laggards[0].Behind != 2 || s.Laggards[0].Lag != 6 { // A: 5-2, B: 3-0
+		t.Fatalf("laggard lag = %+v", s.Laggards[0])
+	}
+
+	// A fresh report replaces the stale one; the fleet converges.
+	f.ReportDigest("N3", map[string]uint64{"A": 5, "B": 3})
+	if s := f.Summary(); s.Converged != 3 || len(s.Laggards) != 0 {
+		t.Fatalf("after catch-up: %+v", s)
+	}
+}
+
+func TestFleetAggregatorExportNDJSON(t *testing.T) {
+	f := NewFleetAggregator()
+	f.ReportDigest("N1", map[string]uint64{"A": 9})
+	f.ReportDigest("N2", map[string]uint64{"A": 1})
+
+	var buf bytes.Buffer
+	if err := f.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	var records []map[string]interface{}
+	for sc.Scan() {
+		var m map[string]interface{}
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		records = append(records, m)
+	}
+	if len(records) != 2 {
+		t.Fatalf("records = %d, want summary + 1 laggard", len(records))
+	}
+	if records[0]["record"] != "fleet-summary" || records[0]["nodes"].(float64) != 2 {
+		t.Fatalf("summary record = %v", records[0])
+	}
+	if records[1]["record"] != "fleet-laggard" || records[1]["node"] != "N2" {
+		t.Fatalf("laggard record = %v", records[1])
+	}
+}
+
+func TestFleetAggregatorEmpty(t *testing.T) {
+	f := NewFleetAggregator()
+	if d := f.FleetDigest(); len(d) != 0 {
+		t.Fatalf("empty digest = %v", d)
+	}
+	s := f.Summary()
+	if s.Nodes != 0 || s.Converged != 0 {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	var buf bytes.Buffer
+	if err := f.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

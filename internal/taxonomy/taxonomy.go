@@ -151,18 +151,23 @@ func ByFeature() Matrix {
 			attack.Replication:         Possible,
 			attack.Sybil:               TechniqueDepends,
 			attack.DataAlteration:      Possible,
+			// Extension beyond Fig. 3: crashing the same detector on
+			// many nodes works over any topology; detecting it needs
+			// the collective layer, not a topology feature.
+			attack.CoordinatedQuarantine: Possible,
 		},
 		FeatureMultihop: {
-			attack.ICMPFlood:           TechniqueDepends, // single-source check
-			attack.Smurf:               Possible,
-			attack.SYNFlood:            Possible,
-			attack.SelectiveForwarding: Possible,
-			attack.Blackhole:           Possible,
-			attack.Sinkhole:            Possible,
-			attack.Wormhole:            Possible,
-			attack.Replication:         Possible,
-			attack.Sybil:               TechniqueDepends,
-			attack.DataAlteration:      Possible,
+			attack.ICMPFlood:             TechniqueDepends, // single-source check
+			attack.Smurf:                 Possible,
+			attack.SYNFlood:              Possible,
+			attack.SelectiveForwarding:   Possible,
+			attack.Blackhole:             Possible,
+			attack.Sinkhole:              Possible,
+			attack.Wormhole:              Possible,
+			attack.Replication:           Possible,
+			attack.Sybil:                 TechniqueDepends,
+			attack.DataAlteration:        Possible,
+			attack.CoordinatedQuarantine: Possible,
 		},
 		FeatureStatic: {
 			attack.Replication: TechniqueDepends, // RSSI-stability technique

@@ -348,10 +348,20 @@ func (n *Node) CollectivePeers() []string {
 	return nil
 }
 
-// BeaconNow broadcasts one collective-discovery beacon immediately.
+// BeaconNow broadcasts one collective-discovery beacon immediately
+// (and, in gossip mode, runs the anti-entropy round that rides it).
 func (n *Node) BeaconNow() {
 	if c := n.inner.Collective(); c != nil {
 		c.Beacon()
+	}
+}
+
+// GossipNow runs one collective anti-entropy gossip round immediately:
+// flush buffered local updates and exchange digests with up to the
+// fan-out cap of random peers.
+func (n *Node) GossipNow() {
+	if c := n.inner.Collective(); c != nil {
+		c.Gossip()
 	}
 }
 
